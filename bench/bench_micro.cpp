@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the core data structures and the
+// simulation substrate: bencode, bitfields, selectors, the event queue, the
+// piece store, and end-to-end simulated-swarm event throughput.
+#include <benchmark/benchmark.h>
+
+#include "bt/bencode.hpp"
+#include "bt/bitfield.hpp"
+#include "bt/metainfo.hpp"
+#include "bt/piece_store.hpp"
+#include "bt/selector.hpp"
+#include "exp/swarm.hpp"
+#include "sim/simulator.hpp"
+
+namespace wp2p {
+namespace {
+
+void BM_BencodeEncode(benchmark::State& state) {
+  auto meta = bt::Metainfo::create("file", 688 * 1000 * 1000, 256 * 1024);
+  const bt::Bencode value = meta.to_bencode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(value.encode());
+  }
+}
+BENCHMARK(BM_BencodeEncode);
+
+void BM_BencodeDecode(benchmark::State& state) {
+  auto meta = bt::Metainfo::create("file", 688 * 1000 * 1000, 256 * 1024);
+  const std::string encoded = meta.encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bt::Bencode::decode(encoded));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encoded.size()));
+}
+BENCHMARK(BM_BencodeDecode);
+
+void BM_BitfieldCountAndPrefix(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  bt::Bitfield bf{n};
+  for (int i = 0; i < n; i += 2) bf.set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.count());
+    benchmark::DoNotOptimize(bf.prefix_length());
+    benchmark::DoNotOptimize(bf.first_missing());
+  }
+}
+BENCHMARK(BM_BitfieldCountAndPrefix)->Arg(400)->Arg(4000);
+
+void BM_RarestFirstPick(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Rng rng{7};
+  std::vector<int> availability(static_cast<std::size_t>(n));
+  for (auto& a : availability) a = static_cast<int>(rng.below(30));
+  std::vector<int> candidates;
+  for (int i = 0; i < n; i += 3) candidates.push_back(i);
+  bt::RarestFirstSelector selector;
+  for (auto _ : state) {
+    bt::SelectionContext ctx{candidates, availability, 0.5, 0, rng};
+    benchmark::DoNotOptimize(selector.pick(ctx));
+  }
+}
+BENCHMARK(BM_RarestFirstPick)->Arg(400)->Arg(4000);
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.after(sim::microseconds(i * 7 % 997), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun);
+
+void BM_PieceStoreMarkAllBlocks(benchmark::State& state) {
+  auto meta = bt::Metainfo::create("file", 100 * 1000 * 1000, 256 * 1024);
+  for (auto _ : state) {
+    bt::PieceStore store{meta};
+    for (int p = 0; p < store.piece_count(); ++p) {
+      for (int b = 0; b < store.blocks_in_piece(p); ++b) store.mark_block(p, b);
+    }
+    benchmark::DoNotOptimize(store.complete());
+  }
+}
+BENCHMARK(BM_PieceStoreMarkAllBlocks);
+
+// End-to-end: simulated events per second for a seed->leech 10 MB transfer.
+void BM_SwarmTransferEvents(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    exp::Swarm swarm{seed++, bt::Metainfo::create("f", 10 * 1000 * 1000, 256 * 1024)};
+    bt::ClientConfig config;
+    config.announce_interval = sim::seconds(30.0);
+    swarm.add_wired("seed", true, config);
+    auto& leech = swarm.add_wired("leech", false, config);
+    swarm.start_all();
+    swarm.run_until_complete(leech, 600.0);
+    state.counters["events"] = static_cast<double>(swarm.world.sim.events_processed());
+    benchmark::DoNotOptimize(leech.client->complete());
+  }
+}
+BENCHMARK(BM_SwarmTransferEvents)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wp2p
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Shared scaffolding for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/wp2p_client.hpp"
+#include "exp/swarm.hpp"
+#include "metrics/meters.hpp"
+#include "metrics/table.hpp"
+
+namespace wp2p::bench {
+
+// Average a scalar metric over independent seeded runs (the paper's
+// "averaged over N runs").
+inline metrics::RunStats over_seeds(int runs, std::uint64_t base_seed,
+                                    const std::function<double(std::uint64_t)>& fn) {
+  metrics::RunStats stats;
+  for (int i = 0; i < runs; ++i) stats.add(fn(base_seed + static_cast<std::uint64_t>(i)));
+  return stats;
+}
+
+// A population of fixed (wired) peers forming the remote side of a swarm.
+struct FixedPeers {
+  int seeds = 2;
+  int leechers = 8;
+  util::Rate seed_upload = util::Rate::kBps(100.0);
+  util::Rate leech_upload = util::Rate::kBps(80.0);
+  net::WiredParams link{};  // default: 10 Mbps symmetric
+  bt::ClientConfig base{};
+};
+
+inline void add_fixed_peers(exp::Swarm& swarm, const FixedPeers& spec) {
+  for (int i = 0; i < spec.seeds; ++i) {
+    bt::ClientConfig config = spec.base;
+    config.upload_limit = spec.seed_upload;
+    swarm.add_wired("seed" + std::to_string(i), /*is_seed=*/true, config, spec.link);
+  }
+  for (int i = 0; i < spec.leechers; ++i) {
+    bt::ClientConfig config = spec.base;
+    config.upload_limit = spec.leech_upload;
+    swarm.add_wired("leech" + std::to_string(i), /*is_seed=*/false, config, spec.link);
+  }
+}
+
+// Apply a periodic IP-address change to a host (the paper's emulated
+// hand-offs via "ifup/ifdown"). `phase` staggers the first change so multiple
+// mobile hosts do not hand off in lock-step. Returns the owning task.
+inline std::unique_ptr<sim::PeriodicTask> make_mobility(exp::World& world, net::Node& node,
+                                                        sim::SimTime interval,
+                                                        double phase = 1.0) {
+  auto task = std::make_unique<sim::PeriodicTask>(world.sim, interval,
+                                                  [&node] { node.change_address(); });
+  task->start_after(std::max<sim::SimTime>(1, static_cast<sim::SimTime>(
+                                                  static_cast<double>(interval) * phase)));
+  return task;
+}
+
+inline std::string kbps(double bytes_per_sec, int precision = 1) {
+  return metrics::Table::num(bytes_per_sec / 1000.0, precision);
+}
+
+inline void print_shape_note(const char* note) { std::printf("shape target: %s\n", note); }
+
+}  // namespace wp2p::bench

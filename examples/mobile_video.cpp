@@ -1,0 +1,76 @@
+// Mobile video scenario (the paper's Section 3.6 motivation): a commuter
+// downloads a 100 MB video over WLAN and loses connectivity at 60% progress.
+// With rarest-first fetching almost none of the video is watchable offline;
+// with wP2P's Mobility-aware Fetching a long in-order prefix survives.
+//
+// Run: ./build/examples/mobile_video
+#include <cstdio>
+
+#include "bt/client.hpp"
+#include "bt/tracker.hpp"
+#include "core/ma_selector.hpp"
+#include "exp/world.hpp"
+#include "media/playability.hpp"
+
+namespace {
+
+struct Outcome {
+  double downloaded_pct = 0.0;
+  double playable_pct = 0.0;
+  double playable_minutes = 0.0;
+};
+
+Outcome run(bool use_wp2p_mf) {
+  using namespace wp2p;
+  exp::World world{2024};
+  bt::Tracker tracker{world.sim};
+  // A 2-hour movie: 100 MB -> ~0.83 MB per playable minute.
+  const double total_minutes = 120.0;
+  auto meta = bt::Metainfo::create("movie.mpg", 100 * 1000 * 1000, 256 * 1024);
+
+  bt::ClientConfig config;
+  config.announce_interval = sim::seconds(60.0);
+  exp::World::Host& seed_host = world.add_wired_host("seed");
+  bt::Client seed{*seed_host.node, *seed_host.stack, tracker, meta, config, true};
+  seed.set_upload_limit(util::Rate::kBps(250.0));
+
+  exp::World::Host& mobile_host = world.add_wireless_host("laptop");
+  bt::Client viewer{*mobile_host.node, *mobile_host.stack, tracker, meta, config, false};
+  if (use_wp2p_mf) {
+    viewer.set_selector(std::make_unique<core::MobilityAwareSelector>());
+  }
+
+  seed.start();
+  viewer.start();
+  // Ride until 60% downloaded, then the train enters a tunnel for good.
+  while (viewer.store().completed_fraction() < 0.60 &&
+         world.sim.now() < sim::minutes(60.0)) {
+    world.sim.run_until(world.sim.now() + sim::seconds(1.0));
+  }
+  mobile_host.node->set_connected(false);
+  world.sim.run_until(world.sim.now() + sim::seconds(30.0));  // in-flight data dies
+
+  Outcome out;
+  out.downloaded_pct = viewer.store().completed_fraction() * 100.0;
+  out.playable_pct =
+      wp2p::media::PlayabilityAnalyzer::playable_fraction(viewer.store()) * 100.0;
+  out.playable_minutes = total_minutes * out.playable_pct / 100.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scenario: 120-minute video (100 MB), connection lost at ~60%% downloaded\n\n");
+  Outcome rarest = run(false);
+  Outcome mf = run(true);
+  std::printf("%-22s %12s %12s %18s\n", "client", "downloaded", "playable",
+              "watchable offline");
+  std::printf("%-22s %11.1f%% %11.1f%% %15.1f min\n", "default (rarest-first)",
+              rarest.downloaded_pct, rarest.playable_pct, rarest.playable_minutes);
+  std::printf("%-22s %11.1f%% %11.1f%% %15.1f min\n", "wP2P (mobility-aware)",
+              mf.downloaded_pct, mf.playable_pct, mf.playable_minutes);
+  std::printf("\nSame bytes spent; wP2P keeps the prefix in order, so the commute is "
+              "not wasted.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "bt/bencode.hpp"
+
+namespace wp2p::bt {
+
+std::string Bencode::encode() const {
+  std::string out;
+  encode_to(out);
+  return out;
+}
+
+void Bencode::encode_to(std::string& out) const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    out += 'i';
+    out += std::to_string(*i);
+    out += 'e';
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out += std::to_string(s->size());
+    out += ':';
+    out += *s;
+  } else if (const auto* l = std::get_if<List>(&value_)) {
+    out += 'l';
+    for (const Bencode& item : *l) item.encode_to(out);
+    out += 'e';
+  } else {
+    const Dict& d = std::get<Dict>(value_);
+    out += 'd';
+    for (const auto& [key, val] : d) {
+      out += std::to_string(key.size());
+      out += ':';
+      out += key;
+      val.encode_to(out);
+    }
+    out += 'e';
+  }
+}
+
+Bencode Bencode::decode(const std::string& data) {
+  std::size_t pos = 0;
+  Bencode result = parse(data, pos);
+  if (pos != data.size()) throw BencodeError("trailing data after value");
+  return result;
+}
+
+Bencode Bencode::parse(const std::string& data, std::size_t& pos) {
+  if (pos >= data.size()) throw BencodeError("unexpected end of input");
+  const char c = data[pos];
+  if (c == 'i') {
+    ++pos;
+    std::size_t end = data.find('e', pos);
+    if (end == std::string::npos) throw BencodeError("unterminated integer");
+    const std::string digits = data.substr(pos, end - pos);
+    if (digits.empty()) throw BencodeError("empty integer");
+    // Reject leading zeros and lone '-' per the spec ("i-0e" etc. invalid).
+    if (digits == "-" || (digits.size() > 1 && digits[0] == '0') ||
+        (digits.size() > 2 && digits[0] == '-' && digits[1] == '0') || digits == "-0") {
+      throw BencodeError("malformed integer: " + digits);
+    }
+    std::size_t used = 0;
+    std::int64_t value = 0;
+    try {
+      value = std::stoll(digits, &used);
+    } catch (const std::exception&) {
+      throw BencodeError("malformed integer: " + digits);
+    }
+    if (used != digits.size()) throw BencodeError("malformed integer: " + digits);
+    pos = end + 1;
+    return Bencode{value};
+  }
+  if (c == 'l') {
+    ++pos;
+    List list;
+    while (pos < data.size() && data[pos] != 'e') list.push_back(parse(data, pos));
+    if (pos >= data.size()) throw BencodeError("unterminated list");
+    ++pos;
+    return Bencode{std::move(list)};
+  }
+  if (c == 'd') {
+    ++pos;
+    Dict dict;
+    std::string last_key;
+    while (pos < data.size() && data[pos] != 'e') {
+      Bencode key = parse(data, pos);
+      if (!key.is_string()) throw BencodeError("dictionary key is not a string");
+      std::string k = key.as_string();
+      if (!dict.empty() && k <= last_key) {
+        throw BencodeError("dictionary keys not sorted/unique");
+      }
+      Bencode value = parse(data, pos);
+      last_key = k;
+      dict.emplace(std::move(k), std::move(value));
+    }
+    if (pos >= data.size()) throw BencodeError("unterminated dict");
+    ++pos;
+    return Bencode{std::move(dict)};
+  }
+  if (c >= '0' && c <= '9') {
+    std::size_t colon = data.find(':', pos);
+    if (colon == std::string::npos) throw BencodeError("unterminated string length");
+    const std::string len_str = data.substr(pos, colon - pos);
+    if (len_str.size() > 1 && len_str[0] == '0') throw BencodeError("string length has leading zero");
+    std::size_t len = 0;
+    try {
+      len = static_cast<std::size_t>(std::stoull(len_str));
+    } catch (const std::exception&) {
+      throw BencodeError("bad string length: " + len_str);
+    }
+    if (colon + 1 + len > data.size()) throw BencodeError("string shorter than declared");
+    Bencode result{data.substr(colon + 1, len)};
+    pos = colon + 1 + len;
+    return result;
+  }
+  throw BencodeError(std::string{"unexpected character: "} + c);
+}
+
+}  // namespace wp2p::bt

@@ -1,0 +1,95 @@
+// Piece-presence bitfield (the BitTorrent "bitfield" message body).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wp2p::bt {
+
+class Bitfield {
+ public:
+  Bitfield() = default;
+  explicit Bitfield(int size) : size_{size}, bits_(static_cast<std::size_t>((size + 7) / 8), 0) {
+    WP2P_ASSERT(size >= 0);
+  }
+
+  int size() const { return size_; }
+  int count() const { return count_; }
+  bool empty() const { return size_ == 0; }
+  bool all() const { return count_ == size_; }
+  bool none() const { return count_ == 0; }
+
+  bool test(int i) const {
+    check(i);
+    return (bits_[static_cast<std::size_t>(i >> 3)] >> (i & 7)) & 1;
+  }
+
+  void set(int i) {
+    check(i);
+    std::uint8_t& byte = bits_[static_cast<std::size_t>(i >> 3)];
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (i & 7));
+    if (!(byte & mask)) {
+      byte |= mask;
+      ++count_;
+    }
+  }
+
+  void reset(int i) {
+    check(i);
+    std::uint8_t& byte = bits_[static_cast<std::size_t>(i >> 3)];
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (i & 7));
+    if (byte & mask) {
+      byte &= static_cast<std::uint8_t>(~mask);
+      --count_;
+    }
+  }
+
+  void set_all() {
+    for (int i = 0; i < size_; ++i) set(i);
+  }
+
+  void clear() {
+    std::fill(bits_.begin(), bits_.end(), 0);
+    count_ = 0;
+  }
+
+  // First index not set, or -1 when complete.
+  int first_missing() const {
+    for (int i = 0; i < size_; ++i) {
+      if (!test(i)) return i;
+    }
+    return -1;
+  }
+
+  // Length of the contiguous set prefix (the playability-relevant quantity).
+  int prefix_length() const {
+    int n = 0;
+    while (n < size_ && test(n)) ++n;
+    return n;
+  }
+
+  // True if `peer` has at least one piece that `mine` lacks (interest test).
+  static bool has_missing_piece(const Bitfield& peer, const Bitfield& mine) {
+    WP2P_ASSERT(peer.size() == mine.size());
+    for (std::size_t i = 0; i < peer.bits_.size(); ++i) {
+      if (peer.bits_[i] & ~mine.bits_[i]) return true;
+    }
+    return false;
+  }
+
+  // Serialized length of the wire message body.
+  std::int64_t byte_size() const { return static_cast<std::int64_t>(bits_.size()); }
+
+  bool operator==(const Bitfield&) const = default;
+
+ private:
+  void check(int i) const { WP2P_ASSERT_MSG(i >= 0 && i < size_, "bitfield index"); }
+
+  int size_ = 0;
+  int count_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace wp2p::bt

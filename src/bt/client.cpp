@@ -1,0 +1,740 @@
+#include "bt/client.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace wp2p::bt {
+
+namespace {
+constexpr const char* kLog = "bt";
+
+std::unique_ptr<PieceSelector> make_selector(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kRarestFirst: return std::make_unique<RarestFirstSelector>();
+    case SelectorKind::kSequential: return std::make_unique<SequentialSelector>();
+    case SelectorKind::kRandom: return std::make_unique<RandomSelector>();
+  }
+  return std::make_unique<RarestFirstSelector>();
+}
+}  // namespace
+
+Client::Client(net::Node& node, tcp::Stack& stack, Tracker& tracker, const Metainfo& meta,
+               ClientConfig config, bool start_as_seed)
+    : node_{node},
+      stack_{stack},
+      tracker_{tracker},
+      meta_{meta},
+      store_{meta_},
+      config_{config},
+      selector_{make_selector(config.selector)},
+      sim_{node.sim()},
+      rng_{node.sim().rng().fork()},
+      availability_(static_cast<std::size_t>(meta_.piece_count()), 0),
+      credit_{config.credit_half_life},
+      upload_bucket_{config.upload_limit, /*burst=*/64 * 1024},
+      choke_task_{sim_, config.choke_interval, [this] { run_choke_round(); }},
+      optimistic_task_{sim_, config.optimistic_interval, [this] { rotate_optimistic(); }},
+      announce_task_{sim_, config.announce_interval,
+                     [this] { initiate_task(AnnounceEvent::kInterval); }},
+      timeout_task_{sim_, sim::seconds(10.0), [this] { periodic_maintenance(); }},
+      upload_pump_task_{sim_, config.upload_pump_interval, [this] { pump_uploads(); }},
+      down_rate_{config.rate_window},
+      up_rate_{config.rate_window} {
+  peer_id_ = rng_.next_u64() | 1;  // nonzero
+  if (start_as_seed) store_.mark_all();
+  alive_ = std::make_shared<bool>(true);
+}
+
+Client::~Client() {
+  *alive_ = false;
+  if (reinit_event_ != sim::kInvalidEventId) sim_.cancel(reinit_event_);
+  for (auto& peer : peers_) peer->detach();
+}
+
+util::Rate Client::download_rate() { return down_rate_.rate(sim_.now()); }
+util::Rate Client::upload_rate() { return up_rate_.rate(sim_.now()); }
+
+void Client::set_selector(std::unique_ptr<PieceSelector> selector) {
+  WP2P_ASSERT(selector != nullptr);
+  selector_ = std::move(selector);
+}
+
+void Client::set_upload_limit(util::Rate limit) {
+  config_.upload_limit = limit;
+  upload_bucket_.set_rate(limit, sim_.now());
+}
+
+util::Rate Client::upload_limit() const { return config_.upload_limit; }
+
+// --- Lifecycle -----------------------------------------------------------------
+
+void Client::preload(double fraction) {
+  WP2P_ASSERT(!running_);
+  for (int p = 0; p < meta_.piece_count(); ++p) {
+    if (rng_.bernoulli(fraction)) store_.mark_piece(p);
+  }
+}
+
+void Client::preload_pieces(const std::vector<int>& pieces) {
+  WP2P_ASSERT(!running_);
+  for (int p : pieces) store_.mark_piece(p);
+}
+
+void Client::start() {
+  WP2P_ASSERT(!running_);
+  running_ = true;
+  last_disconnect_ = sim_.now();
+  stack_.listen(config_.listen_port, [this, alive = alive_](auto conn) {
+    if (*alive) accept_connection(std::move(conn));
+  });
+  node_.on_address_change.push_back([this, alive = alive_](net::IpAddr, net::IpAddr) {
+    if (*alive) handle_address_change();
+  });
+  node_.on_connectivity_change.push_back([this, alive = alive_](bool connected) {
+    if (*alive && !connected) last_disconnect_ = sim_.now();
+  });
+  choke_task_.start();
+  optimistic_task_.start();
+  // Random announce phase: real clients join at arbitrary times, so their
+  // tracker polls are not synchronized (and neither are re-discovery delays).
+  announce_task_.start_after(static_cast<sim::SimTime>(
+      rng_.uniform(0.25, 1.0) * static_cast<double>(config_.announce_interval)));
+  timeout_task_.start();
+  upload_pump_task_.start();
+  initiate_task(AnnounceEvent::kStarted);
+}
+
+void Client::stop() {
+  if (!running_) return;
+  running_ = false;
+  choke_task_.stop();
+  optimistic_task_.stop();
+  announce_task_.stop();
+  timeout_task_.stop();
+  upload_pump_task_.stop();
+  stack_.stop_listening(config_.listen_port);
+  if (node_.connected()) {
+    tracker_.announce(AnnounceRequest{meta_.info_hash,
+                                      {node_.address(), config_.listen_port},
+                                      peer_id_,
+                                      store_.complete(),
+                                      AnnounceEvent::kStopped},
+                      nullptr);
+  }
+  // Tear peers down in a fresh event: stop() may be called from inside a
+  // peer-connection callback.
+  sim_.after(0, [this, alive = alive_] {
+    if (!*alive || running_) return;
+    auto doomed = peers_;  // abort mutates peers_ via on_closed
+    for (auto& peer : doomed) peer->tcp().abort();
+    peers_.clear();
+  });
+}
+
+void Client::initiate_task(AnnounceEvent event) {
+  if (!running_ || !node_.connected()) return;
+  AnnounceRequest req{meta_.info_hash,
+                      {node_.address(), config_.listen_port},
+                      peer_id_,
+                      store_.complete(),
+                      event};
+  tracker_.announce(req, [this, alive = alive_](std::vector<TrackerPeerInfo> peers) {
+    if (*alive && running_) handle_announce(std::move(peers));
+  });
+}
+
+void Client::handle_announce(std::vector<TrackerPeerInfo> peers) {
+  const net::Endpoint self{node_.address(), config_.listen_port};
+  for (const TrackerPeerInfo& info : peers) {
+    known_listen_endpoints_[info.peer_id] = info.endpoint;
+    if (static_cast<int>(peers_.size()) >= config_.max_peers) break;
+    if (info.endpoint == self || info.peer_id == peer_id_) continue;
+    if (connected_to(info.endpoint)) continue;
+    // Two seeds have nothing to exchange.
+    if (store_.complete() && info.seed) continue;
+    connect_to(info.endpoint);
+  }
+}
+
+bool Client::connected_to(net::Endpoint remote) const {
+  for (const auto& peer : peers_) {
+    if (peer->remote_endpoint() == remote) return true;
+  }
+  return false;
+}
+
+void Client::connect_to(net::Endpoint remote) {
+  if (!node_.connected()) return;
+  auto conn = stack_.connect(remote);
+  auto peer = std::make_shared<PeerConnection>(sim_, std::move(conn), /*initiator=*/true,
+                                               meta_.piece_count(), config_.rate_window);
+  setup_peer(peer);
+}
+
+void Client::accept_connection(std::shared_ptr<tcp::Connection> conn) {
+  if (!running_ ||
+      static_cast<int>(peers_.size()) >= config_.max_peers + config_.max_peers / 4) {
+    conn->abort();
+    return;
+  }
+  auto peer = std::make_shared<PeerConnection>(sim_, std::move(conn), /*initiator=*/false,
+                                               meta_.piece_count(), config_.rate_window);
+  setup_peer(peer);
+}
+
+void Client::setup_peer(const std::shared_ptr<PeerConnection>& peer) {
+  peers_.push_back(peer);
+  ++stats_.peers_connected_total;
+  PeerConnection* p = peer.get();
+  tcp::Connection& conn = peer->tcp();
+  if (peer->initiator()) {
+    conn.on_connected = [this, p] {
+      // We initiated: open with handshake + bitfield. The responder replies
+      // only after validating our info hash (handle_handshake).
+      p->send(WireMessage::handshake(meta_.info_hash, peer_id_));
+      p->send(WireMessage::bitfield_msg(store_.bitfield()));
+      p->handshake_sent = true;
+    };
+  }
+  conn.on_message = [this, p](const tcp::Connection::MessageHandle& handle, std::int64_t) {
+    auto msg = std::static_pointer_cast<const WireMessage>(handle);
+    if (msg) on_peer_message(*p, *msg);
+  };
+  conn.on_closed = [this, p](tcp::CloseReason) { drop_peer(p); };
+}
+
+void Client::drop_peer(PeerConnection* peer) {
+  auto it = std::find_if(peers_.begin(), peers_.end(),
+                         [peer](const auto& sp) { return sp.get() == peer; });
+  if (it == peers_.end()) return;
+  if (peer->bitfield_counted) {
+    for (int i = 0; i < peer->peer_bitfield.size(); ++i) {
+      if (peer->peer_bitfield.test(i)) --availability_[static_cast<std::size_t>(i)];
+    }
+  }
+  return_outstanding(*peer);
+  if (optimistic_peer_ == peer) optimistic_peer_ = nullptr;
+  peer->detach();
+  peers_.erase(it);
+}
+
+// --- Message handling -------------------------------------------------------------
+
+void Client::on_peer_message(PeerConnection& peer, const WireMessage& msg) {
+  peer.last_received_at = sim_.now();
+  if (msg.type == MsgType::kHandshake) {
+    handle_handshake(peer, msg);
+    return;
+  }
+  if (!peer.app_established()) return;  // protocol violation: ignore pre-handshake
+  switch (msg.type) {
+    case MsgType::kBitfield: handle_bitfield(peer, msg); break;
+    case MsgType::kHave: handle_have(peer, msg); break;
+    case MsgType::kChoke:
+      peer.peer_choking = true;
+      return_outstanding(peer);
+      break;
+    case MsgType::kUnchoke:
+      peer.peer_choking = false;
+      fill_requests(peer);
+      break;
+    case MsgType::kInterested: peer.peer_interested = true; break;
+    case MsgType::kNotInterested: peer.peer_interested = false; break;
+    case MsgType::kRequest: handle_request(peer, msg); break;
+    case MsgType::kPiece: handle_piece(peer, msg); break;
+    case MsgType::kCancel: handle_cancel(peer, msg); break;
+    case MsgType::kHandshake:
+    case MsgType::kKeepAlive: break;
+  }
+}
+
+void Client::handle_handshake(PeerConnection& peer, const WireMessage& msg) {
+  if (msg.info_hash != meta_.info_hash) {
+    peer.tcp().abort();  // wrong swarm; triggers drop via on_closed
+    return;
+  }
+  // Duplicate-connection handling: same peer-id from the same ADDRESS means
+  // both sides dialled each other (ports differ: one side is ephemeral) —
+  // keep the established connection and drop the newcomer. Same peer-id from
+  // a NEW address means the peer moved (hand-off + role reversal): the stale
+  // connection is blackholed, so it yields to the newcomer.
+  std::vector<PeerConnection*> stale;
+  for (auto& other : peers_) {
+    if (other.get() == &peer || other->remote_id != msg.peer_id ||
+        !other->app_established()) {
+      continue;
+    }
+    if (other->remote_endpoint().addr == peer.remote_endpoint().addr) {
+      peer.tcp().abort();
+      return;
+    }
+    stale.push_back(other.get());
+  }
+  for (PeerConnection* old : stale) old->tcp().abort();
+  peer.remote_id = msg.peer_id;
+  peer.handshake_received = true;
+  if (!peer.handshake_sent) {
+    // We are the responder: reply with our handshake + bitfield.
+    peer.send(WireMessage::handshake(meta_.info_hash, peer_id_));
+    peer.send(WireMessage::bitfield_msg(store_.bitfield()));
+    peer.handshake_sent = true;
+  }
+  if (peer.initiator()) {
+    // For dialed peers the remote endpoint is their listen endpoint.
+    known_listen_endpoints_[peer.remote_id] = peer.remote_endpoint();
+  }
+}
+
+void Client::handle_bitfield(PeerConnection& peer, const WireMessage& msg) {
+  if (msg.bitfield.size() != meta_.piece_count()) {
+    peer.tcp().abort();
+    return;
+  }
+  if (peer.bitfield_counted) {
+    for (int i = 0; i < peer.peer_bitfield.size(); ++i) {
+      if (peer.peer_bitfield.test(i)) --availability_[static_cast<std::size_t>(i)];
+    }
+  }
+  peer.peer_bitfield = msg.bitfield;
+  peer.bitfield_counted = true;
+  for (int i = 0; i < peer.peer_bitfield.size(); ++i) {
+    if (peer.peer_bitfield.test(i)) ++availability_[static_cast<std::size_t>(i)];
+  }
+  if (store_.complete() && peer.peer_bitfield.all()) {
+    // Seed-to-seed connection: nothing to trade.
+    peer.tcp().abort();
+    return;
+  }
+  evaluate_interest(peer);
+}
+
+void Client::handle_have(PeerConnection& peer, const WireMessage& msg) {
+  if (msg.piece < 0 || msg.piece >= meta_.piece_count()) return;
+  if (!peer.peer_bitfield.test(msg.piece)) {
+    peer.peer_bitfield.set(msg.piece);
+    if (peer.bitfield_counted) {
+      ++availability_[static_cast<std::size_t>(msg.piece)];
+    } else {
+      peer.bitfield_counted = true;
+      // First availability info from this peer arrived as a HAVE.
+      for (int i = 0; i < peer.peer_bitfield.size(); ++i) {
+        if (peer.peer_bitfield.test(i)) ++availability_[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  if (!peer.am_interested) evaluate_interest(peer);
+}
+
+void Client::handle_request(PeerConnection& peer, const WireMessage& msg) {
+  if (peer.am_choking) return;  // stale request across a choke: per spec, drop
+  if (msg.piece < 0 || msg.piece >= meta_.piece_count()) return;
+  const int block = static_cast<int>(msg.offset / kBlockSize);
+  if (!store_.has_block(msg.piece, block)) return;  // we don't hold it
+  peer.upload_queue.push_back({msg.piece, msg.offset, msg.length});
+  pump_uploads();
+}
+
+void Client::handle_cancel(PeerConnection& peer, const WireMessage& msg) {
+  auto& q = peer.upload_queue;
+  q.erase(std::remove_if(q.begin(), q.end(),
+                         [&](const PeerConnection::PendingUpload& u) {
+                           return u.piece == msg.piece && u.offset == msg.offset;
+                         }),
+          q.end());
+}
+
+void Client::handle_piece(PeerConnection& peer, const WireMessage& msg) {
+  const int block = static_cast<int>(msg.offset / kBlockSize);
+  // Clear the matching outstanding entry (may be absent after a timeout).
+  auto& out = peer.outstanding;
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const PeerConnection::Outstanding& o) {
+                             return o.piece == msg.piece && o.block == block;
+                           }),
+            out.end());
+
+  peer.downloaded_payload += msg.length;
+  peer.down_meter.add(sim_.now(), msg.length);
+  down_rate_.add(sim_.now(), msg.length);
+  stats_.payload_downloaded += msg.length;
+  credit_.add(peer.remote_id, sim_.now(), msg.length);
+  peer.snubbed = false;  // it delivered: reciprocation resumes
+
+  if (msg.piece < 0 || msg.piece >= meta_.piece_count()) return;
+  if (store_.has_block(msg.piece, block)) {
+    fill_requests(peer);
+    return;  // duplicate (e.g. timed out, then both peers delivered)
+  }
+  if (auto it = active_.find(msg.piece); it != active_.end()) {
+    it->second[static_cast<std::size_t>(block)] = BlockState::kReceived;
+  }
+  cancel_duplicates(peer, msg.piece, block);  // end-game duplicate requests
+  if (store_.mark_block(msg.piece, block)) {
+    on_piece_completed(msg.piece);
+  }
+  fill_requests(peer);
+}
+
+void Client::cancel_duplicates(PeerConnection& source, int piece, int block) {
+  for (auto& other : peers_) {
+    if (other.get() == &source) continue;
+    auto& out = other->outstanding;
+    const auto before = out.size();
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const PeerConnection::Outstanding& o) {
+                               return o.piece == piece && o.block == block;
+                             }),
+              out.end());
+    if (out.size() != before && other->app_established()) {
+      other->send(WireMessage::cancel(piece,
+                                      static_cast<std::int64_t>(block) * kBlockSize,
+                                      store_.block_size(piece, block)));
+    }
+  }
+}
+
+// --- Download side ------------------------------------------------------------------
+
+void Client::evaluate_interest(PeerConnection& peer) {
+  if (!peer.app_established()) return;
+  const bool want =
+      !store_.complete() && Bitfield::has_missing_piece(peer.peer_bitfield, store_.bitfield());
+  if (want != peer.am_interested) {
+    peer.am_interested = want;
+    peer.send(WireMessage::simple(want ? MsgType::kInterested : MsgType::kNotInterested));
+  }
+  if (want && !peer.peer_choking) fill_requests(peer);
+}
+
+Client::BlockState& Client::block_state(int piece, int block) {
+  auto [it, inserted] = active_.try_emplace(
+      piece, static_cast<std::size_t>(store_.blocks_in_piece(piece)), BlockState::kUnrequested);
+  return it->second[static_cast<std::size_t>(block)];
+}
+
+std::optional<Client::BlockRef> Client::next_block_for(PeerConnection& peer) {
+  if (store_.complete() || peer.peer_choking || !peer.am_interested) return std::nullopt;
+  // 1) Strict priority: finish pieces already in progress.
+  for (auto& [piece, blocks] : active_) {
+    if (!peer.peer_bitfield.test(piece)) continue;
+    for (int b = 0; b < static_cast<int>(blocks.size()); ++b) {
+      if (blocks[static_cast<std::size_t>(b)] == BlockState::kUnrequested) {
+        return BlockRef{piece, b};
+      }
+    }
+  }
+  // 2) Start a new piece chosen by the selection policy.
+  std::vector<int> candidates;
+  for (int p = 0; p < meta_.piece_count(); ++p) {
+    if (store_.has_piece(p) || active_.count(p) != 0) continue;
+    if (peer.peer_bitfield.test(p)) candidates.push_back(p);
+  }
+  if (candidates.empty()) return endgame_block_for(peer);
+  SelectionContext ctx{candidates, availability_, store_.completed_fraction(),
+                       sim_.now() - last_disconnect_, rng_};
+  const int piece = selector_->pick(ctx);
+  if (piece < 0) return std::nullopt;
+  block_state(piece, 0);  // activate
+  return BlockRef{piece, 0};
+}
+
+// End-game mode: every needed block is requested somewhere, only stragglers
+// remain — duplicate them to this peer too (duplicates are cancelled as the
+// first copy of each block lands).
+std::optional<Client::BlockRef> Client::endgame_block_for(PeerConnection& peer) {
+  if (config_.endgame_block_threshold <= 0) return std::nullopt;
+  int requested = 0;
+  for (const auto& [piece, blocks] : active_) {
+    for (BlockState s : blocks) {
+      if (s == BlockState::kUnrequested) return std::nullopt;  // normal work remains
+      if (s == BlockState::kRequested) ++requested;
+    }
+  }
+  if (requested == 0 || requested > config_.endgame_block_threshold) return std::nullopt;
+  for (const auto& [piece, blocks] : active_) {
+    if (!peer.peer_bitfield.test(piece)) continue;
+    for (int b = 0; b < static_cast<int>(blocks.size()); ++b) {
+      if (blocks[static_cast<std::size_t>(b)] != BlockState::kRequested) continue;
+      const bool already_mine =
+          std::any_of(peer.outstanding.begin(), peer.outstanding.end(),
+                      [&](const PeerConnection::Outstanding& o) {
+                        return o.piece == piece && o.block == b;
+                      });
+      if (!already_mine) return BlockRef{piece, b};
+    }
+  }
+  return std::nullopt;
+}
+
+void Client::fill_requests(PeerConnection& peer) {
+  if (!peer.app_established()) return;
+  while (static_cast<int>(peer.outstanding.size()) < config_.pipeline_depth) {
+    auto next = next_block_for(peer);
+    if (!next) break;
+    block_state(next->piece, next->block) = BlockState::kRequested;
+    peer.outstanding.push_back({next->piece, next->block, sim_.now()});
+    peer.send(WireMessage::request(next->piece,
+                                   static_cast<std::int64_t>(next->block) * kBlockSize,
+                                   store_.block_size(next->piece, next->block)));
+  }
+}
+
+void Client::return_outstanding(PeerConnection& peer) {
+  for (const auto& o : peer.outstanding) {
+    auto it = active_.find(o.piece);
+    if (it == active_.end()) continue;  // piece completed meanwhile
+    auto& state = it->second[static_cast<std::size_t>(o.block)];
+    if (state == BlockState::kRequested) state = BlockState::kUnrequested;
+  }
+  peer.outstanding.clear();
+}
+
+void Client::periodic_maintenance() {
+  const sim::SimTime now = sim_.now();
+  const sim::SimTime cutoff = now - config_.request_timeout;
+  bool requeued = false;
+  std::vector<PeerConnection*> idle_victims;
+  for (auto& peer : peers_) {
+    // Request timeouts: blocks promised long ago go back to the pool. A peer
+    // that let a request expire is snubbed until it delivers again.
+    auto& out = peer->outstanding;
+    for (auto it = out.begin(); it != out.end();) {
+      if (it->requested_at >= cutoff) {
+        ++it;
+        continue;
+      }
+      if (auto ait = active_.find(it->piece); ait != active_.end()) {
+        auto& state = ait->second[static_cast<std::size_t>(it->block)];
+        if (state == BlockState::kRequested) state = BlockState::kUnrequested;
+      }
+      ++stats_.blocks_requeued;
+      if (config_.snub_timeout > 0) peer->snubbed = true;
+      requeued = true;
+      it = out.erase(it);
+    }
+    if (!peer->app_established()) {
+      // Handshake never completed (dead dial): let the idle timeout reap it.
+      if (now - peer->last_received_at > config_.idle_timeout) {
+        idle_victims.push_back(peer.get());
+      }
+      continue;
+    }
+    // Keep-alives preserve healthy idle connections...
+    if (config_.keepalive_interval > 0 &&
+        now - peer->last_sent_at > config_.keepalive_interval) {
+      peer->send(WireMessage::simple(MsgType::kKeepAlive));
+    }
+    // ...and the idle timeout reaps connections whose remote end is gone
+    // (e.g. blackholed by a hand-off) before they leak slots forever.
+    if (config_.idle_timeout > 0 && now - peer->last_received_at > config_.idle_timeout) {
+      idle_victims.push_back(peer.get());
+    }
+  }
+  for (PeerConnection* victim : idle_victims) victim->tcp().abort();
+  if (requeued) {
+    for (auto& peer : peers_) fill_requests(*peer);
+  }
+}
+
+void Client::on_piece_completed(int piece) {
+  active_.erase(piece);
+  ++stats_.pieces_completed;
+  WP2P_LOG(util::LogLevel::kDebug, sim::to_seconds(sim_.now()), kLog,
+           "%s completed piece %d (%d/%d)", node_.name().c_str(), piece,
+           store_.bitfield().count(), meta_.piece_count());
+  for (auto& peer : peers_) {
+    if (peer->app_established()) peer->send(WireMessage::have(piece));
+  }
+  if (on_piece_complete) on_piece_complete(piece);
+  if (store_.complete()) {
+    on_download_finished();
+  } else {
+    for (auto& peer : peers_) evaluate_interest(*peer);
+  }
+}
+
+void Client::on_download_finished() {
+  completed_notified_ = true;
+  active_.clear();
+  for (auto& peer : peers_) {
+    return_outstanding(*peer);
+    evaluate_interest(*peer);  // sends NotInterested
+  }
+  initiate_task(AnnounceEvent::kCompleted);
+  WP2P_LOG(util::LogLevel::kInfo, sim::to_seconds(sim_.now()), kLog, "%s download complete",
+           node_.name().c_str());
+  if (on_complete) on_complete();
+  if (!config_.seed_after_complete) stop();
+}
+
+// --- Choking ----------------------------------------------------------------------
+
+double Client::unchoke_score(PeerConnection& peer) {
+  const sim::SimTime now = sim_.now();
+  if (!store_.complete()) {
+    // A snubbed peer earns no reciprocation until it delivers again.
+    if (peer.snubbed) return -1.0;
+    // Leech policy: reciprocate recent upload rate, remember past identity.
+    return peer.down_meter.rate(now).bytes_per_sec() +
+           credit_.credit(peer.remote_id, now) / config_.credit_to_rate_seconds;
+  }
+  // Seed policy: rotate — serve the peer that has waited longest. (Rate-based
+  // seed unchoking with deterministic tie-breaks degenerates into sticky
+  // winners; real seeds cycle through their peers.)
+  return peer.last_unchoked_at < 0
+             ? 1e18
+             : static_cast<double>(now - peer.last_unchoked_at);
+}
+
+void Client::run_choke_round() {
+  std::vector<PeerConnection*> interested;
+  for (auto& peer : peers_) {
+    if (peer->app_established() && peer->peer_interested) interested.push_back(peer.get());
+  }
+  std::stable_sort(interested.begin(), interested.end(), [this](auto* a, auto* b) {
+    const double sa = unchoke_score(*a), sb = unchoke_score(*b);
+    if (sa != sb) return sa > sb;
+    return a->remote_id < b->remote_id;  // deterministic tie-break
+  });
+  const std::size_t slots = static_cast<std::size_t>(config_.unchoke_slots);
+  for (std::size_t i = 0; i < interested.size(); ++i) {
+    PeerConnection* peer = interested[i];
+    if (peer == optimistic_peer_) continue;  // the optimistic slot is separate
+    set_choke(*peer, i >= slots);
+  }
+  // Peers that stopped being interested get choked to free slots.
+  for (auto& peer : peers_) {
+    if (peer->app_established() && !peer->peer_interested && peer.get() != optimistic_peer_) {
+      set_choke(*peer, true);
+    }
+  }
+  pump_uploads();
+}
+
+void Client::rotate_optimistic() {
+  std::vector<PeerConnection*> candidates;
+  for (auto& peer : peers_) {
+    if (peer->app_established() && peer->peer_interested && peer->am_choking &&
+        peer.get() != optimistic_peer_) {
+      candidates.push_back(peer.get());
+    }
+  }
+  PeerConnection* previous = optimistic_peer_;
+  if (!candidates.empty()) {
+    optimistic_peer_ =
+        candidates[static_cast<std::size_t>(rng_.below(candidates.size()))];
+    set_choke(*optimistic_peer_, false);
+  } else {
+    optimistic_peer_ = nullptr;
+  }
+  // The previous optimistic peer must now earn a regular slot.
+  if (previous != nullptr && previous != optimistic_peer_) {
+    run_choke_round();
+  }
+}
+
+void Client::set_choke(PeerConnection& peer, bool choke) {
+  if (peer.am_choking == choke) return;
+  peer.am_choking = choke;
+  if (!choke) peer.last_unchoked_at = sim_.now();
+  peer.send(WireMessage::simple(choke ? MsgType::kChoke : MsgType::kUnchoke));
+  if (choke) peer.upload_queue.clear();
+}
+
+// --- Upload side --------------------------------------------------------------------
+
+void Client::pump_uploads() {
+  const sim::SimTime now = sim_.now();
+  if (peers_.empty()) return;
+  // Persistent round-robin cursor: with a tight token budget, starting from
+  // index 0 every pump would starve later peers of upload service.
+  std::size_t idle_streak = 0;
+  while (idle_streak < peers_.size()) {
+    PeerConnection& peer = *peers_[upload_cursor_ % peers_.size()];
+    upload_cursor_ = (upload_cursor_ + 1) % peers_.size();
+    bool served = false;
+    if (!peer.upload_queue.empty() && !peer.am_choking &&
+        peer.tcp().send_queue_bytes() <= config_.max_tcp_backlog) {
+      const PeerConnection::PendingUpload job = peer.upload_queue.front();
+      if (!upload_bucket_.try_consume(now, job.length)) return;  // pump tick retries
+      peer.upload_queue.pop_front();
+      peer.send(WireMessage::piece_msg(job.piece, job.offset, job.length));
+      peer.uploaded_payload += job.length;
+      peer.up_meter.add(now, job.length);
+      up_rate_.add(now, job.length);
+      stats_.payload_uploaded += job.length;
+      served = true;
+    }
+    idle_streak = served ? 0 : idle_streak + 1;
+  }
+}
+
+// --- Mobility -----------------------------------------------------------------------
+
+void Client::handle_address_change() {
+  last_disconnect_ = sim_.now();
+  if (!running_) return;
+  WP2P_LOG(util::LogLevel::kInfo, sim::to_seconds(sim_.now()), kLog,
+           "%s hand-off: address now %s", node_.name().c_str(),
+           net::to_string(node_.address()).c_str());
+  // Snapshot listen endpoints of live peers before the task dies (wP2P RR
+  // "stores all the corresponding peers", Section 4.3).
+  std::vector<net::Endpoint> stored;
+  if (config_.role_reversal) {
+    for (auto& peer : peers_) {
+      auto it = known_listen_endpoints_.find(peer->remote_id);
+      if (it != known_listen_endpoints_.end()) stored.push_back(it->second);
+    }
+  }
+  // The hand-off killed every TCP connection of the old address: terminate
+  // the task (the paper's "ongoing tasks are terminated and re-initiated").
+  stack_.abort_all();
+  ++stats_.task_reinitiations;
+
+  if (config_.role_reversal) {
+    if (!config_.retain_peer_id) peer_id_ = rng_.next_u64() | 1;
+    initiate_task(AnnounceEvent::kStarted);  // tracker learns the new address now
+    for (net::Endpoint ep : stored) {
+      if (static_cast<int>(peers_.size()) < config_.max_peers && !connected_to(ep)) {
+        connect_to(ep);
+      }
+    }
+    if (on_reinitiated) on_reinitiated();
+    return;
+  }
+  // Default client: notices after a delay, then re-initiates as a new peer.
+  const sim::SimTime delay =
+      store_.complete() ? config_.seed_reinit_delay : config_.leech_reinit_delay;
+  if (reinit_event_ != sim::kInvalidEventId) sim_.cancel(reinit_event_);
+  reinit_event_ = sim_.after(delay, [this, alive = alive_] {
+    if (!*alive) return;
+    reinit_event_ = sim::kInvalidEventId;
+    reinitiate();
+  });
+}
+
+void Client::reinitiate() {
+  if (!running_) return;
+  if (!config_.retain_peer_id) peer_id_ = rng_.next_u64() | 1;
+  initiate_task(AnnounceEvent::kStarted);
+  if (on_reinitiated) on_reinitiated();
+}
+
+void Client::recover_from_disconnection() {
+  if (!running_ || !node_.connected()) return;
+  ++stats_.task_reinitiations;
+  stack_.abort_all();
+  if (!config_.retain_peer_id) peer_id_ = rng_.next_u64() | 1;
+  initiate_task(AnnounceEvent::kStarted);
+  if (config_.role_reversal) {
+    for (const auto& [id, endpoint] : known_listen_endpoints_) {
+      if (static_cast<int>(peers_.size()) >= config_.max_peers) break;
+      if (!connected_to(endpoint)) connect_to(endpoint);
+    }
+  }
+  if (on_reinitiated) on_reinitiated();
+}
+
+}  // namespace wp2p::bt

@@ -1,0 +1,194 @@
+// The BitTorrent client (the paper's "default CTorrent + rarest-first").
+//
+// One Client participates in one swarm from one node. It implements the full
+// protocol surface the paper's experiments exercise: tracker announces, peer
+// dialing and accepting, handshake/bitfield exchange, tit-for-tat choking
+// with an optimistic unchoke, per-peer-id contribution credit, rarest-first
+// (or pluggable) piece selection, a block request pipeline with timeouts,
+// upload rate limiting, seeding, and task re-initiation after hand-offs.
+//
+// The wP2P enhancements (src/core/) compose on top: they replace the
+// selector, flip the retain_peer_id / role_reversal switches, adjust the
+// upload limit at runtime (LIHD), and install a packet filter below the node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bt/client_config.hpp"
+#include "bt/credit_ledger.hpp"
+#include "bt/metainfo.hpp"
+#include "bt/peer_connection.hpp"
+#include "bt/piece_store.hpp"
+#include "bt/selector.hpp"
+#include "bt/tracker.hpp"
+#include "net/node.hpp"
+#include "tcp/stack.hpp"
+#include "util/token_bucket.hpp"
+
+namespace wp2p::bt {
+
+struct ClientStats {
+  std::int64_t payload_downloaded = 0;  // piece bytes received
+  std::int64_t payload_uploaded = 0;    // piece bytes sent
+  std::uint64_t pieces_completed = 0;
+  std::uint64_t task_reinitiations = 0;
+  std::uint64_t peers_connected_total = 0;
+  std::uint64_t blocks_requeued = 0;  // request timeouts
+};
+
+class Client {
+ public:
+  Client(net::Node& node, tcp::Stack& stack, Tracker& tracker, const Metainfo& meta,
+         ClientConfig config, bool start_as_seed = false);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- Lifecycle -------------------------------------------------------------
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  // Pre-populate the store with a random `fraction` of pieces (a peer that
+  // joined the swarm earlier). Call before start().
+  void preload(double fraction);
+  // Pre-populate specific pieces (e.g. complementary halves). Call before
+  // start().
+  void preload_pieces(const std::vector<int>& pieces);
+
+  // --- Introspection ----------------------------------------------------------
+  const PieceStore& store() const { return store_; }
+  const Metainfo& meta() const { return meta_; }
+  const ClientStats& stats() const { return stats_; }
+  const ClientConfig& config() const { return config_; }
+  PeerId peer_id() const { return peer_id_; }
+  bool complete() const { return store_.complete(); }
+  std::size_t peer_count() const { return peers_.size(); }
+  net::Node& node() { return node_; }
+  sim::SimTime last_disconnect() const { return last_disconnect_; }
+
+  util::Rate download_rate();  // over the config rate window
+  util::Rate upload_rate();
+
+  // --- Extension points (used by wP2P, src/core/) -----------------------------
+  void set_selector(std::unique_ptr<PieceSelector> selector);
+  PieceSelector& selector() { return *selector_; }
+  void set_upload_limit(util::Rate limit);
+  util::Rate upload_limit() const;
+
+  std::function<void()> on_complete;
+  std::function<void(int piece)> on_piece_complete;
+  // Fired after a hand-off has been handled (post role-reversal/reinit).
+  std::function<void()> on_reinitiated;
+
+  // Rebuild the task after a silently-lost network (used by the wP2P
+  // live-peer mobility detector, which cannot observe the address change
+  // directly): re-announce and, under role reversal, reconnect to every
+  // remembered listen endpoint.
+  void recover_from_disconnection();
+
+  // Visible for tests: current block-request state of a piece in progress.
+  bool piece_active(int piece) const { return active_.count(piece) > 0; }
+  // Total block requests currently outstanding across all peers.
+  std::size_t outstanding_requests() const {
+    std::size_t n = 0;
+    for (const auto& peer : peers_) n += peer->outstanding.size();
+    return n;
+  }
+
+ private:
+  struct BlockRef {
+    int piece;
+    int block;
+  };
+  enum class BlockState : std::uint8_t { kUnrequested = 0, kRequested = 1, kReceived = 2 };
+
+  // Lifecycle / tracker.
+  void initiate_task(AnnounceEvent event);
+  void handle_announce(std::vector<TrackerPeerInfo> peers);
+  void connect_to(net::Endpoint remote);
+  bool connected_to(net::Endpoint remote) const;
+  void accept_connection(std::shared_ptr<tcp::Connection> conn);
+  void setup_peer(const std::shared_ptr<PeerConnection>& peer);
+  void drop_peer(PeerConnection* peer);
+
+  // Message handling.
+  void on_peer_message(PeerConnection& peer, const WireMessage& msg);
+  void handle_handshake(PeerConnection& peer, const WireMessage& msg);
+  void handle_bitfield(PeerConnection& peer, const WireMessage& msg);
+  void handle_have(PeerConnection& peer, const WireMessage& msg);
+  void handle_request(PeerConnection& peer, const WireMessage& msg);
+  void handle_piece(PeerConnection& peer, const WireMessage& msg);
+  void handle_cancel(PeerConnection& peer, const WireMessage& msg);
+
+  // Download side.
+  void evaluate_interest(PeerConnection& peer);
+  void fill_requests(PeerConnection& peer);
+  std::optional<BlockRef> next_block_for(PeerConnection& peer);
+  void return_outstanding(PeerConnection& peer);
+  void on_piece_completed(int piece);
+  void on_download_finished();
+  void periodic_maintenance();  // request timeouts, snubs, keep-alives, idle
+  std::optional<BlockRef> endgame_block_for(PeerConnection& peer);
+  void cancel_duplicates(PeerConnection& source, int piece, int block);
+  BlockState& block_state(int piece, int block);
+  // Choking.
+  void run_choke_round();
+  void rotate_optimistic();
+  void set_choke(PeerConnection& peer, bool choke);
+  double unchoke_score(PeerConnection& peer);
+
+  // Upload side.
+  void pump_uploads();
+
+  // Mobility.
+  void handle_address_change();
+  void reinitiate();
+
+  net::Node& node_;
+  tcp::Stack& stack_;
+  Tracker& tracker_;
+  Metainfo meta_;
+  PieceStore store_;
+  ClientConfig config_;
+  std::unique_ptr<PieceSelector> selector_;
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+
+  PeerId peer_id_ = 0;
+  bool running_ = false;
+  bool completed_notified_ = false;
+
+  std::vector<std::shared_ptr<PeerConnection>> peers_;
+  std::vector<int> availability_;                       // remote copies per piece
+  std::map<int, std::vector<BlockState>> active_;       // pieces in progress
+  std::unordered_map<PeerId, net::Endpoint> known_listen_endpoints_;
+  CreditLedger credit_;
+  util::TokenBucket upload_bucket_;
+  std::size_t upload_cursor_ = 0;  // round-robin fairness across peers
+  PeerConnection* optimistic_peer_ = nullptr;
+
+  sim::PeriodicTask choke_task_;
+  sim::PeriodicTask optimistic_task_;
+  sim::PeriodicTask announce_task_;
+  sim::PeriodicTask timeout_task_;
+  sim::PeriodicTask upload_pump_task_;
+  sim::EventId reinit_event_ = sim::kInvalidEventId;
+
+  ClientStats stats_;
+  metrics::ThroughputMeter down_rate_;
+  metrics::ThroughputMeter up_rate_;
+  sim::SimTime last_disconnect_ = 0;
+  // Liveness flag shared into deferred callbacks (tracker RPCs, node hooks)
+  // so they become no-ops once the client is destroyed.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace wp2p::bt

@@ -1,0 +1,65 @@
+// BitTorrent client configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace wp2p::bt {
+
+enum class SelectorKind { kRarestFirst, kSequential, kRandom };
+
+struct ClientConfig {
+  std::uint16_t listen_port = 6881;
+  int max_peers = 30;       // dial target; inbound accepted up to 125% of this
+  int unchoke_slots = 4;    // regular tit-for-tat slots (+1 optimistic)
+  sim::SimTime choke_interval = sim::seconds(10.0);
+  sim::SimTime optimistic_interval = sim::seconds(30.0);
+  int pipeline_depth = 8;   // outstanding block requests per peer
+  util::Rate upload_limit = util::Rate::unlimited();
+  sim::SimTime announce_interval = sim::minutes(5.0);
+  bool seed_after_complete = true;
+  SelectorKind selector = SelectorKind::kRarestFirst;
+
+  // A block requested this long ago with no data is re-queued to other peers
+  // ("the peer selection algorithm chooses an alternate peer", Section 3.5).
+  sim::SimTime request_timeout = sim::seconds(60.0);
+  // End-game mode: when no unrequested blocks remain and at most this many
+  // blocks are outstanding, duplicate the stragglers' requests to every peer
+  // that has them (cancels go out as blocks arrive). 0 disables.
+  int endgame_block_threshold = 16;
+  // A peer that unchoked us but has sent nothing for this long while we have
+  // requests outstanding to it is "snubbed": we stop reciprocating until it
+  // resumes. 0 disables.
+  sim::SimTime snub_timeout = sim::seconds(60.0);
+  // Keep-alives flow on connections idle this long; a connection on which
+  // nothing has been *received* for idle_timeout is presumed dead and closed
+  // (dead peers otherwise leak connection slots forever after hand-offs).
+  sim::SimTime keepalive_interval = sim::seconds(100.0);
+  sim::SimTime idle_timeout = sim::minutes(4.0);
+  sim::SimTime rate_window = sim::seconds(20.0);  // choker rate measurement
+  sim::SimTime credit_half_life = sim::minutes(10.0);
+  // Converts remembered credit (bytes) into a rate-equivalent for unchoke
+  // ranking: score = rate + credit / credit_to_rate_seconds.
+  double credit_to_rate_seconds = 120.0;
+  std::int64_t max_tcp_backlog = 128 * 1024;  // per-peer TCP send buffering cap
+  sim::SimTime upload_pump_interval = sim::milliseconds(50.0);
+
+  // --- Mobility behaviour ---------------------------------------------------
+  // Default clients regenerate their peer-id on task re-initiation; the wP2P
+  // Incentive-Aware component retains it within the swarm (Section 4.2).
+  bool retain_peer_id = false;
+  // Default clients rebuild via the tracker after a detection delay; the wP2P
+  // Role-Reversal component reconnects to remembered peers instantly
+  // (Section 4.3).
+  bool role_reversal = false;
+  // How long a default client takes to notice a hand-off killed its task. A
+  // downloading leech notices quickly (stalled reads, socket errors on its
+  // active transfers); a seed sees only silence and waits for write timeouts
+  // or its next tracker announce.
+  sim::SimTime leech_reinit_delay = sim::seconds(5.0);
+  sim::SimTime seed_reinit_delay = sim::seconds(120.0);
+};
+
+}  // namespace wp2p::bt

@@ -1,0 +1,55 @@
+// Per-peer-id contribution credit with exponential decay.
+//
+// Fixed peers remember how much each peer-id has uploaded to them and fold
+// that into unchoke ranking. This is what makes BitTorrent identity valuable
+// — and what a mobile host loses when a hand-off regenerates its peer-id
+// (Section 3.4), and keeps under wP2P identity retention (Section 4.2).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "bt/metainfo.hpp"
+#include "sim/time.hpp"
+
+namespace wp2p::bt {
+
+class CreditLedger {
+ public:
+  explicit CreditLedger(sim::SimTime half_life = sim::minutes(10.0))
+      : half_life_{half_life} {}
+
+  void add(PeerId peer, sim::SimTime now, std::int64_t bytes) {
+    Entry& e = entries_[peer];
+    e.value = decayed(e, now) + static_cast<double>(bytes);
+    e.updated = now;
+  }
+
+  // Current (decayed) credit in bytes for a peer id.
+  double credit(PeerId peer, sim::SimTime now) const {
+    auto it = entries_.find(peer);
+    return it == entries_.end() ? 0.0 : decayed(it->second, now);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    sim::SimTime updated = 0;
+  };
+
+  double decayed(const Entry& e, sim::SimTime now) const {
+    if (now <= e.updated || half_life_ <= 0) return e.value;
+    const double halves =
+        static_cast<double>(now - e.updated) / static_cast<double>(half_life_);
+    return e.value * std::exp2(-halves);
+  }
+
+  sim::SimTime half_life_;
+  std::unordered_map<PeerId, Entry> entries_;
+};
+
+}  // namespace wp2p::bt

@@ -1,0 +1,105 @@
+// Per-peer session state at a BitTorrent client.
+//
+// A PeerConnection owns the TCP connection to one remote peer plus the wire
+// protocol state for it: handshake progress, choke/interest flags in both
+// directions, the remote bitfield, our outstanding block requests, their
+// pending upload requests, and rate meters. Protocol *decisions* live in
+// Client; this class holds state and message plumbing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bt/bitfield.hpp"
+#include "bt/metainfo.hpp"
+#include "bt/wire.hpp"
+#include "metrics/meters.hpp"
+#include "tcp/connection.hpp"
+
+namespace wp2p::bt {
+
+class PeerConnection {
+ public:
+  struct Outstanding {
+    int piece = -1;
+    int block = -1;
+    sim::SimTime requested_at = 0;
+  };
+  struct PendingUpload {
+    int piece = -1;
+    std::int64_t offset = 0;
+    std::int64_t length = 0;
+  };
+
+  PeerConnection(sim::Simulator& sim, std::shared_ptr<tcp::Connection> conn,
+                 bool initiator, int piece_count, sim::SimTime rate_window)
+      : peer_bitfield{piece_count},
+        down_meter{rate_window},
+        up_meter{rate_window},
+        last_received_at{sim.now()},
+        last_sent_at{sim.now()},
+        sim_{&sim},
+        conn_{std::move(conn)},
+        initiator_{initiator} {}
+
+  ~PeerConnection() { detach(); }
+
+  PeerConnection(const PeerConnection&) = delete;
+  PeerConnection& operator=(const PeerConnection&) = delete;
+
+  tcp::Connection& tcp() { return *conn_; }
+  const std::shared_ptr<tcp::Connection>& tcp_ptr() const { return conn_; }
+  bool initiator() const { return initiator_; }
+  net::Endpoint remote_endpoint() const { return conn_->remote(); }
+
+  bool app_established() const { return handshake_sent && handshake_received; }
+
+  void send(std::shared_ptr<const WireMessage> msg) {
+    const std::int64_t size = msg->wire_size();
+    last_sent_at = sim_->now();
+    conn_->send_message(std::move(msg), size);
+  }
+
+  // Stop delivering TCP events to a (possibly dead) owner.
+  void detach() {
+    if (conn_) {
+      conn_->on_connected = nullptr;
+      conn_->on_message = nullptr;
+      conn_->on_closed = nullptr;
+    }
+  }
+
+  // --- Wire protocol state ----------------------------------------------------
+  bool handshake_sent = false;
+  bool handshake_received = false;
+  PeerId remote_id = 0;
+  Bitfield peer_bitfield;
+  bool bitfield_counted = false;  // availability bookkeeping guard
+
+  bool am_choking = true;      // we choke them
+  bool am_interested = false;  // we want their pieces
+  bool peer_choking = true;    // they choke us
+  bool peer_interested = false;
+
+  std::vector<Outstanding> outstanding;      // our requests to them
+  std::deque<PendingUpload> upload_queue;    // their requests awaiting service
+
+  std::int64_t downloaded_payload = 0;  // piece bytes received from this peer
+  std::int64_t uploaded_payload = 0;    // piece bytes sent to this peer
+  sim::SimTime last_unchoked_at = -1;   // for the seed's rotation policy
+  sim::SimTime last_received_at = 0;    // any message (idle-timeout tracking)
+  sim::SimTime last_sent_at = 0;        // any message (keep-alive scheduling)
+  sim::SimTime first_request_at = -1;   // oldest unanswered request (snub)
+  bool snubbed = false;
+  metrics::ThroughputMeter down_meter;
+  metrics::ThroughputMeter up_meter;
+
+ private:
+  sim::Simulator* sim_;
+  std::shared_ptr<tcp::Connection> conn_;
+  bool initiator_;
+};
+
+}  // namespace wp2p::bt

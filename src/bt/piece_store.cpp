@@ -1,0 +1,99 @@
+#include "bt/piece_store.hpp"
+
+#include "util/assert.hpp"
+
+namespace wp2p::bt {
+
+PieceStore::PieceStore(const Metainfo& meta)
+    : meta_{&meta}, have_{meta.piece_count()} {}
+
+int PieceStore::blocks_in_piece(int piece) const {
+  const std::int64_t size = meta_->piece_size(piece);
+  return static_cast<int>((size + kBlockSize - 1) / kBlockSize);
+}
+
+std::int64_t PieceStore::block_size(int piece, int block) const {
+  const std::int64_t piece_size = meta_->piece_size(piece);
+  const std::int64_t start = static_cast<std::int64_t>(block) * kBlockSize;
+  WP2P_ASSERT(start < piece_size);
+  const std::int64_t remain = piece_size - start;
+  return remain < kBlockSize ? remain : kBlockSize;
+}
+
+bool PieceStore::has_block(int piece, int block) const {
+  if (have_.test(piece)) return true;
+  auto it = partial_.find(piece);
+  if (it == partial_.end()) return false;
+  WP2P_ASSERT(block >= 0 && block < static_cast<int>(it->second.size()));
+  return it->second[static_cast<std::size_t>(block)];
+}
+
+bool PieceStore::mark_block(int piece, int block) {
+  WP2P_ASSERT(piece >= 0 && piece < piece_count());
+  if (have_.test(piece)) return false;  // duplicate delivery of a finished piece
+  auto [it, inserted] =
+      partial_.try_emplace(piece, static_cast<std::size_t>(blocks_in_piece(piece)), false);
+  auto& blocks = it->second;
+  WP2P_ASSERT(block >= 0 && block < static_cast<int>(blocks.size()));
+  if (blocks[static_cast<std::size_t>(block)]) return false;  // duplicate block
+  blocks[static_cast<std::size_t>(block)] = true;
+  bytes_completed_ += block_size(piece, block);
+  for (bool b : blocks) {
+    if (!b) return false;
+  }
+  // Piece complete: "verify" and promote to the bitfield.
+  partial_.erase(it);
+  have_.set(piece);
+  return true;
+}
+
+void PieceStore::mark_piece(int piece) {
+  WP2P_ASSERT(piece >= 0 && piece < piece_count());
+  if (have_.test(piece)) return;
+  // Count only bytes not already counted through partial blocks.
+  std::int64_t already = 0;
+  if (auto it = partial_.find(piece); it != partial_.end()) {
+    for (int b = 0; b < static_cast<int>(it->second.size()); ++b) {
+      if (it->second[static_cast<std::size_t>(b)]) already += block_size(piece, b);
+    }
+    partial_.erase(it);
+  }
+  bytes_completed_ += meta_->piece_size(piece) - already;
+  have_.set(piece);
+}
+
+void PieceStore::mark_all() {
+  for (int i = 0; i < piece_count(); ++i) mark_piece(i);
+}
+
+std::int64_t PieceStore::contiguous_bytes() const {
+  std::int64_t bytes = 0;
+  int piece = 0;
+  while (piece < piece_count() && have_.test(piece)) {
+    bytes += meta_->piece_size(piece);
+    ++piece;
+  }
+  if (piece < piece_count()) {
+    if (auto it = partial_.find(piece); it != partial_.end()) {
+      for (int b = 0; b < static_cast<int>(it->second.size()); ++b) {
+        if (!it->second[static_cast<std::size_t>(b)]) break;
+        bytes += block_size(piece, b);
+      }
+    }
+  }
+  return bytes;
+}
+
+std::vector<int> PieceStore::missing_blocks(int piece) const {
+  std::vector<int> missing;
+  if (have_.test(piece)) return missing;
+  auto it = partial_.find(piece);
+  const int n = blocks_in_piece(piece);
+  for (int b = 0; b < n; ++b) {
+    const bool got = it != partial_.end() && it->second[static_cast<std::size_t>(b)];
+    if (!got) missing.push_back(b);
+  }
+  return missing;
+}
+
+}  // namespace wp2p::bt

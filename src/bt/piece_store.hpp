@@ -1,0 +1,65 @@
+// Per-torrent download state: which blocks and pieces a client holds.
+//
+// The store tracks block-level completion (blocks are the 16 KiB request
+// granularity of the wire protocol), piece verification, and the contiguous
+// in-order prefix that determines media playability (Sections 3.6 / 4.3 of
+// the paper).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bt/bitfield.hpp"
+#include "bt/metainfo.hpp"
+
+namespace wp2p::bt {
+
+inline constexpr std::int64_t kBlockSize = 16 * 1024;
+
+class PieceStore {
+ public:
+  explicit PieceStore(const Metainfo& meta);
+
+  const Metainfo& meta() const { return *meta_; }
+  const Bitfield& bitfield() const { return have_; }
+
+  int piece_count() const { return have_.size(); }
+  int blocks_in_piece(int piece) const;
+  std::int64_t block_size(int piece, int block) const;
+
+  bool has_piece(int piece) const { return have_.test(piece); }
+  bool has_block(int piece, int block) const;
+  bool complete() const { return have_.all(); }
+
+  // Record a downloaded block. Returns true when this block completed its
+  // piece (the piece then "verifies" and enters the bitfield).
+  bool mark_block(int piece, int block);
+
+  // Mark a whole piece present (seed initialization / hash-checked resume).
+  void mark_piece(int piece);
+  void mark_all();
+
+  std::int64_t bytes_completed() const { return bytes_completed_; }
+  double completed_fraction() const {
+    return meta_->total_size == 0
+               ? 1.0
+               : static_cast<double>(bytes_completed_) / static_cast<double>(meta_->total_size);
+  }
+
+  // Bytes available in order from the start of the file: whole-piece prefix
+  // plus in-order blocks of the first incomplete piece.
+  std::int64_t contiguous_bytes() const;
+
+  // Blocks of `piece` that are still missing.
+  std::vector<int> missing_blocks(int piece) const;
+
+ private:
+  const Metainfo* meta_;
+  Bitfield have_;
+  // Block state only for pieces in progress; completed pieces drop theirs.
+  std::unordered_map<int, std::vector<bool>> partial_;
+  std::int64_t bytes_completed_ = 0;
+};
+
+}  // namespace wp2p::bt

@@ -1,0 +1,59 @@
+#include "bt/selector.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace wp2p::bt {
+
+int RarestFirstSelector::pick(const SelectionContext& ctx) {
+  WP2P_ASSERT(!ctx.candidates.empty());
+  int best_avail = std::numeric_limits<int>::max();
+  // Reservoir-sample among the rarest to break ties uniformly.
+  int chosen = -1;
+  int ties = 0;
+  for (int piece : ctx.candidates) {
+    const int avail = ctx.availability[static_cast<std::size_t>(piece)];
+    if (avail < best_avail) {
+      best_avail = avail;
+      chosen = piece;
+      ties = 1;
+    } else if (avail == best_avail) {
+      ++ties;
+      if (ctx.rng.below(static_cast<std::uint64_t>(ties)) == 0) chosen = piece;
+    }
+  }
+  return chosen;
+}
+
+int SequentialSelector::pick(const SelectionContext& ctx) {
+  WP2P_ASSERT(!ctx.candidates.empty());
+  int lowest = ctx.candidates[0];
+  for (int piece : ctx.candidates) {
+    if (piece < lowest) lowest = piece;
+  }
+  return lowest;
+}
+
+int RandomSelector::pick(const SelectionContext& ctx) {
+  WP2P_ASSERT(!ctx.candidates.empty());
+  return ctx.candidates[static_cast<std::size_t>(
+      ctx.rng.below(ctx.candidates.size()))];
+}
+
+int StreamingWindowSelector::pick(const SelectionContext& ctx) {
+  WP2P_ASSERT(!ctx.candidates.empty());
+  // The playback frontier: the candidate list excludes owned/active pieces,
+  // so the lowest candidate approximates the first piece still wanted.
+  int frontier = ctx.candidates[0];
+  for (int piece : ctx.candidates) frontier = std::min(frontier, piece);
+  // In-order within [frontier, frontier + window): lowest candidate wins.
+  int best = -1;
+  for (int piece : ctx.candidates) {
+    if (piece < frontier + window_ && (best < 0 || piece < best)) best = piece;
+  }
+  if (best >= 0) return best;
+  return rarest_.pick(ctx);  // window exhausted for this peer: help the swarm
+}
+
+}  // namespace wp2p::bt

@@ -1,0 +1,69 @@
+#include "bt/tracker.hpp"
+
+namespace wp2p::bt {
+
+void Tracker::announce(const AnnounceRequest& request, AnnounceCallback callback) {
+  ++announces_;
+  Swarm& swarm = swarms_[request.info_hash];
+  expire(swarm);
+
+  if (request.event == AnnounceEvent::kStopped) {
+    swarm.erase(request.peer_id);
+    if (callback) {
+      sim_.after(config_.rpc_latency, [cb = std::move(callback)] { cb({}); });
+    }
+    return;
+  }
+
+  Entry& entry = swarm[request.peer_id];
+  entry.info = TrackerPeerInfo{request.endpoint, request.peer_id, request.seed};
+  if (request.event == AnnounceEvent::kCompleted) entry.info.seed = true;
+  entry.refreshed = sim_.now();
+
+  if (callback) {
+    auto peers = select_peers(swarm, request.peer_id);
+    sim_.after(config_.rpc_latency,
+               [cb = std::move(callback), peers = std::move(peers)]() mutable {
+                 cb(std::move(peers));
+               });
+  }
+}
+
+void Tracker::expire(Swarm& swarm) {
+  const sim::SimTime cutoff = sim_.now() - config_.peer_ttl;
+  for (auto it = swarm.begin(); it != swarm.end();) {
+    if (it->second.refreshed < cutoff) {
+      it = swarm.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<TrackerPeerInfo> Tracker::select_peers(const Swarm& swarm, PeerId requester) {
+  std::vector<TrackerPeerInfo> all;
+  all.reserve(swarm.size());
+  for (const auto& [id, entry] : swarm) {
+    if (id != requester) all.push_back(entry.info);
+  }
+  if (static_cast<int>(all.size()) > config_.max_peers_returned) {
+    rng_.shuffle(all);
+    all.resize(static_cast<std::size_t>(config_.max_peers_returned));
+  }
+  return all;
+}
+
+std::size_t Tracker::swarm_size(InfoHash hash) const {
+  auto it = swarms_.find(hash);
+  return it == swarms_.end() ? 0 : it->second.size();
+}
+
+std::size_t Tracker::seed_count(InfoHash hash) const {
+  auto it = swarms_.find(hash);
+  if (it == swarms_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& [id, entry] : it->second) n += entry.info.seed ? 1 : 0;
+  return n;
+}
+
+}  // namespace wp2p::bt

@@ -1,0 +1,78 @@
+// BitTorrent tracker (directory server).
+//
+// Substitution note (DESIGN.md): announce traffic is modelled as a
+// control-plane RPC with configurable latency rather than an HTTP-over-TCP
+// exchange. The paper's effects depend on announce *intervals* (minutes) and
+// stale peer lists, not on announce transport dynamics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "bt/metainfo.hpp"
+#include "net/address.hpp"
+#include "sim/simulator.hpp"
+
+namespace wp2p::bt {
+
+enum class AnnounceEvent { kStarted, kInterval, kCompleted, kStopped };
+
+struct TrackerPeerInfo {
+  net::Endpoint endpoint;
+  PeerId peer_id = 0;
+  bool seed = false;
+};
+
+struct AnnounceRequest {
+  InfoHash info_hash = 0;
+  net::Endpoint endpoint;  // where the announcer accepts connections
+  PeerId peer_id = 0;
+  bool seed = false;
+  AnnounceEvent event = AnnounceEvent::kInterval;
+};
+
+struct TrackerConfig {
+  sim::SimTime rpc_latency = sim::milliseconds(150.0);  // one round trip
+  int max_peers_returned = 50;  // the usual tracker response size (Section 3.2)
+  sim::SimTime peer_ttl = sim::minutes(45.0);  // entries expire without refresh
+};
+
+class Tracker {
+ public:
+  using AnnounceCallback = std::function<void(std::vector<TrackerPeerInfo>)>;
+
+  explicit Tracker(sim::Simulator& sim, TrackerConfig config = {})
+      : sim_{sim}, config_{config}, rng_{sim.rng().fork()} {}
+
+  Tracker(const Tracker&) = delete;
+  Tracker& operator=(const Tracker&) = delete;
+
+  // Register/refresh the announcer and asynchronously return a random subset
+  // of other peers in the swarm (empty for kStopped).
+  void announce(const AnnounceRequest& request, AnnounceCallback callback);
+
+  // Swarm inspection (test/experiment support; not part of the protocol).
+  std::size_t swarm_size(InfoHash hash) const;
+  std::size_t seed_count(InfoHash hash) const;
+  std::uint64_t announces() const { return announces_; }
+
+ private:
+  struct Entry {
+    TrackerPeerInfo info;
+    sim::SimTime refreshed = 0;
+  };
+  using Swarm = std::unordered_map<PeerId, Entry>;
+
+  void expire(Swarm& swarm);
+  std::vector<TrackerPeerInfo> select_peers(const Swarm& swarm, PeerId requester);
+
+  sim::Simulator& sim_;
+  TrackerConfig config_;
+  sim::Rng rng_;
+  std::unordered_map<InfoHash, Swarm> swarms_;
+  std::uint64_t announces_ = 0;
+};
+
+}  // namespace wp2p::bt

@@ -1,0 +1,22 @@
+#include "bt/wire.hpp"
+
+namespace wp2p::bt {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHandshake: return "handshake";
+    case MsgType::kKeepAlive: return "keep-alive";
+    case MsgType::kChoke: return "choke";
+    case MsgType::kUnchoke: return "unchoke";
+    case MsgType::kInterested: return "interested";
+    case MsgType::kNotInterested: return "not-interested";
+    case MsgType::kHave: return "have";
+    case MsgType::kBitfield: return "bitfield";
+    case MsgType::kRequest: return "request";
+    case MsgType::kPiece: return "piece";
+    case MsgType::kCancel: return "cancel";
+  }
+  return "?";
+}
+
+}  // namespace wp2p::bt

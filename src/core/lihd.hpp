@@ -1,0 +1,85 @@
+// Linear-Increase History-based-Decrease (LIHD) upload-rate control —
+// the rate-adaptation half of wP2P's Incentive-Aware operations (Section 4.2).
+//
+// On a shared wireless channel, uploads contend with downloads, so the
+// tit-for-tat-optimal upload rate is NOT "as high as possible" (Fig. 3b).
+// LIHD searches for the smallest upload rate that sustains the maximum
+// download rate: it increases the upload limit linearly while downloads keep
+// improving, and decreases it with growing aggressiveness while cutting
+// uploads costs no download throughput.
+//
+// Pseudo-code reproduced from the paper's Figure 6:
+//   Initialization: Ucur = Uprev = 0.5 * Umax; Dcur = Dprev = 0; Udec_cnt = 0
+//   Update:  determine current P2P download rate
+//            if Dprev != 0:
+//              if Dprev < Dcur:  Ucur += alpha; Udec_cnt = 0
+//              else:             Udec_cnt++; Ucur -= beta * Udec_cnt
+#pragma once
+
+#include "bt/client.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace wp2p::core {
+
+struct LihdConfig {
+  util::Rate alpha = util::Rate::kBps(10.0);  // linear increment (paper: 10 KBps)
+  util::Rate beta = util::Rate::kBps(10.0);   // decrement base (paper: 10 KBps)
+  util::Rate max_upload = util::Rate::kBps(200.0);  // Umax (physical budget)
+  util::Rate min_upload = util::Rate::kBps(5.0);    // never fully mute tit-for-tat
+  sim::SimTime interval = sim::seconds(5.0);        // window-averaged update period
+};
+
+class LihdController {
+ public:
+  LihdController(sim::Simulator& sim, bt::Client& client, LihdConfig config = {})
+      : client_{client},
+        config_{config},
+        current_{config.max_upload * 0.5},
+        task_{sim, config.interval, [this] { update(); }} {}
+
+  void start() {
+    client_.set_upload_limit(current_);
+    task_.start();
+  }
+  void stop() { task_.stop(); }
+
+  util::Rate current_limit() const { return current_; }
+  const LihdConfig& config() const { return config_; }
+  std::uint64_t updates() const { return updates_; }
+
+  // One LIHD decision given the current window-averaged download rate.
+  // Exposed for unit tests and ablations; update() feeds it live rates.
+  util::Rate step(util::Rate d_cur) {
+    if (d_prev_.bytes_per_sec() != 0.0) {
+      if (d_prev_ < d_cur) {
+        current_ = current_ + config_.alpha;  // linear increase
+        dec_count_ = 0;
+      } else {
+        ++dec_count_;  // history-based (increasingly aggressive) decrease
+        current_ = current_ - config_.beta * static_cast<double>(dec_count_);
+      }
+      current_ = std::clamp(current_, config_.min_upload, config_.max_upload);
+    }
+    d_prev_ = d_cur;
+    return current_;
+  }
+
+ private:
+  void update() {
+    ++updates_;
+    const util::Rate before = current_;
+    const util::Rate after = step(client_.download_rate());
+    if (after.bytes_per_sec() != before.bytes_per_sec()) client_.set_upload_limit(after);
+  }
+
+  bt::Client& client_;
+  LihdConfig config_;
+  util::Rate current_;
+  util::Rate d_prev_ = util::Rate::zero();
+  int dec_count_ = 0;
+  std::uint64_t updates_ = 0;
+  sim::PeriodicTask task_;
+};
+
+}  // namespace wp2p::core

@@ -1,0 +1,72 @@
+// Mobility-aware Fetching (MF) — half of wP2P's Mobility-Aware operations
+// (Section 4.3).
+//
+// Fetch sequentially with probability 1 - pr and rarest-first with
+// probability pr, where pr ("exponentially decreasing selfishness") grows as
+// the download progresses: early blocks arrive in playback order so that a
+// disconnection still leaves a usable media prefix; late in the download the
+// client converges to rarest-first and contributes rare blocks to the swarm.
+//
+// The paper's evaluation (Section 5.2.3) sets pr equal to the downloaded
+// fraction; that is the kLinear schedule. kQuadratic keeps selfishness longer
+// ("exponentially increasing altruism"), kConstant is an ablation baseline.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "bt/selector.hpp"
+
+namespace wp2p::core {
+
+enum class PrSchedule {
+  kLinear,     // pr = downloaded fraction (the paper's evaluation setting)
+  kQuadratic,  // pr = fraction^2: stays sequential longer
+  kConstant,   // pr fixed (ablation)
+};
+
+struct MaConfig {
+  PrSchedule schedule = PrSchedule::kLinear;
+  double constant_pr = 0.2;   // used by kConstant
+  double initial_pr = 0.0;    // floor applied to every schedule
+};
+
+class MobilityAwareSelector final : public bt::PieceSelector {
+ public:
+  explicit MobilityAwareSelector(MaConfig config = {}) : config_{config} {}
+
+  int pick(const bt::SelectionContext& ctx) override {
+    const double pr = rarest_probability(ctx.downloaded_fraction);
+    if (ctx.rng.bernoulli(pr)) {
+      ++rarest_picks_;
+      return rarest_.pick(ctx);
+    }
+    ++sequential_picks_;
+    return sequential_.pick(ctx);
+  }
+
+  const char* name() const override { return "mobility-aware"; }
+
+  double rarest_probability(double downloaded_fraction) const {
+    double frac = std::clamp(downloaded_fraction, 0.0, 1.0);
+    double pr = 0.0;
+    switch (config_.schedule) {
+      case PrSchedule::kLinear: pr = frac; break;
+      case PrSchedule::kQuadratic: pr = frac * frac; break;
+      case PrSchedule::kConstant: pr = config_.constant_pr; break;
+    }
+    return std::clamp(std::max(pr, config_.initial_pr), 0.0, 1.0);
+  }
+
+  std::uint64_t rarest_picks() const { return rarest_picks_; }
+  std::uint64_t sequential_picks() const { return sequential_picks_; }
+
+ private:
+  MaConfig config_;
+  bt::RarestFirstSelector rarest_;
+  bt::SequentialSelector sequential_;
+  std::uint64_t rarest_picks_ = 0;
+  std::uint64_t sequential_picks_ = 0;
+};
+
+}  // namespace wp2p::core

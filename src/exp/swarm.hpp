@@ -1,0 +1,74 @@
+// Swarm scenario builder: a tracker plus N BitTorrent clients on hosts.
+//
+// This is the shared scaffolding for the paper's testbeds: Fig. 1 (six local
+// peers) and Fig. 10 (wP2P client + default client behind wireless emulators
+// plus fixed BitTorrent peers).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "bt/client.hpp"
+#include "bt/tracker.hpp"
+#include "exp/world.hpp"
+
+namespace wp2p::exp {
+
+class Swarm {
+ public:
+  struct Member {
+    World::Host* host = nullptr;
+    std::unique_ptr<bt::Client> client;
+
+    bt::Client* operator->() const { return client.get(); }
+  };
+
+  Swarm(std::uint64_t seed, bt::Metainfo meta, bt::TrackerConfig tracker_config = {})
+      : world{seed}, meta{std::move(meta)}, tracker{world.sim, tracker_config} {}
+
+  Member& add_wired(const std::string& name, bool is_seed, bt::ClientConfig config = {},
+                    net::WiredParams link = {}, tcp::TcpParams tcp_params = {}) {
+    World::Host& host = world.add_wired_host(name, link, tcp_params);
+    return add_member(host, is_seed, config);
+  }
+
+  Member& add_wireless(const std::string& name, bool is_seed, bt::ClientConfig config = {},
+                       net::WirelessParams link = {}, tcp::TcpParams tcp_params = {}) {
+    World::Host& host = world.add_wireless_host(name, link, tcp_params);
+    return add_member(host, is_seed, config);
+  }
+
+  void start_all() {
+    for (auto& member : members) member.client->start();
+  }
+
+  void run_for(double seconds) {
+    world.sim.run_until(world.sim.now() + sim::seconds(seconds));
+  }
+
+  // Run until `member`'s download completes or the deadline passes; returns
+  // completion status.
+  bool run_until_complete(const Member& member, double deadline_seconds) {
+    const sim::SimTime deadline = world.sim.now() + sim::seconds(deadline_seconds);
+    while (world.sim.now() < deadline && !member.client->complete()) {
+      world.sim.run_until(std::min(deadline, world.sim.now() + sim::seconds(1.0)));
+    }
+    return member.client->complete();
+  }
+
+  World world;
+  bt::Metainfo meta;
+  bt::Tracker tracker;
+  std::deque<Member> members;  // deque: Member& stays valid as members grow
+
+ private:
+  Member& add_member(World::Host& host, bool is_seed, bt::ClientConfig config) {
+    members.push_back(Member{
+        &host, std::make_unique<bt::Client>(*host.node, *host.stack, tracker, meta,
+                                            config, is_seed)});
+    return members.back();
+  }
+};
+
+}  // namespace wp2p::exp

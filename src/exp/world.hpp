@@ -1,0 +1,57 @@
+// Scenario scaffolding shared by tests, examples, and benches.
+//
+// A World is a simulator plus a network plus hosts (node + TCP stack). It
+// exists so every experiment builds its testbed the same way the paper built
+// Figs. 1 and 10: N hosts hanging off the Internet cloud, each behind a wired
+// or wireless access link.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "net/network.hpp"
+#include "net/wired_link.hpp"
+#include "net/wireless_channel.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/stack.hpp"
+
+namespace wp2p::exp {
+
+class World {
+ public:
+  struct Host {
+    net::Node* node = nullptr;
+    std::unique_ptr<tcp::Stack> stack;
+
+    net::Endpoint endpoint(std::uint16_t port) const { return {node->address(), port}; }
+    net::WirelessChannel* wireless() {
+      return dynamic_cast<net::WirelessChannel*>(node->access());
+    }
+    net::WiredLink* wired() { return dynamic_cast<net::WiredLink*>(node->access()); }
+  };
+
+  explicit World(std::uint64_t seed = 1) : sim{seed}, net{sim} {}
+
+  Host& add_wired_host(std::string name, net::WiredParams params = {},
+                       tcp::TcpParams tcp_params = {}) {
+    net::Node& node = net.add_node(std::move(name));
+    node.attach(std::make_unique<net::WiredLink>(sim, node, net, params));
+    hosts.push_back(Host{&node, std::make_unique<tcp::Stack>(node, tcp_params)});
+    return hosts.back();
+  }
+
+  Host& add_wireless_host(std::string name, net::WirelessParams params = {},
+                          tcp::TcpParams tcp_params = {}) {
+    net::Node& node = net.add_node(std::move(name));
+    node.attach(std::make_unique<net::WirelessChannel>(sim, node, net, params));
+    hosts.push_back(Host{&node, std::make_unique<tcp::Stack>(node, tcp_params)});
+    return hosts.back();
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::deque<Host> hosts;
+};
+
+}  // namespace wp2p::exp

@@ -1,0 +1,55 @@
+// Media playability model (Sections 3.6 / 5.2.3).
+//
+// The paper's metric: a media file is playable up to the end of its in-order
+// prefix — "many media formats allow for partial playback of content provided
+// the partial information is in sequence". PlayabilityAnalyzer maps a piece
+// store's state to the playable fraction, and can record the playable-vs-
+// downloaded trajectory of a run (the quantity plotted in Figs. 4b,c / 9a,b).
+#pragma once
+
+#include <vector>
+
+#include "bt/piece_store.hpp"
+
+namespace wp2p::media {
+
+class PlayabilityAnalyzer {
+ public:
+  struct Point {
+    double downloaded_fraction;
+    double playable_fraction;
+  };
+
+  // Playable fraction = in-order prefix bytes / total bytes.
+  static double playable_fraction(const bt::PieceStore& store) {
+    if (store.meta().total_size == 0) return 1.0;
+    return static_cast<double>(store.contiguous_bytes()) /
+           static_cast<double>(store.meta().total_size);
+  }
+
+  // Record a sample of the trajectory (call from on_piece_complete or on a
+  // timer); samples are kept in download order.
+  void sample(const bt::PieceStore& store) {
+    trajectory_.push_back({store.completed_fraction(), playable_fraction(store)});
+  }
+
+  const std::vector<Point>& trajectory() const { return trajectory_; }
+
+  // Playable fraction at the moment the download fraction first reached `x`
+  // (linear scan; trajectories are small). Returns 0 before the first sample.
+  double playable_at(double downloaded_fraction) const {
+    double result = 0.0;
+    for (const Point& p : trajectory_) {
+      if (p.downloaded_fraction > downloaded_fraction) break;
+      result = p.playable_fraction;
+    }
+    return result;
+  }
+
+  void clear() { trajectory_.clear(); }
+
+ private:
+  std::vector<Point> trajectory_;
+};
+
+}  // namespace wp2p::media

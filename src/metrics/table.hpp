@@ -1,0 +1,63 @@
+// Plain-text table writer for bench output (one table per paper figure).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wp2p::metrics {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_{std::move(title)} {}
+
+  Table& columns(std::vector<std::string> names) {
+    columns_ = std::move(names);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  static std::string num(double v, int precision = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], r[i].size());
+      }
+    }
+    std::fprintf(out, "\n== %s ==\n", title_.c_str());
+    print_row(out, columns_, widths);
+    std::string rule;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      rule += std::string(widths[i] + 2, '-');
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(out, r, widths);
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(out, "%-*s  ", static_cast<int>(i < widths.size() ? widths[i] : 0),
+                   cells[i].c_str());
+    }
+    std::fputc('\n', out);
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wp2p::metrics

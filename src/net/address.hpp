@@ -1,0 +1,53 @@
+// IPv4-style addressing for the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wp2p::net {
+
+// An IPv4 address as a 32-bit value. Address 0 is "unassigned".
+struct IpAddr {
+  std::uint32_t value = 0;
+
+  constexpr bool valid() const { return value != 0; }
+  friend constexpr auto operator<=>(IpAddr a, IpAddr b) = default;
+};
+
+inline std::string to_string(IpAddr a) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (a.value >> 24) & 0xff,
+                (a.value >> 16) & 0xff, (a.value >> 8) & 0xff, a.value & 0xff);
+  return buf;
+}
+
+// A transport endpoint: address + port.
+struct Endpoint {
+  IpAddr addr;
+  std::uint16_t port = 0;
+
+  constexpr bool valid() const { return addr.valid() && port != 0; }
+  friend constexpr auto operator<=>(Endpoint a, Endpoint b) = default;
+};
+
+inline std::string to_string(Endpoint e) {
+  return to_string(e.addr) + ":" + std::to_string(e.port);
+}
+
+}  // namespace wp2p::net
+
+template <>
+struct std::hash<wp2p::net::IpAddr> {
+  std::size_t operator()(wp2p::net::IpAddr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<wp2p::net::Endpoint> {
+  std::size_t operator()(wp2p::net::Endpoint e) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(e.addr.value) << 16) |
+                                      e.port);
+  }
+};

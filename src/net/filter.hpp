@@ -1,0 +1,34 @@
+// Packet interception points on a node.
+//
+// This mirrors the Netfilter hook the paper's prototype uses: the wP2P
+// Age-based Manipulation module registers an egress filter on the mobile node
+// and may replace one packet with several (ACK decoupling) or with none
+// (DUPACK throttling).
+#pragma once
+
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace wp2p::net {
+
+class PacketFilter {
+ public:
+  virtual ~PacketFilter() = default;
+
+  // Called for each packet leaving the node, before the access link.
+  // Push the packets that should actually be transmitted onto `out`.
+  virtual void egress(Packet pkt, std::vector<Packet>& out) { out.push_back(std::move(pkt)); }
+
+  // Called for each packet arriving at the node, before the protocol stack.
+  virtual void ingress(Packet pkt, std::vector<Packet>& out) { out.push_back(std::move(pkt)); }
+};
+
+// Terminal consumer of packets on a node (the transport stack).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void receive(const Packet& pkt) = 0;
+};
+
+}  // namespace wp2p::net

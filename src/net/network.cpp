@@ -1,0 +1,68 @@
+#include "net/network.hpp"
+
+#include "util/assert.hpp"
+
+namespace wp2p::net {
+
+Node& Network::add_node(std::string name) {
+  IpAddr addr = allocate_address();
+  nodes_.push_back(std::make_unique<Node>(*this, sim_, std::move(name), addr));
+  Node& node = *nodes_.back();
+  routes_[addr] = &node;
+  return node;
+}
+
+Node* Network::find(IpAddr addr) {
+  auto it = routes_.find(addr);
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+void Network::rebind(Node& node, IpAddr old_addr, IpAddr new_addr) {
+  auto it = routes_.find(old_addr);
+  WP2P_ASSERT(it != routes_.end() && it->second == &node);
+  routes_.erase(it);
+  routes_[new_addr] = &node;
+}
+
+void Network::set_path_override(const Node& a, const Node& b, PathParams params) {
+  path_overrides_[make_pair_key(&a, &b)] = params;
+}
+
+void Network::clear_path_override(const Node& a, const Node& b) {
+  path_overrides_.erase(make_pair_key(&a, &b));
+}
+
+const PathParams& Network::path_between(IpAddr src, IpAddr dst) const {
+  if (!path_overrides_.empty()) {
+    auto sit = routes_.find(src);
+    auto dit = routes_.find(dst);
+    if (sit != routes_.end() && dit != routes_.end()) {
+      auto oit = path_overrides_.find(make_pair_key(sit->second, dit->second));
+      if (oit != path_overrides_.end()) return oit->second;
+    }
+  }
+  return path_;
+}
+
+void Network::forward(Packet pkt) {
+  const PathParams& path = path_between(pkt.src.addr, pkt.dst.addr);
+  if (path.loss > 0.0 && rng_.bernoulli(path.loss)) {
+    ++core_loss_drops_;
+    return;
+  }
+  sim::SimTime delay = path.core_delay;
+  if (path.jitter > 0) {
+    delay += static_cast<sim::SimTime>(rng_.uniform() * static_cast<double>(path.jitter));
+  }
+  sim_.after(delay, [this, pkt = std::move(pkt)]() mutable {
+    Node* dst = find(pkt.dst.addr);
+    if (dst == nullptr || dst->access() == nullptr || !dst->connected()) {
+      ++no_route_drops_;
+      return;
+    }
+    ++forwarded_;
+    dst->access()->enqueue_down(std::move(pkt));
+  });
+}
+
+}  // namespace wp2p::net

@@ -1,0 +1,93 @@
+// The Internet cloud: address allocation, routing, and core-path impairments.
+//
+// Topology model (matches the paper's testbeds, Figs. 1 and 10): every node
+// hangs off the cloud through its own access link; the cloud itself adds a
+// fixed core delay plus optional jitter and random loss (a netem-style
+// impairment stage) and routes by destination address.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace wp2p::net {
+
+struct PathParams {
+  sim::SimTime core_delay = sim::milliseconds(20.0);  // one-way, access hop excluded
+  sim::SimTime jitter = 0;                            // uniform extra delay in [0, jitter]
+  double loss = 0.0;                                  // random core loss probability
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_{sim}, rng_{sim.rng().fork()} {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+
+  Node& add_node(std::string name);
+  Node* find(IpAddr addr);
+
+  // Called by an access link once a packet has cleared the up direction.
+  // Applies core-path impairments, then delivers to the destination's access
+  // link. Routing is resolved at *delivery* time so packets racing an address
+  // change are dropped exactly as in a real hand-off.
+  void forward(Packet pkt);
+
+  PathParams& path() { return path_; }
+  const PathParams& path() const { return path_; }
+
+  // Netem-style per-node-pair impairment override (symmetric). Overrides are
+  // keyed by the nodes' CURRENT addresses at call time and survive address
+  // changes (they are re-keyed on rebind).
+  void set_path_override(const Node& a, const Node& b, PathParams params);
+  void clear_path_override(const Node& a, const Node& b);
+  // Effective parameters for a src->dst packet (override or global default).
+  const PathParams& path_between(IpAddr src, IpAddr dst) const;
+
+  IpAddr allocate_address() { return IpAddr{next_addr_++}; }
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+  std::uint64_t core_loss_drops() const { return core_loss_drops_; }
+
+ private:
+  friend class Node;
+  void rebind(Node& node, IpAddr old_addr, IpAddr new_addr);
+
+  struct PairKey {
+    const Node* a;
+    const Node* b;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const noexcept {
+      return std::hash<const void*>{}(k.a) * 31 ^ std::hash<const void*>{}(k.b);
+    }
+  };
+  static PairKey make_pair_key(const Node* a, const Node* b) {
+    return a < b ? PairKey{a, b} : PairKey{b, a};
+  }
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  PathParams path_;
+  std::unordered_map<PairKey, PathParams, PairKeyHash> path_overrides_;
+  std::deque<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<IpAddr, Node*> routes_;
+  // Start addresses at 10.0.0.1.
+  std::uint32_t next_addr_ = (10u << 24) | 1u;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t no_route_drops_ = 0;
+  std::uint64_t core_loss_drops_ = 0;
+};
+
+}  // namespace wp2p::net

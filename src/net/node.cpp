@@ -1,0 +1,62 @@
+#include "net/node.hpp"
+
+#include "net/network.hpp"
+
+namespace wp2p::net {
+
+Node::Node(Network& network, sim::Simulator& sim, std::string name, IpAddr addr)
+    : network_{network}, sim_{sim}, name_{std::move(name)}, addr_{addr} {}
+
+void Node::send(Packet pkt) {
+  if (!connected_ || link_ == nullptr) return;
+  ++sent_packets_;
+  if (egress_filters_.empty()) {
+    link_->enqueue_up(std::move(pkt));
+    return;
+  }
+  std::vector<Packet> batch{std::move(pkt)};
+  for (PacketFilter* filter : egress_filters_) {
+    std::vector<Packet> next;
+    for (Packet& p : batch) filter->egress(std::move(p), next);
+    batch = std::move(next);
+  }
+  for (Packet& p : batch) link_->enqueue_up(std::move(p));
+}
+
+void Node::deliver(Packet pkt) {
+  if (!connected_) return;
+  ++delivered_packets_;
+  if (ingress_filters_.empty()) {
+    if (sink_ != nullptr) sink_->receive(pkt);
+    return;
+  }
+  std::vector<Packet> batch{std::move(pkt)};
+  for (PacketFilter* filter : ingress_filters_) {
+    std::vector<Packet> next;
+    for (Packet& p : batch) filter->ingress(std::move(p), next);
+    batch = std::move(next);
+  }
+  if (sink_ != nullptr) {
+    for (const Packet& p : batch) sink_->receive(p);
+  }
+}
+
+void Node::change_address() {
+  IpAddr old_addr = addr_;
+  IpAddr new_addr = network_.allocate_address();
+  addr_ = new_addr;
+  ++address_changes_;
+  network_.rebind(*this, old_addr, new_addr);
+  // A hand-off flushes anything still queued on the air interface.
+  if (link_ != nullptr) link_->reset_queues();
+  for (auto& callback : on_address_change) callback(old_addr, new_addr);
+}
+
+void Node::set_connected(bool connected) {
+  if (connected_ == connected) return;
+  connected_ = connected;
+  if (!connected && link_ != nullptr) link_->reset_queues();
+  for (auto& callback : on_connectivity_change) callback(connected);
+}
+
+}  // namespace wp2p::net

@@ -1,0 +1,33 @@
+// Simulated network packets.
+//
+// A Packet carries routing metadata plus an opaque, immutable payload. The
+// payload is reference-counted so queues, retransmission logic, and filters
+// can share it without copies; anything that wants to *modify* a payload
+// (e.g. the wP2P packet filter rewriting a TCP segment) copies it first.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/address.hpp"
+
+namespace wp2p::net {
+
+// Base class for protocol payloads (TCP segments, control messages, ...).
+struct PacketPayload {
+  virtual ~PacketPayload() = default;
+};
+
+struct Packet {
+  Endpoint src;
+  Endpoint dst;
+  std::int64_t size = 0;  // total on-wire size in bytes, headers included
+  std::shared_ptr<const PacketPayload> payload;
+
+  template <typename T>
+  const T* payload_as() const {
+    return dynamic_cast<const T*>(payload.get());
+  }
+};
+
+}  // namespace wp2p::net

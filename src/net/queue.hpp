@@ -1,0 +1,61 @@
+// DropTail packet queue used by access links.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "util/assert.hpp"
+
+namespace wp2p::net {
+
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::size_t limit_packets) : limit_{limit_packets} {
+    WP2P_ASSERT(limit_packets > 0);
+  }
+
+  // Returns false (and counts a drop) if the queue is full.
+  bool push(Packet pkt) {
+    if (queue_.size() >= limit_) {
+      ++drops_;
+      if (on_drop) on_drop(pkt);
+      return false;
+    }
+    bytes_ += pkt.size;
+    queue_.push_back(std::move(pkt));
+    return true;
+  }
+
+  Packet pop() {
+    WP2P_ASSERT(!queue_.empty());
+    Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    bytes_ -= pkt.size;
+    return pkt;
+  }
+
+  void clear() {
+    queue_.clear();
+    bytes_ = 0;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  bool full() const { return queue_.size() >= limit_; }
+  std::size_t size() const { return queue_.size(); }
+  std::int64_t bytes() const { return bytes_; }
+  std::size_t limit() const { return limit_; }
+  std::uint64_t drops() const { return drops_; }
+
+  // Invoked on every tail drop (used by experiments to mark drop events).
+  std::function<void(const Packet&)> on_drop;
+
+ private:
+  std::size_t limit_;
+  std::deque<Packet> queue_;
+  std::int64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace wp2p::net

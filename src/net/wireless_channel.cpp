@@ -1,0 +1,115 @@
+#include "net/wireless_channel.hpp"
+
+#include <cmath>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace wp2p::net {
+
+WirelessChannel::WirelessChannel(sim::Simulator& sim, Node& node, Network& network,
+                                 WirelessParams params)
+    : AccessLink{sim, node, network},
+      params_{params},
+      up_queue_{params.up_queue_limit},
+      down_queue_{params.down_queue_limit},
+      rng_{sim.rng().fork()} {}
+
+double WirelessChannel::packet_error_rate(std::int64_t size) const {
+  if (params_.bit_error_rate <= 0.0) return 0.0;
+  const double bits = static_cast<double>(size) * 8.0;
+  return 1.0 - std::pow(1.0 - params_.bit_error_rate, bits);
+}
+
+void WirelessChannel::enqueue_up(Packet pkt) {
+  if (!node_.connected()) return;
+  if (up_queue_.full()) {
+    note_queue_drop(Direction::kUp, pkt);
+    return;
+  }
+  up_queue_.push(std::move(pkt));
+  maybe_serve();
+}
+
+void WirelessChannel::enqueue_down(Packet pkt) {
+  if (!node_.connected()) return;
+  if (down_queue_.full()) {
+    note_queue_drop(Direction::kDown, pkt);
+    return;
+  }
+  down_queue_.push(std::move(pkt));
+  maybe_serve();
+}
+
+void WirelessChannel::reset_queues() {
+  up_queue_.clear();
+  down_queue_.clear();
+}
+
+void WirelessChannel::maybe_serve() {
+  if (busy_) return;
+  // Round-robin between directions when both have backlog; this is the shared
+  // half-duplex medium — uplink data (uploads + ACKs) and downlink data
+  // (downloads) contend for the same airtime.
+  Direction dir;
+  if (up_queue_.empty() && down_queue_.empty()) return;
+  if (up_queue_.empty()) {
+    dir = Direction::kDown;
+  } else if (down_queue_.empty()) {
+    dir = Direction::kUp;
+  } else {
+    dir = last_served_ == Direction::kUp ? Direction::kDown : Direction::kUp;
+  }
+  last_served_ = dir;
+  busy_ = true;
+  const bool contended = !up_queue_.empty() && !down_queue_.empty();
+  DropTailQueue& queue = dir == Direction::kUp ? up_queue_ : down_queue_;
+  Packet pkt = queue.pop();
+  sim::SimTime airtime =
+      sim::seconds(params_.capacity.seconds_for(pkt.size)) + params_.per_packet_overhead;
+  if (contended && params_.contention_overhead > 0.0) {
+    airtime += static_cast<sim::SimTime>(static_cast<double>(airtime) *
+                                         params_.contention_overhead);
+  }
+  sim_.after(airtime, [this, dir, pkt = std::move(pkt)]() mutable {
+    finish(dir, std::move(pkt), 0);
+  });
+}
+
+void WirelessChannel::finish(Direction dir, Packet pkt, int attempt) {
+  note_transmit(dir, pkt);  // airtime was spent whether or not the frame survives
+  const bool corrupted = rng_.bernoulli(packet_error_rate(pkt.size));
+  if (corrupted && node_.connected() && attempt < params_.mac_retries) {
+    // MAC-layer ARQ: retry the frame immediately; the channel stays busy.
+    ++mac_retransmissions_;
+    const sim::SimTime airtime =
+        sim::seconds(params_.capacity.seconds_for(pkt.size)) + params_.per_packet_overhead;
+    sim_.after(airtime, [this, dir, pkt = std::move(pkt), attempt]() mutable {
+      finish(dir, std::move(pkt), attempt + 1);
+    });
+    return;
+  }
+  busy_ = false;
+  const bool alive = node_.connected() && !corrupted;
+  if (!alive) {
+    if (corrupted) {
+      if (dir == Direction::kUp) {
+        ++stats_.up_error_drops;
+      } else {
+        ++stats_.down_error_drops;
+      }
+    }
+    maybe_serve();
+    return;
+  }
+  sim_.after(params_.prop_delay, [this, dir, pkt = std::move(pkt)]() mutable {
+    if (dir == Direction::kUp) {
+      network_.forward(std::move(pkt));
+    } else {
+      node_.deliver(std::move(pkt));
+    }
+  });
+  maybe_serve();
+}
+
+}  // namespace wp2p::net

@@ -1,0 +1,76 @@
+// Shared half-duplex wireless access channel (WLAN model).
+//
+// This is the repo's substitute for the paper's ns-2 wireless emulator. The
+// behaviours the paper's results depend on are modelled explicitly:
+//
+//  * Shared medium: uplink and downlink packets serialize through ONE channel
+//    server, so uploads and downloads self-contend (Figs. 3b, 8c). Service
+//    alternates round-robin between the directions when both are backlogged.
+//  * Random bit errors: each packet survives with (1-BER)^bits, so a 1500-byte
+//    data packet carrying a piggybacked ACK is far more likely to die than a
+//    40-byte pure ACK (Figs. 2a, 8a).
+//  * AP buffer: a DropTail downlink queue whose overflows are the "buffer
+//    drop" congestion events of Figs. 2(b,c).
+#pragma once
+
+#include "net/access_link.hpp"
+#include "net/queue.hpp"
+#include "util/units.hpp"
+
+namespace wp2p::net {
+
+struct WirelessParams {
+  util::Rate capacity = util::Rate::mbps(24.0);  // effective 802.11g MAC throughput
+  double bit_error_rate = 0.0;
+  sim::SimTime prop_delay = sim::microseconds(50);
+  std::size_t up_queue_limit = 50;    // station transmit buffer
+  std::size_t down_queue_limit = 50;  // AP buffer
+  // Fixed per-packet channel-access overhead (MAC contention, preamble, ACK).
+  sim::SimTime per_packet_overhead = sim::microseconds(100);
+  // 802.11 MAC-layer ARQ: a corrupted frame is retransmitted up to this many
+  // times, each attempt consuming airtime. Bit errors therefore mostly waste
+  // capacity rather than surface as packet loss; only frames that fail every
+  // attempt are dropped. Set to 0 for a raw (ns-2 style) error model where
+  // every corruption is a loss visible to TCP.
+  int mac_retries = 6;
+  // CSMA/CA contention inefficiency: when BOTH directions are backlogged
+  // (station and AP contend for the medium), each transmission pays this
+  // fractional airtime surcharge for collisions and backoff. 0 = ideal
+  // scheduler (default; keeps analytic timing exact for tests), ~0.5-1.0 =
+  // realistic loaded-WLAN behaviour. This is what makes uploads on a shared
+  // channel actively destroy download goodput (paper Figs. 3b, 8c).
+  double contention_overhead = 0.0;
+};
+
+class WirelessChannel final : public AccessLink {
+ public:
+  WirelessChannel(sim::Simulator& sim, Node& node, Network& network, WirelessParams params);
+
+  void enqueue_up(Packet pkt) override;
+  void enqueue_down(Packet pkt) override;
+  void reset_queues() override;
+
+  const WirelessParams& params() const { return params_; }
+  void set_bit_error_rate(double ber) { params_.bit_error_rate = ber; }
+  void set_capacity(util::Rate capacity) { params_.capacity = capacity; }
+
+  // Probability that a single transmission attempt of `size` bytes is
+  // corrupted on the air.
+  double packet_error_rate(std::int64_t size) const;
+
+  std::uint64_t mac_retransmissions() const { return mac_retransmissions_; }
+
+ private:
+  void maybe_serve();
+  void finish(Direction dir, Packet pkt, int attempt);
+
+  WirelessParams params_;
+  DropTailQueue up_queue_;
+  DropTailQueue down_queue_;
+  bool busy_ = false;
+  Direction last_served_ = Direction::kDown;  // next pick favours kUp first
+  std::uint64_t mac_retransmissions_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace wp2p::net

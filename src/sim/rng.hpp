@@ -1,0 +1,103 @@
+// Deterministic random number generation for experiments.
+//
+// xoshiro256** seeded through SplitMix64, per the generators' reference
+// implementations. Every source of randomness in a simulation must flow from
+// the Simulator's Rng (or a child stream forked from it) so that a run is a
+// pure function of its seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wp2p::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the 64-bit seed into xoshiro's 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    WP2P_ASSERT(n > 0);
+    // Lemire's nearly-divisionless bounded sampling; the slight modulo bias of
+    // the plain multiply-shift is irrelevant at simulation scales, so use it.
+    return static_cast<std::uint64_t>((static_cast<__uint128_t>(next_u64()) * n) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    WP2P_ASSERT(hi >= lo);
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  // Exponentially distributed with the given mean.
+  double exponential(double mean) {
+    WP2P_ASSERT(mean > 0.0);
+    double u = uniform();
+    // uniform() can return exactly 0; nudge to keep log() finite.
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    WP2P_ASSERT(!v.empty());
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  // A statistically independent child stream (for per-component randomness).
+  Rng fork() { return Rng{next_u64() ^ 0xd1b54a32d192ed03ULL}; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace wp2p::sim

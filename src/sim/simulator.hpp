@@ -1,0 +1,190 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns the virtual clock, a pending-event priority queue, and the
+// root random stream. Events are arbitrary callbacks; ties at equal timestamps
+// execute in scheduling order (FIFO), which the protocol state machines rely
+// on for determinism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace wp2p::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  explicit Simulator(std::uint64_t seed = 1) : rng_{seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedule `handler` at absolute virtual time `t` (>= now).
+  EventId at(SimTime t, Handler handler) {
+    WP2P_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+    EventId id = ++next_id_;
+    queue_.push(Entry{t, id, std::move(handler)});
+    ++pending_;
+    return id;
+  }
+
+  // Schedule `handler` after a relative delay (>= 0).
+  EventId after(SimTime delay, Handler handler) {
+    WP2P_ASSERT(delay >= 0);
+    return at(now_ + delay, std::move(handler));
+  }
+
+  // Cancel a pending event. Cancelling an already-fired or already-cancelled
+  // id is a harmless no-op, which lets owners cancel defensively in dtors.
+  void cancel(EventId id) {
+    if (id != kInvalidEventId) cancelled_.insert(id);
+  }
+
+  bool has_pending() const { return pending_ > cancelled_.size(); }
+
+  // Execute the next event. Returns false if the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      // priority_queue has no non-const top()+move; the handler is moved out
+      // via const_cast, which is safe because the entry is popped immediately.
+      Entry& top = const_cast<Entry&>(queue_.top());
+      SimTime t = top.time;
+      EventId id = top.id;
+      Handler handler = std::move(top.handler);
+      queue_.pop();
+      --pending_;
+      if (auto it = cancelled_.find(id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      WP2P_ASSERT(t >= now_);
+      now_ = t;
+      ++processed_;
+      handler();
+      return true;
+    }
+    return false;
+  }
+
+  // Run events until the queue drains or the clock would pass `horizon`.
+  // The clock is left at min(horizon, time of last event) — i.e. reaching the
+  // horizon advances the clock to exactly the horizon.
+  void run_until(SimTime horizon) {
+    while (!queue_.empty()) {
+      if (peek_time() > horizon) break;
+      step();
+    }
+    if (now_ < horizon) now_ = horizon;
+  }
+
+  // Run to queue exhaustion (use only in tests/examples with finite traffic).
+  void run() {
+    while (step()) {
+    }
+  }
+
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Handler handler;
+    // Min-heap by (time, id): later entries compare lower priority.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  SimTime peek_time() {
+    // Skip over cancelled heads so the horizon check sees the real next event.
+    while (!queue_.empty()) {
+      const Entry& top = queue_.top();
+      auto it = cancelled_.find(top.id);
+      if (it == cancelled_.end()) return top.time;
+      cancelled_.erase(it);
+      queue_.pop();
+      --pending_;
+    }
+    return kSimTimeMax;
+  }
+
+  SimTime now_ = 0;
+  EventId next_id_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t pending_ = 0;
+  std::priority_queue<Entry> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+// A repeating task: fires `callback` every `interval` until stopped or its
+// owner is destroyed. Used for choker rounds, tracker announces, rate meters,
+// and mobility (IP-change) processes.
+class PeriodicTask {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicTask(Simulator& sim, SimTime interval, Callback callback)
+      : sim_{sim}, interval_{interval}, callback_{std::move(callback)} {
+    WP2P_ASSERT(interval_ > 0);
+  }
+
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start() { start_after(interval_); }
+
+  void start_after(SimTime first_delay) {
+    stop();
+    running_ = true;
+    event_ = sim_.after(first_delay, [this] { fire(); });
+  }
+
+  void stop() {
+    if (running_) {
+      sim_.cancel(event_);
+      running_ = false;
+    }
+  }
+
+  bool running() const { return running_; }
+  void set_interval(SimTime interval) {
+    WP2P_ASSERT(interval > 0);
+    interval_ = interval;
+  }
+  SimTime interval() const { return interval_; }
+
+ private:
+  void fire() {
+    if (!running_) return;
+    // Re-arm before the callback so the callback may stop() or re-interval.
+    event_ = sim_.after(interval_, [this] { fire(); });
+    callback_();
+  }
+
+  Simulator& sim_;
+  SimTime interval_;
+  Callback callback_;
+  EventId event_ = kInvalidEventId;
+  bool running_ = false;
+};
+
+}  // namespace wp2p::sim

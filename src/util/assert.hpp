@@ -1,0 +1,29 @@
+// Lightweight assertion macros used across the wP2P codebase.
+//
+// WP2P_ASSERT is active in all build types: simulation correctness bugs must
+// fail loudly in RelWithDebInfo benches, not silently corrupt results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wp2p::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "wp2p assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace wp2p::util
+
+#define WP2P_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::wp2p::util::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define WP2P_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr)) ::wp2p::util::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,58 @@
+// Minimal leveled logger for simulation traces.
+//
+// Logging is off by default (benches run millions of events); tests and
+// examples can raise the level per component. All output carries the virtual
+// simulation time supplied by the caller, never the wall clock.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace wp2p::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, double sim_seconds, const char* component, const char* fmt, ...)
+      __attribute__((format(printf, 5, 6))) {
+    if (!enabled(level)) return;
+    std::fprintf(stderr, "[%10.6f] %-5s %-8s ", sim_seconds, name(level), component);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      default: return "?";
+    }
+  }
+  LogLevel level_ = LogLevel::kOff;
+};
+
+}  // namespace wp2p::util
+
+#define WP2P_LOG(level, sim_seconds, component, ...)                             \
+  do {                                                                           \
+    auto& logger_ = ::wp2p::util::Logger::instance();                            \
+    if (logger_.enabled(level)) logger_.log(level, sim_seconds, component, __VA_ARGS__); \
+  } while (false)

@@ -1,0 +1,26 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace wp2p::util {
+
+std::string format_bytes(std::int64_t bytes) {
+  char buf[64];
+  if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_rate(Rate r) {
+  char buf[64];
+  if (r.is_unlimited()) return "unlimited";
+  std::snprintf(buf, sizeof buf, "%.1f KBps", r.kilobytes_per_sec());
+  return buf;
+}
+
+}  // namespace wp2p::util

@@ -1,0 +1,60 @@
+// Strong-ish unit helpers: byte sizes and transfer rates.
+//
+// The paper mixes KBps (kilobytes/sec, its throughput unit), Mbps (link
+// capacities) and bytes; conversion bugs between them are a classic source of
+// silently-wrong reproduction numbers, so all rates in this codebase are
+// carried as `Rate` (bytes per second) and constructed through named factories.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wp2p::util {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * 1024;
+
+// The paper uses decimal KB for throughput axes (KBps).
+inline constexpr std::int64_t kKB = 1000;
+inline constexpr std::int64_t kMB = 1000 * 1000;
+
+// A transfer rate in bytes per second. Double-valued: rates are measured and
+// averaged, never counted exactly.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  static constexpr Rate bytes_per_sec(double v) { return Rate{v}; }
+  static constexpr Rate kbps(double kilobits) { return Rate{kilobits * 1000.0 / 8.0}; }
+  static constexpr Rate mbps(double megabits) { return Rate{megabits * 1e6 / 8.0}; }
+  static constexpr Rate kBps(double kilobytes) { return Rate{kilobytes * 1000.0}; }
+  static constexpr Rate unlimited() { return Rate{1e18}; }
+  static constexpr Rate zero() { return Rate{0.0}; }
+
+  constexpr double bps() const { return value_ * 8.0; }
+  constexpr double bytes_per_sec() const { return value_; }
+  constexpr double kilobytes_per_sec() const { return value_ / 1000.0; }
+  constexpr bool is_unlimited() const { return value_ >= 1e17; }
+  constexpr bool is_zero() const { return value_ <= 0.0; }
+
+  // Time (seconds) to serialize `bytes` at this rate.
+  constexpr double seconds_for(std::int64_t bytes) const {
+    return value_ > 0.0 ? static_cast<double>(bytes) / value_ : 1e18;
+  }
+
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate{a.value_ + b.value_}; }
+  friend constexpr Rate operator-(Rate a, Rate b) { return Rate{a.value_ - b.value_}; }
+  friend constexpr Rate operator*(Rate a, double s) { return Rate{a.value_ * s}; }
+  friend constexpr Rate operator*(double s, Rate a) { return Rate{a.value_ * s}; }
+  friend constexpr Rate operator/(Rate a, double s) { return Rate{a.value_ / s}; }
+  friend constexpr auto operator<=>(Rate a, Rate b) = default;
+
+ private:
+  constexpr explicit Rate(double v) : value_{v} {}
+  double value_ = 0.0;  // bytes per second
+};
+
+std::string format_bytes(std::int64_t bytes);
+std::string format_rate(Rate r);
+
+}  // namespace wp2p::util

@@ -1,0 +1,60 @@
+#include "bt/credit_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wp2p::bt {
+namespace {
+
+TEST(CreditLedger, UnknownPeerHasZeroCredit) {
+  CreditLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.credit(42, sim::seconds(100.0)), 0.0);
+}
+
+TEST(CreditLedger, AccumulatesBytes) {
+  CreditLedger ledger;
+  ledger.add(1, 0, 1000);
+  ledger.add(1, 0, 500);
+  EXPECT_DOUBLE_EQ(ledger.credit(1, 0), 1500.0);
+}
+
+TEST(CreditLedger, DecaysWithHalfLife) {
+  CreditLedger ledger{sim::minutes(10.0)};
+  ledger.add(1, 0, 1000);
+  EXPECT_NEAR(ledger.credit(1, sim::minutes(10.0)), 500.0, 1e-6);
+  EXPECT_NEAR(ledger.credit(1, sim::minutes(20.0)), 250.0, 1e-6);
+}
+
+TEST(CreditLedger, AddAfterDecayCompounds) {
+  CreditLedger ledger{sim::minutes(10.0)};
+  ledger.add(1, 0, 1000);
+  ledger.add(1, sim::minutes(10.0), 1000);  // 500 decayed + 1000 new
+  EXPECT_NEAR(ledger.credit(1, sim::minutes(10.0)), 1500.0, 1e-6);
+}
+
+TEST(CreditLedger, PeersAreIndependent) {
+  CreditLedger ledger;
+  ledger.add(1, 0, 100);
+  ledger.add(2, 0, 900);
+  EXPECT_DOUBLE_EQ(ledger.credit(1, 0), 100.0);
+  EXPECT_DOUBLE_EQ(ledger.credit(2, 0), 900.0);
+  EXPECT_EQ(ledger.size(), 2u);
+}
+
+TEST(CreditLedger, NewPeerIdStartsFromScratch) {
+  // The identity-loss effect of Section 3.4: a regenerated peer-id carries
+  // none of the accumulated credit.
+  CreditLedger ledger;
+  ledger.add(0xAAAA, 0, 1 << 20);
+  EXPECT_GT(ledger.credit(0xAAAA, sim::minutes(1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.credit(0xBBBB, sim::minutes(1.0)), 0.0);
+}
+
+TEST(CreditLedger, ClearForgetsEverything) {
+  CreditLedger ledger;
+  ledger.add(1, 0, 100);
+  ledger.clear();
+  EXPECT_DOUBLE_EQ(ledger.credit(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace wp2p::bt

@@ -1,0 +1,97 @@
+#include "bt/piece_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wp2p::bt {
+namespace {
+
+struct PieceStoreTest : ::testing::Test {
+  // 3 pieces of 256 KiB minus a short tail: 600 KiB total.
+  Metainfo meta = Metainfo::create("f", 600 * 1024, 256 * 1024);
+  PieceStore store{meta};
+};
+
+TEST_F(PieceStoreTest, Geometry) {
+  EXPECT_EQ(store.piece_count(), 3);
+  EXPECT_EQ(store.blocks_in_piece(0), 16);  // 256 KiB / 16 KiB
+  EXPECT_EQ(store.blocks_in_piece(2), 6);   // 88 KiB tail -> 5 full + 1 short
+  EXPECT_EQ(store.block_size(0, 0), 16 * 1024);
+  EXPECT_EQ(store.block_size(2, 5), 88 * 1024 - 5 * 16 * 1024);
+}
+
+TEST_F(PieceStoreTest, MarkBlockAccumulates) {
+  EXPECT_FALSE(store.mark_block(0, 0));
+  EXPECT_TRUE(store.has_block(0, 0));
+  EXPECT_FALSE(store.has_block(0, 1));
+  EXPECT_FALSE(store.has_piece(0));
+  EXPECT_EQ(store.bytes_completed(), 16 * 1024);
+}
+
+TEST_F(PieceStoreTest, CompletingAllBlocksCompletesPiece) {
+  for (int b = 0; b < 15; ++b) EXPECT_FALSE(store.mark_block(0, b));
+  EXPECT_TRUE(store.mark_block(0, 15));
+  EXPECT_TRUE(store.has_piece(0));
+  EXPECT_TRUE(store.bitfield().test(0));
+}
+
+TEST_F(PieceStoreTest, DuplicateBlocksIgnored) {
+  store.mark_block(0, 0);
+  EXPECT_FALSE(store.mark_block(0, 0));
+  EXPECT_EQ(store.bytes_completed(), 16 * 1024);
+}
+
+TEST_F(PieceStoreTest, MarkPieceCountsOnlyMissingBytes) {
+  store.mark_block(1, 0);
+  store.mark_piece(1);
+  EXPECT_EQ(store.bytes_completed(), 256 * 1024);
+  store.mark_piece(1);  // idempotent
+  EXPECT_EQ(store.bytes_completed(), 256 * 1024);
+}
+
+TEST_F(PieceStoreTest, MarkAllMakesSeed) {
+  store.mark_all();
+  EXPECT_TRUE(store.complete());
+  EXPECT_EQ(store.bytes_completed(), meta.total_size);
+  EXPECT_DOUBLE_EQ(store.completed_fraction(), 1.0);
+}
+
+TEST_F(PieceStoreTest, ContiguousBytesTracksPrefix) {
+  EXPECT_EQ(store.contiguous_bytes(), 0);
+  store.mark_piece(1);  // a hole at piece 0 blocks the prefix
+  EXPECT_EQ(store.contiguous_bytes(), 0);
+  store.mark_piece(0);
+  EXPECT_EQ(store.contiguous_bytes(), 512 * 1024);
+  store.mark_piece(2);
+  EXPECT_EQ(store.contiguous_bytes(), meta.total_size);
+}
+
+TEST_F(PieceStoreTest, ContiguousBytesIncludesInOrderBlocksOfNextPiece) {
+  store.mark_piece(0);
+  store.mark_block(1, 0);
+  store.mark_block(1, 1);
+  store.mark_block(1, 3);  // out of order: not counted
+  EXPECT_EQ(store.contiguous_bytes(), 256 * 1024 + 2 * 16 * 1024);
+}
+
+TEST_F(PieceStoreTest, MissingBlocksList) {
+  store.mark_block(2, 1);
+  auto missing = store.missing_blocks(2);
+  EXPECT_EQ(missing, (std::vector<int>{0, 2, 3, 4, 5}));
+  store.mark_piece(2);
+  EXPECT_TRUE(store.missing_blocks(2).empty());
+}
+
+TEST_F(PieceStoreTest, CompletedFractionMonotonic) {
+  double last = 0.0;
+  for (int p = 0; p < 3; ++p) {
+    for (int b = 0; b < store.blocks_in_piece(p); ++b) {
+      store.mark_block(p, b);
+      EXPECT_GE(store.completed_fraction(), last);
+      last = store.completed_fraction();
+    }
+  }
+  EXPECT_DOUBLE_EQ(last, 1.0);
+}
+
+}  // namespace
+}  // namespace wp2p::bt

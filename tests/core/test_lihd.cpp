@@ -1,0 +1,109 @@
+// Unit tests of the LIHD decision rule (the paper's Figure 6 pseudo-code)
+// via LihdController::step, plus live-controller wiring checks.
+#include <gtest/gtest.h>
+
+#include "core/lihd.hpp"
+#include "exp/swarm.hpp"
+
+namespace wp2p::core {
+namespace {
+
+// A controller needs a client; build a minimal idle one.
+struct LihdTest : ::testing::Test {
+  exp::World world{99};
+  bt::Tracker tracker{world.sim};
+  bt::Metainfo meta = bt::Metainfo::create("f", 1 << 20, 256 * 1024);
+  exp::World::Host& host = world.add_wired_host("h");
+  bt::Client client{*host.node, *host.stack, tracker, meta, {}, false};
+
+  LihdConfig config;
+  std::unique_ptr<LihdController> make() {
+    return std::make_unique<LihdController>(world.sim, client, config);
+  }
+
+  static util::Rate kb(double v) { return util::Rate::kBps(v); }
+};
+
+TEST_F(LihdTest, StartsAtHalfOfUmax) {
+  config.max_upload = kb(200);
+  auto lihd = make();
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 100.0);
+}
+
+TEST_F(LihdTest, FirstSampleOnlySeedsHistory) {
+  auto lihd = make();
+  const double before = lihd->current_limit().kilobytes_per_sec();
+  lihd->step(kb(50));  // Dprev == 0: no adjustment (paper: "If Dprev <> 0")
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), before);
+}
+
+TEST_F(LihdTest, IncreasesLinearlyWhileDownloadsImprove) {
+  config.alpha = kb(10);
+  config.max_upload = kb(200);
+  auto lihd = make();
+  lihd->step(kb(10));
+  lihd->step(kb(20));  // improved: +alpha
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 110.0);
+  lihd->step(kb(30));  // improved again: +alpha (still linear)
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 120.0);
+}
+
+TEST_F(LihdTest, DecreasesWithGrowingAggressiveness) {
+  config.beta = kb(10);
+  config.max_upload = kb(200);
+  config.min_upload = kb(1);
+  auto lihd = make();
+  lihd->step(kb(50));
+  lihd->step(kb(40));  // worse: -beta*1
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 90.0);
+  lihd->step(kb(40));  // not improving: -beta*2
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 70.0);
+  lihd->step(kb(40));  // -beta*3
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 40.0);
+}
+
+TEST_F(LihdTest, ImprovementResetsDecreaseHistory) {
+  config.alpha = kb(10);
+  config.beta = kb(10);
+  auto lihd = make();
+  lihd->step(kb(50));
+  lihd->step(kb(40));  // -10
+  lihd->step(kb(45));  // improved: +10, history reset
+  lihd->step(kb(44));  // worse: -beta*1 (not -beta*3)
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 90.0);
+}
+
+TEST_F(LihdTest, ClampsToBounds) {
+  config.alpha = kb(500);
+  config.beta = kb(500);
+  config.max_upload = kb(200);
+  config.min_upload = kb(5);
+  auto lihd = make();
+  lihd->step(kb(10));
+  lihd->step(kb(20));  // +500 clamped to 200
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 200.0);
+  lihd->step(kb(15));  // -500 clamped to 5
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 5.0);
+}
+
+TEST_F(LihdTest, StartAppliesLimitToClient) {
+  config.max_upload = kb(200);
+  auto lihd = make();
+  lihd->start();
+  EXPECT_DOUBLE_EQ(client.upload_limit().kilobytes_per_sec(), 100.0);
+  lihd->stop();
+}
+
+TEST_F(LihdTest, PeriodicUpdatesRunWhileStarted) {
+  config.interval = sim::seconds(5.0);
+  auto lihd = make();
+  lihd->start();
+  world.sim.run_until(sim::seconds(26.0));
+  EXPECT_EQ(lihd->updates(), 5u);
+  lihd->stop();
+  world.sim.run_until(sim::seconds(60.0));
+  EXPECT_EQ(lihd->updates(), 5u);
+}
+
+}  // namespace
+}  // namespace wp2p::core

@@ -1,0 +1,103 @@
+#include "core/mobility_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/swarm.hpp"
+
+namespace wp2p::core {
+namespace {
+
+struct MobilityDetectorTest : ::testing::Test {
+  // Large file + throttled seed: the mobile stays a mid-download leech for
+  // the whole test (a completed download legitimately has zero peers).
+  bt::Metainfo meta = bt::Metainfo::create("f", 256 * 1024 * 1024, 256 * 1024, "tr", 22);
+  exp::Swarm swarm{41, meta};
+  exp::Swarm::Member* seed = nullptr;
+  exp::Swarm::Member* mobile = nullptr;
+
+  void SetUp() override {
+    bt::ClientConfig fast;
+    // Long announce intervals on BOTH sides: tracker-driven redials would
+    // otherwise heal the swarm before the detector can confirm (which is
+    // correct behaviour, but not what these tests probe).
+    fast.announce_interval = sim::minutes(10.0);
+    fast.upload_limit = util::Rate::kBps(100.0);
+    seed = &swarm.add_wired("seed", true, fast);
+    bt::ClientConfig mc = fast;
+    mc.role_reversal = true;
+    mc.retain_peer_id = true;
+    // Periodic announces would self-heal a lost swarm within ~30 s; push them
+    // out so the detector is the only recovery path in these tests.
+    mc.announce_interval = sim::minutes(10.0);
+    mobile = &swarm.add_wireless("mobile", false, mc);
+    swarm.start_all();
+  }
+};
+
+TEST_F(MobilityDetectorTest, StaysQuietWhilePeersAreAlive) {
+  MobilityDetector detector{swarm.world.sim, *mobile->client};
+  detector.start();
+  swarm.run_for(60.0);
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_TRUE(detector.armed());  // it has seen live peers
+}
+
+TEST_F(MobilityDetectorTest, DoesNotFireBeforeEverHavingPeers) {
+  // A detector on a client that never connected must not "recover".
+  exp::Swarm empty{42, meta};
+  bt::ClientConfig mc;
+  mc.announce_interval = sim::seconds(30.0);
+  auto& lonely = empty.add_wireless("lonely", false, mc);
+  MobilityDetector detector{empty.world.sim, *lonely.client};
+  lonely.client->start();
+  detector.start();
+  empty.run_for(120.0);
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_FALSE(detector.armed());
+}
+
+TEST_F(MobilityDetectorTest, DetectsSilentLossAndRecovers) {
+  MobilityDetectorConfig config;
+  config.sample_interval = sim::seconds(2.0);
+  config.confirm_samples = 2;
+  MobilityDetector detector{swarm.world.sim, *mobile->client, config};
+  detector.start();
+  swarm.run_for(20.0);
+  ASSERT_GT(mobile->client->peer_count(), 0u);
+
+  // Silent connection loss (no address-change event fires).
+  mobile->host->stack->abort_all();
+  ASSERT_EQ(mobile->client->peer_count(), 0u);
+  swarm.run_for(10.0);
+  EXPECT_EQ(detector.detections(), 1u);
+  EXPECT_GT(mobile->client->peer_count(), 0u);  // role reversal reconnected
+}
+
+TEST_F(MobilityDetectorTest, ConfirmSamplesSuppressTransients) {
+  MobilityDetectorConfig config;
+  config.sample_interval = sim::seconds(2.0);
+  config.confirm_samples = 5;  // needs 10 s of zero peers
+  MobilityDetector detector{swarm.world.sim, *mobile->client, config};
+  detector.start();
+  swarm.run_for(20.0);
+  // A brief outage that heals by itself (role reversal via address change).
+  mobile->host->node->change_address();  // client RR reconnects immediately
+  swarm.run_for(20.0);
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_GT(mobile->client->peer_count(), 0u);
+}
+
+TEST_F(MobilityDetectorTest, StopPreventsFurtherDetections) {
+  MobilityDetectorConfig config;
+  config.sample_interval = sim::seconds(2.0);
+  MobilityDetector detector{swarm.world.sim, *mobile->client, config};
+  detector.start();
+  swarm.run_for(20.0);
+  detector.stop();
+  mobile->host->stack->abort_all();
+  swarm.run_for(30.0);
+  EXPECT_EQ(detector.detections(), 0u);
+}
+
+}  // namespace
+}  // namespace wp2p::core

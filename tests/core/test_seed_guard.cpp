@@ -1,0 +1,147 @@
+// Tests for background-aware seeding (the paper's Section 4.2 future work):
+// unit tests of the decision rule and an end-to-end scenario where a mobile
+// seed's uploads contend with a foreground non-P2P download.
+#include <gtest/gtest.h>
+
+#include "core/seed_guard.hpp"
+#include "exp/swarm.hpp"
+#include "tcp/connection.hpp"
+
+namespace wp2p::core {
+namespace {
+
+struct SeedGuardUnit : ::testing::Test {
+  exp::World world{5};
+  bt::Tracker tracker{world.sim};
+  bt::Metainfo meta = bt::Metainfo::create("f", 1 << 20, 256 * 1024);
+  exp::World::Host& host = world.add_wired_host("h");
+  bt::Client client{*host.node, *host.stack, tracker, meta, {}, true};
+  SeedGuardConfig config;
+
+  static util::Rate kb(double v) { return util::Rate::kBps(v); }
+};
+
+TEST_F(SeedGuardUnit, StartsAtHalfMax) {
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(), 100.0);
+}
+
+TEST_F(SeedGuardUnit, CreepsUpWhileForegroundHolds) {
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  guard.step(kb(100));  // establishes the baseline
+  guard.step(kb(100));
+  guard.step(kb(101));
+  EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(), 130.0);
+  EXPECT_EQ(guard.backoffs(), 0u);
+}
+
+TEST_F(SeedGuardUnit, BacksOffWithGrowingAggressionWhenForegroundDegrades) {
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  guard.step(kb(100));  // baseline (limit -> 110)
+  guard.step(kb(80));   // harmed: -beta*1 -> 100
+  EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(), 100.0);
+  guard.step(kb(80));  // still harmed: -beta*2 -> 80
+  EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(), 80.0);
+  EXPECT_EQ(guard.backoffs(), 2u);
+}
+
+TEST_F(SeedGuardUnit, RecoveryResumesLinearIncrease) {
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  guard.step(kb(100));
+  guard.step(kb(50));   // back off
+  guard.step(kb(100));  // foreground recovered: +alpha, history reset
+  const double after_recovery = guard.current_limit().kilobytes_per_sec();
+  guard.step(kb(60));  // harmed again: only -beta*1
+  EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(), after_recovery - 10.0);
+}
+
+TEST_F(SeedGuardUnit, RespectsBounds) {
+  config.max_upload = kb(120);
+  config.min_upload = kb(5);
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  guard.step(kb(100));
+  for (int i = 0; i < 10; ++i) guard.step(kb(100));
+  EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(), 120.0);
+  for (int i = 0; i < 10; ++i) guard.step(kb(1));
+  EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(), 5.0);
+}
+
+// End to end: a mobile seed serves a swarm while the same host runs a
+// foreground TCP download; the guard should sacrifice upload rate to keep
+// the foreground near its unimpeded rate.
+TEST(SeedGuardScenario, ForegroundDownloadIsProtected) {
+  auto run = [](bool guarded) {
+    exp::World world{61};
+    bt::Tracker tracker{world.sim};
+    auto meta = bt::Metainfo::create("f", 512 * 1000 * 1000, 256 * 1024, "tr", 31);
+
+    net::WirelessParams wless;
+    wless.capacity = util::Rate::kBps(200.0);
+    wless.contention_overhead = 1.0;
+    auto& mobile = world.add_wireless_host("mobile", wless);
+    bt::ClientConfig sc;
+    sc.announce_interval = sim::seconds(30.0);
+    sc.upload_limit = util::Rate::unlimited();
+    sc.unchoke_slots = 5;
+    bt::Client seed{*mobile.node, *mobile.stack, tracker, meta, sc, true};
+
+    // Hungry remote leechers.
+    std::vector<std::unique_ptr<bt::Client>> leechers;
+    for (int i = 0; i < 4; ++i) {
+      bt::ClientConfig lc;
+      lc.announce_interval = sim::seconds(30.0);
+      lc.pipeline_depth = 32;
+      auto& host = world.add_wired_host("leech" + std::to_string(i));
+      leechers.push_back(
+          std::make_unique<bt::Client>(*host.node, *host.stack, tracker, meta, lc, false));
+    }
+
+    // Foreground non-P2P download: a raw TCP bulk flow to the mobile host.
+    auto& server_host = world.add_wired_host("webserver");
+    std::shared_ptr<tcp::Connection> web;
+    server_host.stack->listen(80, [&](std::shared_ptr<tcp::Connection> c) { web = std::move(c); });
+    auto browser = mobile.stack->connect(server_host.endpoint(80));
+    sim::PeriodicTask feeder{world.sim, sim::milliseconds(100.0), [&] {
+      if (web && web->established() && web->send_queue_bytes() < 64 * 1024) {
+        web->send_message(nullptr, 16 * 1024);
+      }
+    }};
+    feeder.start_after(sim::milliseconds(1.0));
+
+    metrics::ThroughputMeter foreground{sim::seconds(10.0)};
+    std::int64_t last_delivered = 0;
+    sim::PeriodicTask probe_feed{world.sim, sim::seconds(1.0), [&] {
+      const std::int64_t now_delivered = browser->stats().bytes_delivered;
+      foreground.add(world.sim.now(), now_delivered - last_delivered);
+      last_delivered = now_delivered;
+    }};
+    probe_feed.start();
+
+    std::unique_ptr<SeedUploadGuard> guard;
+    if (guarded) {
+      guard = std::make_unique<SeedUploadGuard>(
+          world.sim, seed, [&] { return foreground.rate(world.sim.now()); });
+    }
+
+    seed.start();
+    for (auto& l : leechers) l->start();
+    if (guard) guard->start();
+    world.sim.run_until(sim::seconds(240.0));
+    struct Result {
+      double foreground_rate;
+      std::int64_t uploaded;
+    };
+    return Result{static_cast<double>(browser->stats().bytes_delivered) / 240.0,
+                  seed.stats().payload_uploaded};
+  };
+
+  auto unguarded = run(false);
+  auto guarded = run(true);
+  // The guard must clearly improve the foreground download...
+  EXPECT_GT(guarded.foreground_rate, unguarded.foreground_rate * 1.3);
+  // ...while still seeding a nontrivial amount.
+  EXPECT_GT(guarded.uploaded, 0);
+}
+
+}  // namespace
+}  // namespace wp2p::core

@@ -1,0 +1,73 @@
+#include "media/playability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wp2p::media {
+namespace {
+
+struct PlayabilityTest : ::testing::Test {
+  bt::Metainfo meta = bt::Metainfo::create("v.mpg", 1024 * 1024, 256 * 1024);
+  bt::PieceStore store{meta};
+  PlayabilityAnalyzer analyzer;
+};
+
+TEST_F(PlayabilityTest, EmptyStoreIsUnplayable) {
+  EXPECT_DOUBLE_EQ(PlayabilityAnalyzer::playable_fraction(store), 0.0);
+}
+
+TEST_F(PlayabilityTest, OutOfOrderPiecesStayUnplayable) {
+  store.mark_piece(2);
+  store.mark_piece(3);
+  EXPECT_DOUBLE_EQ(PlayabilityAnalyzer::playable_fraction(store), 0.0);
+}
+
+TEST_F(PlayabilityTest, PrefixBecomesPlayable) {
+  store.mark_piece(0);
+  EXPECT_DOUBLE_EQ(PlayabilityAnalyzer::playable_fraction(store), 0.25);
+  store.mark_piece(1);
+  EXPECT_DOUBLE_EQ(PlayabilityAnalyzer::playable_fraction(store), 0.5);
+}
+
+TEST_F(PlayabilityTest, HoleFillRestoresFullPrefix) {
+  store.mark_piece(0);
+  store.mark_piece(2);
+  EXPECT_DOUBLE_EQ(PlayabilityAnalyzer::playable_fraction(store), 0.25);
+  store.mark_piece(1);
+  EXPECT_DOUBLE_EQ(PlayabilityAnalyzer::playable_fraction(store), 0.75);
+}
+
+TEST_F(PlayabilityTest, CompleteFileFullyPlayable) {
+  store.mark_all();
+  EXPECT_DOUBLE_EQ(PlayabilityAnalyzer::playable_fraction(store), 1.0);
+}
+
+TEST_F(PlayabilityTest, TrajectoryRecordsProgress) {
+  store.mark_piece(1);
+  analyzer.sample(store);
+  store.mark_piece(0);
+  analyzer.sample(store);
+  ASSERT_EQ(analyzer.trajectory().size(), 2u);
+  EXPECT_DOUBLE_EQ(analyzer.trajectory()[0].playable_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(analyzer.trajectory()[1].playable_fraction, 0.5);
+}
+
+TEST_F(PlayabilityTest, PlayableAtInterpolatesStepwise) {
+  store.mark_piece(0);
+  analyzer.sample(store);  // downloaded 0.25, playable 0.25
+  store.mark_piece(2);
+  analyzer.sample(store);  // downloaded 0.5, playable 0.25
+  store.mark_piece(1);
+  analyzer.sample(store);  // downloaded 0.75, playable 0.75
+  EXPECT_DOUBLE_EQ(analyzer.playable_at(0.1), 0.0);   // before first sample
+  EXPECT_DOUBLE_EQ(analyzer.playable_at(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(analyzer.playable_at(0.8), 0.75);
+}
+
+TEST_F(PlayabilityTest, ClearResetsTrajectory) {
+  analyzer.sample(store);
+  analyzer.clear();
+  EXPECT_TRUE(analyzer.trajectory().empty());
+}
+
+}  // namespace
+}  // namespace wp2p::media

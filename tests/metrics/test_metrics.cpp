@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "metrics/histogram.hpp"
+#include "metrics/meters.hpp"
+#include "metrics/table.hpp"
+
+namespace wp2p::metrics {
+namespace {
+
+TEST(ThroughputMeter, MeasuresWindowRate) {
+  ThroughputMeter meter{sim::seconds(10.0)};
+  meter.add(sim::seconds(1.0), 1000);
+  meter.add(sim::seconds(2.0), 1000);
+  // 2000 bytes over a 10 s window = 200 B/s.
+  EXPECT_NEAR(meter.rate(sim::seconds(2.0)).bytes_per_sec(), 200.0, 1e-9);
+  EXPECT_EQ(meter.total(), 2000);
+}
+
+TEST(ThroughputMeter, OldSamplesExpire) {
+  ThroughputMeter meter{sim::seconds(10.0)};
+  meter.add(sim::seconds(1.0), 5000);
+  EXPECT_NEAR(meter.rate(sim::seconds(20.0)).bytes_per_sec(), 0.0, 1e-9);
+  EXPECT_EQ(meter.total(), 5000);  // totals are cumulative
+}
+
+TEST(TimeSeries, RecordsAndAggregates) {
+  TimeSeries series;
+  series.record(sim::seconds(1.0), 10.0);
+  series.record(sim::seconds(2.0), 20.0);
+  series.record(sim::seconds(3.0), 30.0);
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.last_value(), 30.0);
+  EXPECT_DOUBLE_EQ(series.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(series.mean(sim::seconds(2.0), sim::seconds(3.0)), 25.0);
+}
+
+TEST(RunStats, SummaryStatistics) {
+  RunStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.1380899, 1e-6);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunStats, EmptyIsSafe) {
+  RunStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Histogram, CountsAndMoments) {
+  Histogram h{0.0, 100.0, 10};
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 49.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 99.0);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bucket_count(b), 10u);
+}
+
+TEST(Histogram, PercentilesInterpolate) {
+  Histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100));
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.0), 0.0, 1e-9);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), -100.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Table, FormatsNumbersAndPrints) {
+  Table table{"test"};
+  table.columns({"a", "b"});
+  table.row({Table::num(1.2345, 2), Table::num(7.0, 0)});
+  EXPECT_EQ(Table::num(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::num(7.0, 0), "7");
+  // Smoke-test print to a scratch stream.
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  table.print(f);
+  EXPECT_GT(std::ftell(f), 0);
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace wp2p::metrics

@@ -1,0 +1,152 @@
+// Cloud routing, impairments, address allocation, and mobility rebinding.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "net/wired_link.hpp"
+#include "sim/simulator.hpp"
+
+namespace wp2p::net {
+namespace {
+
+struct CollectSink final : PacketSink {
+  std::vector<Packet> received;
+  void receive(const Packet& pkt) override { received.push_back(pkt); }
+};
+
+struct NetworkFixture : ::testing::Test {
+  sim::Simulator sim{1};
+  Network net{sim};
+
+  Node& make_host(const char* name, CollectSink* sink = nullptr,
+                  WiredParams params = {}) {
+    Node& n = net.add_node(name);
+    n.attach(std::make_unique<WiredLink>(sim, n, net, params));
+    if (sink != nullptr) n.set_sink(sink);
+    return n;
+  }
+
+  static Packet make_packet(Endpoint src, Endpoint dst, std::int64_t size = 100) {
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.size = size;
+    return p;
+  }
+};
+
+TEST_F(NetworkFixture, AllocatesDistinctAddresses) {
+  Node& a = make_host("a");
+  Node& b = make_host("b");
+  EXPECT_NE(a.address(), b.address());
+  EXPECT_TRUE(a.address().valid());
+  EXPECT_EQ(net.find(a.address()), &a);
+  EXPECT_EQ(net.find(b.address()), &b);
+}
+
+TEST_F(NetworkFixture, CoreDelayIsApplied) {
+  net.path().core_delay = sim::milliseconds(100.0);
+  CollectSink sink;
+  Node& a = make_host("a");
+  Node& b = make_host("b", &sink);
+  a.send(make_packet({a.address(), 1}, {b.address(), 2}));
+  sim.run();
+  EXPECT_GE(sim.now(), sim::milliseconds(100.0));
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST_F(NetworkFixture, CoreLossDropsFraction) {
+  net.path().loss = 0.5;
+  net.path().core_delay = 0;
+  CollectSink sink;
+  WiredParams roomy;
+  roomy.queue_limit = 20000;  // the whole burst must fit; we test core loss only
+  Node& a = make_host("a", nullptr, roomy);
+  Node& b = make_host("b", &sink, roomy);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) a.send(make_packet({a.address(), 1}, {b.address(), 2}, 40));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(sink.received.size()) / n, 0.5, 0.03);
+  EXPECT_EQ(net.core_loss_drops() + sink.received.size(), static_cast<std::uint64_t>(n));
+}
+
+TEST_F(NetworkFixture, UnknownDestinationIsDropped) {
+  Node& a = make_host("a");
+  a.send(make_packet({a.address(), 1}, {IpAddr{12345}, 2}));
+  sim.run();
+  EXPECT_EQ(net.no_route_drops(), 1u);
+}
+
+TEST_F(NetworkFixture, AddressChangeRebindsRouting) {
+  CollectSink sink;
+  Node& a = make_host("a");
+  Node& b = make_host("b", &sink);
+  IpAddr old_addr = b.address();
+
+  b.change_address();
+  EXPECT_NE(b.address(), old_addr);
+  EXPECT_EQ(net.find(old_addr), nullptr);
+  EXPECT_EQ(net.find(b.address()), &b);
+  EXPECT_EQ(b.address_changes(), 1u);
+
+  // Packets to the old address blackhole; to the new address they arrive.
+  a.send(make_packet({a.address(), 1}, {old_addr, 2}));
+  a.send(make_packet({a.address(), 1}, {b.address(), 2}));
+  sim.run();
+  EXPECT_EQ(net.no_route_drops(), 1u);
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST_F(NetworkFixture, PacketInFlightDuringHandoffIsDropped) {
+  net.path().core_delay = sim::milliseconds(50.0);
+  CollectSink sink;
+  Node& a = make_host("a");
+  Node& b = make_host("b", &sink);
+  IpAddr old_addr = b.address();
+  a.send(make_packet({a.address(), 1}, {old_addr, 2}));
+  // Change the address while the packet is crossing the core.
+  sim.at(sim::milliseconds(10.0), [&] { b.change_address(); });
+  sim.run();
+  EXPECT_TRUE(sink.received.empty());
+  EXPECT_EQ(net.no_route_drops(), 1u);
+}
+
+TEST_F(NetworkFixture, AddressChangeObserversFire) {
+  Node& a = make_host("a");
+  IpAddr observed_old{}, observed_new{};
+  a.on_address_change.push_back([&](IpAddr o, IpAddr n) {
+    observed_old = o;
+    observed_new = n;
+  });
+  IpAddr before = a.address();
+  a.change_address();
+  EXPECT_EQ(observed_old, before);
+  EXPECT_EQ(observed_new, a.address());
+}
+
+TEST_F(NetworkFixture, ConnectivityObserversFire) {
+  Node& a = make_host("a");
+  std::vector<bool> transitions;
+  a.on_connectivity_change.push_back([&](bool c) { transitions.push_back(c); });
+  a.set_connected(false);
+  a.set_connected(false);  // no transition
+  a.set_connected(true);
+  EXPECT_EQ(transitions, (std::vector<bool>{false, true}));
+}
+
+TEST_F(NetworkFixture, JitterStaysWithinBound) {
+  net.path().core_delay = sim::milliseconds(10.0);
+  net.path().jitter = sim::milliseconds(5.0);
+  CollectSink sink;
+  Node& a = make_host("a");
+  Node& b = make_host("b", &sink);
+  for (int i = 0; i < 100; ++i) a.send(make_packet({a.address(), 1}, {b.address(), 2}, 40));
+  sim.run();
+  EXPECT_EQ(sink.received.size(), 100u);
+  // All packets must arrive within core_delay + jitter + serialization slack.
+  EXPECT_LE(sim.now(), sim::milliseconds(20.0));
+}
+
+}  // namespace
+}  // namespace wp2p::net

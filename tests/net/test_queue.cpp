@@ -1,0 +1,63 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wp2p::net {
+namespace {
+
+Packet make_packet(std::int64_t size) {
+  Packet p;
+  p.size = size;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q{10};
+  q.push(make_packet(1));
+  q.push(make_packet(2));
+  q.push(make_packet(3));
+  EXPECT_EQ(q.pop().size, 1);
+  EXPECT_EQ(q.pop().size, 2);
+  EXPECT_EQ(q.pop().size, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailQueue, TracksBytes) {
+  DropTailQueue q{10};
+  q.push(make_packet(100));
+  q.push(make_packet(200));
+  EXPECT_EQ(q.bytes(), 300);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 200);
+}
+
+TEST(DropTailQueue, DropsAtLimit) {
+  DropTailQueue q{2};
+  EXPECT_TRUE(q.push(make_packet(1)));
+  EXPECT_TRUE(q.push(make_packet(2)));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(make_packet(3)));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(DropTailQueue, DropCallbackFires) {
+  DropTailQueue q{1};
+  std::int64_t dropped_size = 0;
+  q.on_drop = [&](const Packet& p) { dropped_size = p.size; };
+  q.push(make_packet(1));
+  q.push(make_packet(99));
+  EXPECT_EQ(dropped_size, 99);
+}
+
+TEST(DropTailQueue, ClearEmptiesEverything) {
+  DropTailQueue q{5};
+  q.push(make_packet(1));
+  q.push(make_packet(2));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0);
+}
+
+}  // namespace
+}  // namespace wp2p::net

@@ -1,0 +1,111 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace wp2p::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng{7};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng{3};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{9};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng{9};
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{13};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{21};
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy{21};
+  parent_copy.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace wp2p::sim

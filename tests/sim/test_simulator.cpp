@@ -1,0 +1,153 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wp2p::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(seconds(3.0), [&] { order.push_back(3); });
+  sim.at(seconds(1.0), [&] { order.push_back(1); });
+  sim.at(seconds(2.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), seconds(3.0));
+}
+
+TEST(Simulator, TiesExecuteInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.at(seconds(5.0), [&] {
+    sim.after(seconds(2.0), [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, seconds(7.0));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.at(seconds(1.0), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  int count = 0;
+  EventId id = sim.at(seconds(1.0), [&] { ++count; });
+  sim.run();
+  sim.cancel(id);  // already fired: no-op
+  sim.cancel(id);
+  sim.cancel(kInvalidEventId);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(seconds(1.0), [&] { ++fired; });
+  sim.at(seconds(10.0), [&] { ++fired; });
+  sim.run_until(seconds(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), seconds(5.0));
+  sim.run_until(seconds(20.0));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), seconds(20.0));
+}
+
+TEST(Simulator, RunUntilWithCancelledHeadDoesNotStall) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.at(seconds(1.0), [&] {});
+  sim.cancel(id);
+  sim.at(seconds(2.0), [&] { fired = true; });
+  sim.run_until(seconds(3.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleAtSameTime) {
+  Simulator sim;
+  int depth = 0;
+  sim.at(seconds(1.0), [&] {
+    sim.after(0, [&] { depth = 1; });
+  });
+  sim.run();
+  EXPECT_EQ(depth, 1);
+  EXPECT_EQ(sim.now(), seconds(1.0));
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.after(seconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(PeriodicTask, FiresAtInterval) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task{sim, seconds(1.0), [&] { ++fires; }};
+  task.start();
+  sim.run_until(seconds(5.5));
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTask, StopHaltsFiring) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task{sim, seconds(1.0), [&] {
+    ++fires;
+    if (fires == 3) task.stop();
+  }};
+  task.start();
+  sim.run_until(seconds(100.0));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTask, StartAfterControlsFirstDelay) {
+  Simulator sim;
+  SimTime first = -1;
+  PeriodicTask task{sim, seconds(10.0), [&] {
+    if (first < 0) first = sim.now();
+  }};
+  task.start_after(seconds(2.0));
+  sim.run_until(seconds(30.0));
+  EXPECT_EQ(first, seconds(2.0));
+}
+
+TEST(PeriodicTask, DestructorCancelsCleanly) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTask task{sim, seconds(1.0), [&] { ++fires; }};
+    task.start();
+    sim.run_until(seconds(2.5));
+  }
+  sim.run_until(seconds(10.0));
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace wp2p::sim

@@ -1,0 +1,75 @@
+#include "util/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wp2p::util {
+namespace {
+
+TEST(WindowedSum, SumsWithinWindow) {
+  WindowedSum w{100};
+  w.add(0, 5.0);
+  w.add(50, 10.0);
+  EXPECT_DOUBLE_EQ(w.sum(50), 15.0);
+}
+
+TEST(WindowedSum, EvictsOldSamples) {
+  WindowedSum w{100};
+  w.add(0, 5.0);
+  w.add(50, 10.0);
+  // Sample at t=0 falls out once now-window >= 0.
+  EXPECT_DOUBLE_EQ(w.sum(100), 10.0);
+  EXPECT_DOUBLE_EQ(w.sum(150), 0.0);
+}
+
+TEST(WindowedSum, RateIsSumOverWindow) {
+  WindowedSum w{1000};
+  w.add(100, 500.0);
+  EXPECT_DOUBLE_EQ(w.rate(100), 0.5);
+}
+
+TEST(WindowedSum, ClearResets) {
+  WindowedSum w{100};
+  w.add(0, 5.0);
+  w.clear();
+  EXPECT_DOUBLE_EQ(w.sum(0), 0.0);
+}
+
+TEST(WindowedSum, ManySamplesStayConsistent) {
+  WindowedSum w{10};
+  for (int t = 0; t < 1000; ++t) w.add(t, 1.0);
+  EXPECT_DOUBLE_EQ(w.sum(999), 10.0);  // exactly the last 10 samples
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma e{0.5};
+  EXPECT_FALSE(e.seeded());
+  e.add(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma e{0.25};
+  e.add(0.0);
+  for (int i = 0; i < 100; ++i) e.add(100.0);
+  EXPECT_NEAR(e.value(), 100.0, 1e-6);
+}
+
+TEST(Ewma, GainControlsResponsiveness) {
+  Ewma fast{0.9}, slow{0.1};
+  fast.add(0.0);
+  slow.add(0.0);
+  fast.add(100.0);
+  slow.add(100.0);
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma e{0.5};
+  e.add(42.0);
+  e.reset();
+  EXPECT_FALSE(e.seeded());
+}
+
+}  // namespace
+}  // namespace wp2p::util

@@ -1,0 +1,59 @@
+#include "util/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wp2p::util {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket bucket{Rate::kBps(10), 1000};
+  EXPECT_TRUE(bucket.try_consume(0, 1000));
+  EXPECT_FALSE(bucket.try_consume(0, 1));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket{Rate::bytes_per_sec(100), 1000};
+  ASSERT_TRUE(bucket.try_consume(0, 1000));
+  EXPECT_FALSE(bucket.try_consume(sim::seconds(1.0), 200));  // only 100 back
+  EXPECT_TRUE(bucket.try_consume(sim::seconds(2.0), 200));
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket bucket{Rate::bytes_per_sec(1000), 500};
+  bucket.try_consume(0, 500);
+  // After 10 s, 10000 bytes accrued but cap is 500.
+  EXPECT_FALSE(bucket.try_consume(sim::seconds(10.0), 501));
+  EXPECT_TRUE(bucket.try_consume(sim::seconds(10.0), 500));
+}
+
+TEST(TokenBucket, UnlimitedAlwaysConsumes) {
+  TokenBucket bucket{Rate::unlimited(), 16};
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.try_consume(0, 1 << 20));
+}
+
+TEST(TokenBucket, TimeUntilComputesDeficit) {
+  TokenBucket bucket{Rate::bytes_per_sec(100), 100};
+  bucket.try_consume(0, 100);
+  // Needs 50 bytes: 0.5 s at 100 B/s (plus 1 us rounding).
+  sim::SimTime wait = bucket.time_until(0, 50);
+  EXPECT_GE(wait, sim::milliseconds(500.0));
+  EXPECT_LE(wait, sim::milliseconds(501.0));
+  EXPECT_EQ(bucket.time_until(0, 0), 0);
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  TokenBucket bucket{Rate::zero(), 100};
+  bucket.try_consume(0, 100);
+  EXPECT_FALSE(bucket.try_consume(sim::seconds(1000.0), 1));
+  EXPECT_GT(bucket.time_until(sim::seconds(1000.0), 1), sim::seconds(1e9));
+}
+
+TEST(TokenBucket, SetRateTakesEffect) {
+  TokenBucket bucket{Rate::bytes_per_sec(10), 1000};
+  bucket.try_consume(0, 1000);
+  bucket.set_rate(Rate::bytes_per_sec(1000), 0);
+  EXPECT_TRUE(bucket.try_consume(sim::seconds(1.0), 900));
+}
+
+}  // namespace
+}  // namespace wp2p::util

@@ -1,0 +1,53 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wp2p::util {
+namespace {
+
+TEST(Rate, FactoryConversions) {
+  EXPECT_DOUBLE_EQ(Rate::bytes_per_sec(1000).bytes_per_sec(), 1000.0);
+  EXPECT_DOUBLE_EQ(Rate::kBps(100).bytes_per_sec(), 100000.0);
+  EXPECT_DOUBLE_EQ(Rate::mbps(8).bytes_per_sec(), 1e6);
+  EXPECT_DOUBLE_EQ(Rate::kbps(8).bytes_per_sec(), 1000.0);
+  EXPECT_DOUBLE_EQ(Rate::mbps(1).bps(), 1e6);
+}
+
+TEST(Rate, SecondsFor) {
+  Rate r = Rate::bytes_per_sec(500);
+  EXPECT_DOUBLE_EQ(r.seconds_for(1000), 2.0);
+  EXPECT_DOUBLE_EQ(r.seconds_for(0), 0.0);
+}
+
+TEST(Rate, ZeroRateNeverCompletes) {
+  EXPECT_GT(Rate::zero().seconds_for(1), 1e17);
+  EXPECT_TRUE(Rate::zero().is_zero());
+}
+
+TEST(Rate, UnlimitedIsRecognized) {
+  EXPECT_TRUE(Rate::unlimited().is_unlimited());
+  EXPECT_FALSE(Rate::mbps(10000).is_unlimited());
+}
+
+TEST(Rate, Arithmetic) {
+  Rate a = Rate::kBps(100), b = Rate::kBps(50);
+  EXPECT_DOUBLE_EQ((a + b).kilobytes_per_sec(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).kilobytes_per_sec(), 50.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).kilobytes_per_sec(), 200.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).kilobytes_per_sec(), 50.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MiB");
+}
+
+TEST(Format, RateString) {
+  EXPECT_EQ(format_rate(Rate::kBps(128)), "128.0 KBps");
+  EXPECT_EQ(format_rate(Rate::unlimited()), "unlimited");
+}
+
+}  // namespace
+}  // namespace wp2p::util
