@@ -92,14 +92,14 @@ void figure_2a() {
                bench::kbps(bi.mean()),
                metrics::Table::num(bi.mean() / std::max(uni.mean(), 1.0), 2)});
   }
-  table.print();
+  bench::show(table);
   bench::print_shape_note(
       "uni-TCP > bi-TCP at every BER; gap widens as BER grows (paper Fig. 2a)");
 }
 
 // Packets sent from the client per interval, with buffer-drop events marked.
 void figure_2bc(bool bidirectional) {
-  World world{42};
+  World world{bench::base_seed(42)};
   net::WirelessParams wless;
   wless.capacity = util::Rate::kBps(100.0);
   wless.down_queue_limit = 16;  // small AP buffer to force congestion drops
@@ -141,18 +141,20 @@ void figure_2bc(bool bidirectional) {
                std::to_string(up_packets - last_packets), std::to_string(drops)});
     last_packets = up_packets;
   }
-  table.print();
+  bench::show(table);
 }
 
 }  // namespace
 }  // namespace wp2p
 
-int main() {
+int main(int argc, char** argv) {
+  wp2p::bench::ArgParser{argc, argv};
   wp2p::figure_2a();
   wp2p::figure_2bc(false);
   wp2p::figure_2bc(true);
   wp2p::bench::print_shape_note(
       "after drops, uni-directional client packet counts dip; bi-directional stays "
       "flat (paper Fig. 2b,c)");
+  wp2p::bench::print_runner_summary();
   return 0;
 }

@@ -150,17 +150,20 @@ void figure_3ab(bool wireless) {
   table.columns({"upload limit (% of phys)", "aggregate download (KBps)",
                  "actual upload (KBps)"});
   for (int pct : {0, 10, 20, 30, 40, 60, 80}) {
-    metrics::RunStats up_stats;
-    auto stats = bench::over_seeds(4, 500, [&](std::uint64_t s) {  // common random numbers across the sweep
+    // Common random numbers across the sweep: every pct reuses the same seeds.
+    auto results = bench::over_seeds_map<TaskResult>(4, 500, [&](std::uint64_t s) {
       util::Rate limit = pct == 0 ? util::Rate::bytes_per_sec(1.0)  // effectively zero
                                   : budget * (pct / 100.0);
-      TaskResult r = run_tasks(s, wireless, limit, 480.0, TaskSpec{}, 5);
-      up_stats.add(r.upload_rate);
-      return r.download_rate;
+      return run_tasks(s, wireless, limit, 480.0, TaskSpec{}, 5);
     });
+    metrics::RunStats stats, up_stats;
+    for (const TaskResult& r : results) {
+      stats.add(r.download_rate);
+      up_stats.add(r.upload_rate);
+    }
     table.row({std::to_string(pct), bench::kbps(stats.mean()), bench::kbps(up_stats.mean())});
   }
-  table.print();
+  bench::show(table);
   bench::print_shape_note(
       wireless ? "download rises with upload limit, peaks, then FALLS (self-contention; "
                  "paper Fig. 3b)"
@@ -184,8 +187,12 @@ void figure_3c() {
   const double horizon_s = 40.0 * 60.0;
   const int samples = 8;  // every 5 minutes
 
-  for (Curve& curve : curves) {
-    exp::World world{77};
+  // The four curves are independent single-seed worlds: run them on the pool.
+  auto curve_results = bench::runner().map<std::vector<double>>(
+      static_cast<int>(curves.size()), [&](int c) {
+    const Curve& curve = curves[static_cast<std::size_t>(c)];
+    std::vector<double> mb_at;
+    exp::World world{bench::base_seed(77)};
     bt::Tracker tracker{world.sim};
     auto meta = bt::Metainfo::create("file100", 100 * 1000 * 1000, 256 * 1024, "tr", 3);
     std::vector<std::unique_ptr<bt::Client>> fixed;
@@ -225,9 +232,11 @@ void figure_3c() {
     }
     for (int i = 1; i <= samples; ++i) {
       world.sim.run_until(sim::seconds(horizon_s * i / samples));
-      curve.mb_at.push_back(static_cast<double>(client.stats().payload_downloaded) / 1e6);
+      mb_at.push_back(static_cast<double>(client.stats().payload_downloaded) / 1e6);
     }
-  }
+    return mb_at;
+  });
+  for (std::size_t c = 0; c < curves.size(); ++c) curves[c].mb_at = std::move(curve_results[c]);
 
   metrics::Table table{"Figure 3(c): downloaded size (MB) vs time, incentive x mobility"};
   std::vector<std::string> cols{"t (min)"};
@@ -238,7 +247,7 @@ void figure_3c() {
     for (const Curve& c : curves) row.push_back(metrics::Table::num(c.mb_at[static_cast<std::size_t>(i)], 1));
     table.row(row);
   }
-  table.print();
+  bench::show(table);
   bench::print_shape_note(
       "no-mobility+uploading >> no-mobility+no-upload; with mobility both collapse and "
       "the uploading advantage nearly vanishes (paper Fig. 3c)");
@@ -247,9 +256,11 @@ void figure_3c() {
 }  // namespace
 }  // namespace wp2p
 
-int main() {
+int main(int argc, char** argv) {
+  wp2p::bench::ArgParser{argc, argv};
   wp2p::figure_3ab(false);
   wp2p::figure_3ab(true);
   wp2p::figure_3c();
+  wp2p::bench::print_runner_summary();
   return 0;
 }

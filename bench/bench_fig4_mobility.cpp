@@ -69,7 +69,7 @@ void figure_4a() {
     });
     table.row({p.label, bench::kbps(one.mean()), bench::kbps(all.mean())});
   }
-  table.print();
+  bench::show(table);
   bench::print_shape_note(
       "throughput falls as IP changes become more frequent, and degradation is "
       "amplified when all corresponding peers are mobile (paper Fig. 4a)");
@@ -112,10 +112,11 @@ std::vector<double> run_playability(std::uint64_t seed, std::int64_t file_size,
 
 void figure_4bc(std::int64_t file_size, const char* which) {
   const int runs = 10;  // the paper averages over 10 runs
+  auto per_run = bench::over_seeds_map<std::vector<double>>(runs, 800, [&](std::uint64_t s) {
+    return run_playability(s, file_size, bt::SelectorKind::kRarestFirst);
+  });
   std::vector<metrics::RunStats> stats(10);
-  for (int r = 0; r < runs; ++r) {
-    auto playable = run_playability(800 + static_cast<std::uint64_t>(r), file_size,
-                                    bt::SelectorKind::kRarestFirst);
+  for (const auto& playable : per_run) {
     for (std::size_t i = 0; i < playable.size(); ++i) stats[i].add(playable[i]);
   }
   metrics::Table table{std::string{"Figure 4("} + which + "): playable% vs downloaded%, " +
@@ -125,18 +126,20 @@ void figure_4bc(std::int64_t file_size, const char* which) {
     table.row({std::to_string((i + 1) * 10), metrics::Table::num(stats[static_cast<std::size_t>(i)].mean()),
                metrics::Table::num(stats[static_cast<std::size_t>(i)].stddev())});
   }
-  table.print();
+  bench::show(table);
 }
 
 }  // namespace
 }  // namespace wp2p
 
-int main() {
+int main(int argc, char** argv) {
+  wp2p::bench::ArgParser{argc, argv};
   wp2p::figure_4a();
   wp2p::figure_4bc(5 * 1000 * 1000, "b");
   wp2p::figure_4bc(100 * 1000 * 1000, "c");
   wp2p::bench::print_shape_note(
       "playable fraction stays near zero until a very large share of the file is "
       "downloaded; the effect is starker for the larger file (paper Fig. 4b,c)");
+  wp2p::bench::print_runner_summary();
   return 0;
 }

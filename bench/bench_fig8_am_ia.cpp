@@ -76,9 +76,11 @@ void figure_8a() {
   metrics::Table table{"Figure 8(a): AM — download throughput vs BER, default vs wP2P"};
   table.columns({"BER", "default (KBps)", "wP2P (KBps)", "wP2P/default"});
   for (double ber : bers) {
+    auto results = bench::over_seeds_map<AmResult>(5, 1100, [&](std::uint64_t s) {
+      return run_am(s, ber, 240.0);
+    });
     metrics::RunStats def, wp;
-    for (int r = 0; r < 5; ++r) {
-      AmResult res = run_am(1100 + static_cast<std::uint64_t>(r), ber, 240.0);
+    for (const AmResult& res : results) {
       def.add(res.default_rate);
       wp.add(res.wp2p_rate);
     }
@@ -86,7 +88,7 @@ void figure_8a() {
                bench::kbps(wp.mean()),
                metrics::Table::num(wp.mean() / std::max(def.mean(), 1.0), 2)});
   }
-  table.print();
+  bench::show(table);
   bench::print_shape_note("wP2P outperforms the default client at every BER, by roughly "
                           "20% (paper Fig. 8a)");
 }
@@ -144,8 +146,12 @@ std::vector<double> run_identity(std::uint64_t seed, bool retain_id, double minu
 }
 
 void figure_8b() {
-  auto def = run_identity(1200, false, 50.0);
-  auto wp = run_identity(1200, true, 50.0);
+  // Two independent single-seed worlds (default vs wP2P-IA): run both at once.
+  auto curves = bench::runner().map<std::vector<double>>(2, [&](int i) {
+    return run_identity(bench::base_seed(1200), /*retain_id=*/i == 1, 50.0);
+  });
+  const std::vector<double>& def = curves[0];
+  const std::vector<double>& wp = curves[1];
   metrics::Table table{
       "Figure 8(b): identity retention — downloaded size vs time, IP change every 1 min"};
   table.columns({"t (min)", "default (MB)", "wP2P (MB)"});
@@ -153,7 +159,7 @@ void figure_8b() {
     table.row({metrics::Table::num(50.0 * static_cast<double>(i + 1) / 10.0, 0),
                metrics::Table::num(def[i]), metrics::Table::num(wp[i])});
   }
-  table.print();
+  bench::show(table);
   bench::print_shape_note("wP2P downloads substantially more than the default client over "
                           "50 minutes of per-minute hand-offs (paper Fig. 8b: ~100 MB more)");
 }
@@ -240,7 +246,7 @@ void figure_8c() {
     table.row({metrics::Table::num(bw, 0), bench::kbps(def.mean()), bench::kbps(wp.mean()),
                metrics::Table::num(wp.mean() / std::max(def.mean(), 1.0), 2)});
   }
-  table.print();
+  bench::show(table);
   bench::print_shape_note(
       "both rise with bandwidth at first; beyond a point the default client loses "
       "throughput to upload self-contention while LIHD keeps gaining — up to ~70% "
@@ -250,9 +256,11 @@ void figure_8c() {
 }  // namespace
 }  // namespace wp2p
 
-int main() {
+int main(int argc, char** argv) {
+  wp2p::bench::ArgParser{argc, argv};
   wp2p::figure_8a();
   wp2p::figure_8b();
   wp2p::figure_8c();
+  wp2p::bench::print_runner_summary();
   return 0;
 }

@@ -51,15 +51,22 @@ std::vector<double> run_playability(std::uint64_t seed, std::int64_t file_size, 
   return playable_at;
 }
 
+struct PlayabilityPair {
+  std::vector<double> def;
+  std::vector<double> mf;
+};
+
 void figure_9ab(std::int64_t file_size, const char* which) {
   const int runs = 20;  // the paper averages over 20 runs
+  auto per_run = bench::over_seeds_map<PlayabilityPair>(runs, 1400, [&](std::uint64_t s) {
+    return PlayabilityPair{run_playability(s, file_size, false),
+                           run_playability(s, file_size, true)};
+  });
   std::vector<metrics::RunStats> def(10), mf(10);
-  for (int r = 0; r < runs; ++r) {
-    auto d = run_playability(1400 + static_cast<std::uint64_t>(r), file_size, false);
-    auto m = run_playability(1400 + static_cast<std::uint64_t>(r), file_size, true);
+  for (const PlayabilityPair& pair : per_run) {
     for (std::size_t i = 0; i < 10; ++i) {
-      def[i].add(d[i]);
-      mf[i].add(m[i]);
+      def[i].add(pair.def[i]);
+      mf[i].add(pair.mf[i]);
     }
   }
   metrics::Table table{std::string{"Figure 9("} + which +
@@ -71,7 +78,7 @@ void figure_9ab(std::int64_t file_size, const char* which) {
                metrics::Table::num(def[static_cast<std::size_t>(i)].mean()),
                metrics::Table::num(mf[static_cast<std::size_t>(i)].mean())});
   }
-  table.print();
+  bench::show(table);
 }
 
 // --- Figure 9(c) --------------------------------------------------------------------
@@ -131,7 +138,7 @@ void figure_9c() {
                bench::kbps(wp.mean()),
                metrics::Table::num(wp.mean() / std::max(def.mean(), 1.0), 2)});
   }
-  table.print();
+  bench::show(table);
   bench::print_shape_note(
       "upload throughput falls with disruption rate for both, but wP2P recovers "
       "instantly and leads by more at higher rates — up to ~50% at 2-minute "
@@ -141,9 +148,11 @@ void figure_9c() {
 }  // namespace
 }  // namespace wp2p
 
-int main() {
+int main(int argc, char** argv) {
+  wp2p::bench::ArgParser{argc, argv};
   wp2p::figure_9ab(5 * 1000 * 1000, "a");
   wp2p::figure_9ab(100 * 1000 * 1000, "b");
   wp2p::figure_9c();
+  wp2p::bench::print_runner_summary();
   return 0;
 }

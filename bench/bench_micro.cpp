@@ -8,6 +8,7 @@
 #include "bt/metainfo.hpp"
 #include "bt/piece_store.hpp"
 #include "bt/selector.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/swarm.hpp"
 #include "sim/simulator.hpp"
 
@@ -85,6 +86,23 @@ void BM_PieceStoreMarkAllBlocks(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PieceStoreMarkAllBlocks);
+
+// Worker-pool dispatch overhead and scaling: a batch of small independent
+// simulator runs, as the multi-seed bench sweeps issue them.
+void BM_ParallelRunnerMap(benchmark::State& state) {
+  exp::ParallelRunner runner{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    auto events = runner.map<std::uint64_t>(32, [](int task) {
+      sim::Simulator sim{static_cast<std::uint64_t>(task) + 1};
+      for (int e = 0; e < 2000; ++e) sim.after(sim::microseconds(e * 13 % 997), [] {});
+      sim.run();
+      return sim.events_processed();
+    });
+    benchmark::DoNotOptimize(events.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ParallelRunnerMap)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // End-to-end: simulated events per second for a seed->leech 10 MB transfer.
 void BM_SwarmTransferEvents(benchmark::State& state) {

@@ -2,24 +2,144 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/wp2p_client.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/swarm.hpp"
 #include "metrics/meters.hpp"
 #include "metrics/table.hpp"
 
 namespace wp2p::bench {
 
+// Process-wide bench configuration, populated by ArgParser in main() before
+// any figure runs.
+struct BenchOptions {
+  int jobs = 0;                   // worker threads; 0 = one per hardware thread
+  int runs_override = 0;          // 0 = keep each figure's default run count
+  std::uint64_t seed_offset = 0;  // shifts every base seed
+  bool csv = false;               // emit tables as CSV instead of aligned text
+};
+
+inline BenchOptions& options() {
+  static BenchOptions opts;
+  return opts;
+}
+
+// The pool every multi-seed sweep in this binary runs on. Constructed on
+// first use, after ArgParser has set --jobs.
+inline exp::ParallelRunner& runner() {
+  static exp::ParallelRunner pool{options().jobs};
+  return pool;
+}
+
+// Parser for the flags shared by every bench binary. Construct it first thing
+// in main(); it fills options() and exits the process on --help or bad input.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    BenchOptions& opts = options();
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage(argv[0], stdout);
+        std::exit(0);
+      } else if (arg == "--runs") {
+        opts.runs_override = parse_int(arg, next_value(argc, argv, i), 1);
+      } else if (arg == "--jobs") {
+        opts.jobs = parse_int(arg, next_value(argc, argv, i), 1);
+      } else if (arg == "--seed") {
+        opts.seed_offset =
+            static_cast<std::uint64_t>(parse_int(arg, next_value(argc, argv, i), 0));
+      } else if (arg == "--csv") {
+        opts.csv = true;
+      } else {
+        usage(argv[0], stderr);
+        fail("unknown flag: " + arg);
+      }
+    }
+  }
+
+ private:
+  static void usage(const char* prog, std::FILE* out) {
+    std::fprintf(out,
+                 "usage: %s [--runs N] [--jobs N] [--seed S] [--csv]\n"
+                 "  --runs N  override every figure's seeded-run count\n"
+                 "  --jobs N  worker threads for multi-seed sweeps"
+                 " (default: one per hardware thread)\n"
+                 "  --seed S  offset added to every base seed\n"
+                 "  --csv     print tables as CSV rows\n",
+                 prog);
+  }
+
+  [[noreturn]] static void fail(const std::string& message) {
+    std::fprintf(stderr, "%s\n", message.c_str());
+    std::exit(2);
+  }
+
+  static const char* next_value(int argc, char** argv, int& i) {
+    if (++i >= argc) fail(std::string{argv[i - 1]} + " expects a value");
+    return argv[i];
+  }
+
+  static int parse_int(const std::string& flag, const char* text, int min_value) {
+    char* end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value < min_value || value > 1 << 20) {
+      fail(flag + ": bad value '" + text + "'");
+    }
+    return static_cast<int>(value);
+  }
+};
+
+// Base seed with the --seed offset applied (over_seeds* apply it themselves;
+// use this for single-run scenarios).
+inline std::uint64_t base_seed(std::uint64_t seed) { return seed + options().seed_offset; }
+
+// Run fn once per seed on the worker pool and return the per-seed results in
+// seed order. Collection order is independent of thread interleaving, so any
+// aggregate built from the returned vector is bit-identical for every --jobs
+// value.
+template <typename T>
+std::vector<T> over_seeds_map(int runs, std::uint64_t seed,
+                              const std::function<T(std::uint64_t)>& fn) {
+  if (options().runs_override > 0) runs = options().runs_override;
+  const std::uint64_t seed0 = base_seed(seed);
+  return runner().map<T>(runs,
+                         [&](int i) { return fn(seed0 + static_cast<std::uint64_t>(i)); });
+}
+
 // Average a scalar metric over independent seeded runs (the paper's
 // "averaged over N runs").
 inline metrics::RunStats over_seeds(int runs, std::uint64_t base_seed,
                                     const std::function<double(std::uint64_t)>& fn) {
   metrics::RunStats stats;
-  for (int i = 0; i < runs; ++i) stats.add(fn(base_seed + static_cast<std::uint64_t>(i)));
+  for (double v : over_seeds_map<double>(runs, base_seed, fn)) stats.add(v);
   return stats;
+}
+
+// Print a finished table honouring --csv.
+inline void show(const metrics::Table& table) {
+  if (options().csv) {
+    table.print_csv();
+  } else {
+    table.print();
+  }
+}
+
+// Wall-clock accounting for the worker pool. Goes to stderr so stdout stays
+// byte-comparable across --jobs values.
+inline void print_runner_summary() {
+  const exp::RunnerReport& r = runner().report();
+  if (r.tasks == 0) return;
+  std::fprintf(stderr,
+               "parallel runner: %d seeded runs in %d batches, jobs=%d, "
+               "task time %.1fs, wall %.1fs, speedup %.2fx\n",
+               r.tasks, r.batches, runner().jobs(), r.task_seconds, r.wall_seconds,
+               r.speedup());
 }
 
 // A population of fixed (wired) peers forming the remote side of a swarm.

@@ -36,10 +36,10 @@ class PeerConnection {
   PeerConnection(sim::Simulator& sim, std::shared_ptr<tcp::Connection> conn,
                  bool initiator, int piece_count, sim::SimTime rate_window)
       : peer_bitfield{piece_count},
-        down_meter{rate_window},
-        up_meter{rate_window},
         last_received_at{sim.now()},
         last_sent_at{sim.now()},
+        down_meter{rate_window},
+        up_meter{rate_window},
         sim_{&sim},
         conn_{std::move(conn)},
         initiator_{initiator} {}

@@ -1,0 +1,145 @@
+// Worker-pool executor for multi-seed experiment runs.
+//
+// Every paper figure is an average over N seeded runs, and each run is a
+// share-nothing deterministic simulation (its own Simulator, Network, and
+// root RNG). That makes the batch embarrassingly parallel: the pool needs no
+// synchronization beyond the task queues themselves.
+//
+// Tasks are distributed round-robin across per-worker deques; an idle worker
+// pops from the front of its own deque and steals from the back of a victim's
+// (classic work stealing), so one straggler seed cannot serialize the tail of
+// a batch. Results land in index-addressed slots, which makes aggregation
+// order — and therefore every bench table — independent of thread
+// interleaving: `--jobs 1` and `--jobs 8` print byte-identical output.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wp2p::exp {
+
+// Cumulative wall-clock accounting across all batches run on one pool.
+// task_seconds sums the wall time of the individual tasks, so
+// task_seconds / wall_seconds is the observed parallel speedup.
+struct RunnerReport {
+  int tasks = 0;
+  int batches = 0;
+  double task_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double speedup() const { return wall_seconds > 0.0 ? task_seconds / wall_seconds : 1.0; }
+};
+
+class ParallelRunner {
+ public:
+  // jobs <= 0 selects one worker per hardware thread.
+  explicit ParallelRunner(int jobs = 0) { set_jobs(jobs); }
+
+  static int hardware_jobs() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  void set_jobs(int jobs) { jobs_ = jobs > 0 ? jobs : hardware_jobs(); }
+  int jobs() const { return jobs_; }
+  const RunnerReport& report() const { return report_; }
+
+  // Run fn(i) for every i in [0, count). Blocks until the batch completes;
+  // the first exception thrown by a task is rethrown here. Not reentrant —
+  // call from one thread, and do not nest batches inside tasks.
+  void for_each_index(int count, const std::function<void(int)>& fn) {
+    if (count <= 0) return;
+    using Clock = std::chrono::steady_clock;
+    const auto batch_start = Clock::now();
+    const int workers = std::min(jobs_, count);
+    std::vector<double> task_seconds(static_cast<std::size_t>(workers), 0.0);
+
+    auto timed_run = [&](int worker, int index) {
+      const auto start = Clock::now();
+      fn(index);
+      task_seconds[static_cast<std::size_t>(worker)] +=
+          std::chrono::duration<double>(Clock::now() - start).count();
+    };
+
+    if (workers == 1) {
+      for (int i = 0; i < count; ++i) timed_run(0, i);
+    } else {
+      std::deque<WorkerQueue> queues(static_cast<std::size_t>(workers));
+      for (int i = 0; i < count; ++i) {
+        queues[static_cast<std::size_t>(i % workers)].tasks.push_back(i);
+      }
+      std::mutex error_mutex;
+      std::exception_ptr first_error;
+      auto worker_main = [&](int self) {
+        try {
+          for (;;) {
+            int index = take_own(queues[static_cast<std::size_t>(self)]);
+            for (int off = 1; off < workers && index < 0; ++off) {
+              index = steal(queues[static_cast<std::size_t>((self + off) % workers)]);
+            }
+            // Tasks never enqueue tasks, so empty queues everywhere means done.
+            if (index < 0) return;
+            timed_run(self, index);
+          }
+        } catch (...) {
+          std::lock_guard lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+        }
+      };
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) threads.emplace_back(worker_main, w);
+      for (auto& t : threads) t.join();
+      if (first_error) std::rethrow_exception(first_error);
+    }
+
+    report_.tasks += count;
+    report_.batches += 1;
+    for (double s : task_seconds) report_.task_seconds += s;
+    report_.wall_seconds += std::chrono::duration<double>(Clock::now() - batch_start).count();
+  }
+
+  // As for_each_index, but collect fn's results in index order. T must be
+  // default-constructible; slots are written exactly once, each by the worker
+  // that ran the index, so no synchronization on the result vector is needed.
+  template <typename T>
+  std::vector<T> map(int count, const std::function<T(int)>& fn) {
+    std::vector<T> results(static_cast<std::size_t>(std::max(count, 0)));
+    for_each_index(count, [&](int i) { results[static_cast<std::size_t>(i)] = fn(i); });
+    return results;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<int> tasks;
+  };
+
+  static int take_own(WorkerQueue& queue) {
+    std::lock_guard lock{queue.mutex};
+    if (queue.tasks.empty()) return -1;
+    const int index = queue.tasks.front();
+    queue.tasks.pop_front();
+    return index;
+  }
+
+  static int steal(WorkerQueue& victim) {
+    std::lock_guard lock{victim.mutex};
+    if (victim.tasks.empty()) return -1;
+    const int index = victim.tasks.back();
+    victim.tasks.pop_back();
+    return index;
+  }
+
+  int jobs_ = 1;
+  RunnerReport report_;
+};
+
+}  // namespace wp2p::exp

@@ -72,6 +72,15 @@ class RunStats {
  public:
   void add(double value) { values_.push_back(value); }
 
+  // Append another aggregate's samples. Merging partial aggregates in a fixed
+  // order (e.g. by run index) reproduces the serial accumulation exactly, so
+  // parallel multi-seed runs yield bit-identical statistics.
+  void merge(const RunStats& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
   std::size_t count() const { return values_.size(); }
   double mean() const {
     if (values_.empty()) return 0.0;

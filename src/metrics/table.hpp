@@ -45,7 +45,33 @@ class Table {
     for (const auto& r : rows_) print_row(out, r, widths);
   }
 
+  // CSV form of the same table: a `# title` comment, the header row, then one
+  // line per row. Cells containing commas or quotes are double-quoted.
+  void print_csv(std::FILE* out = stdout) const {
+    std::fprintf(out, "\n# %s\n", title_.c_str());
+    print_csv_row(out, columns_);
+    for (const auto& r : rows_) print_csv_row(out, r);
+  }
+
  private:
+  static void print_csv_row(std::FILE* out, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) std::fputc(',', out);
+      const std::string& cell = cells[i];
+      if (cell.find_first_of(",\"") == std::string::npos) {
+        std::fputs(cell.c_str(), out);
+      } else {
+        std::fputc('"', out);
+        for (char c : cell) {
+          if (c == '"') std::fputc('"', out);
+          std::fputc(c, out);
+        }
+        std::fputc('"', out);
+      }
+    }
+    std::fputc('\n', out);
+  }
+
   static void print_row(std::FILE* out, const std::vector<std::string>& cells,
                         const std::vector<std::size_t>& widths) {
     for (std::size_t i = 0; i < cells.size(); ++i) {

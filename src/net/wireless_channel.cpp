@@ -65,15 +65,19 @@ void WirelessChannel::maybe_serve() {
   const bool contended = !up_queue_.empty() && !down_queue_.empty();
   DropTailQueue& queue = dir == Direction::kUp ? up_queue_ : down_queue_;
   Packet pkt = queue.pop();
+  sim_.after(frame_airtime(pkt.size, contended), [this, dir, pkt = std::move(pkt)]() mutable {
+    finish(dir, std::move(pkt), 0);
+  });
+}
+
+sim::SimTime WirelessChannel::frame_airtime(std::int64_t size, bool contended) const {
   sim::SimTime airtime =
-      sim::seconds(params_.capacity.seconds_for(pkt.size)) + params_.per_packet_overhead;
+      sim::seconds(params_.capacity.seconds_for(size)) + params_.per_packet_overhead;
   if (contended && params_.contention_overhead > 0.0) {
     airtime += static_cast<sim::SimTime>(static_cast<double>(airtime) *
                                          params_.contention_overhead);
   }
-  sim_.after(airtime, [this, dir, pkt = std::move(pkt)]() mutable {
-    finish(dir, std::move(pkt), 0);
-  });
+  return airtime;
 }
 
 void WirelessChannel::finish(Direction dir, Packet pkt, int attempt) {
@@ -81,10 +85,14 @@ void WirelessChannel::finish(Direction dir, Packet pkt, int attempt) {
   const bool corrupted = rng_.bernoulli(packet_error_rate(pkt.size));
   if (corrupted && node_.connected() && attempt < params_.mac_retries) {
     // MAC-layer ARQ: retry the frame immediately; the channel stays busy.
+    // The retry contends for the medium exactly like the first transmission:
+    // the frame in flight is this direction's head, so contention exists
+    // whenever the opposite direction has backlog waiting.
     ++mac_retransmissions_;
-    const sim::SimTime airtime =
-        sim::seconds(params_.capacity.seconds_for(pkt.size)) + params_.per_packet_overhead;
-    sim_.after(airtime, [this, dir, pkt = std::move(pkt), attempt]() mutable {
+    const bool contended =
+        dir == Direction::kUp ? !down_queue_.empty() : !up_queue_.empty();
+    sim_.after(frame_airtime(pkt.size, contended),
+               [this, dir, pkt = std::move(pkt), attempt]() mutable {
       finish(dir, std::move(pkt), attempt + 1);
     });
     return;

@@ -63,6 +63,9 @@ class WirelessChannel final : public AccessLink {
  private:
   void maybe_serve();
   void finish(Direction dir, Packet pkt, int attempt);
+  // Airtime for one transmission attempt, including per-packet overhead and —
+  // when the medium is contended — the CSMA/CA surcharge.
+  sim::SimTime frame_airtime(std::int64_t size, bool contended) const;
 
   WirelessParams params_;
   DropTailQueue up_queue_;

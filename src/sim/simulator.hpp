@@ -38,7 +38,7 @@ class Simulator {
     WP2P_ASSERT_MSG(t >= now_, "cannot schedule into the past");
     EventId id = ++next_id_;
     queue_.push(Entry{t, id, std::move(handler)});
-    ++pending_;
+    live_.insert(id);
     return id;
   }
 
@@ -48,13 +48,13 @@ class Simulator {
     return at(now_ + delay, std::move(handler));
   }
 
-  // Cancel a pending event. Cancelling an already-fired or already-cancelled
-  // id is a harmless no-op, which lets owners cancel defensively in dtors.
-  void cancel(EventId id) {
-    if (id != kInvalidEventId) cancelled_.insert(id);
-  }
+  // Cancel a pending event. Cancelling an already-fired, already-cancelled,
+  // or never-scheduled id is a harmless no-op, which lets owners cancel
+  // defensively in dtors. Only live ids are tracked, so stale cancels cannot
+  // accumulate state or skew has_pending().
+  void cancel(EventId id) { live_.erase(id); }
 
-  bool has_pending() const { return pending_ > cancelled_.size(); }
+  bool has_pending() const { return !live_.empty(); }
 
   // Execute the next event. Returns false if the queue is empty.
   bool step() {
@@ -66,11 +66,7 @@ class Simulator {
       EventId id = top.id;
       Handler handler = std::move(top.handler);
       queue_.pop();
-      --pending_;
-      if (auto it = cancelled_.find(id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        continue;
-      }
+      if (live_.erase(id) == 0) continue;  // cancelled before it fired
       WP2P_ASSERT(t >= now_);
       now_ = t;
       ++processed_;
@@ -114,12 +110,8 @@ class Simulator {
   SimTime peek_time() {
     // Skip over cancelled heads so the horizon check sees the real next event.
     while (!queue_.empty()) {
-      const Entry& top = queue_.top();
-      auto it = cancelled_.find(top.id);
-      if (it == cancelled_.end()) return top.time;
-      cancelled_.erase(it);
+      if (live_.contains(queue_.top().id)) return queue_.top().time;
       queue_.pop();
-      --pending_;
     }
     return kSimTimeMax;
   }
@@ -127,9 +119,8 @@ class Simulator {
   SimTime now_ = 0;
   EventId next_id_ = 0;
   std::uint64_t processed_ = 0;
-  std::size_t pending_ = 0;
   std::priority_queue<Entry> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;  // scheduled, not yet fired or cancelled
   Rng rng_;
 };
 

@@ -1,6 +1,7 @@
 // Sliding-window accumulators used for rate measurement and LIHD decisions.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 
@@ -17,6 +18,10 @@ class WindowedSum {
   void add(std::int64_t now, double amount) {
     WP2P_ASSERT_MSG(samples_.empty() || now >= samples_.back().time,
                     "WindowedSum requires non-decreasing time");
+    if (!has_origin_) {
+      origin_ = now;
+      has_origin_ = true;
+    }
     samples_.push_back({now, amount});
     sum_ += amount;
     evict(now);
@@ -28,13 +33,22 @@ class WindowedSum {
     return sum_;
   }
 
-  // Average rate over the window: sum / window-length, in amount per time unit.
-  double rate(std::int64_t now) { return sum(now) / static_cast<double>(window_); }
+  // Average rate in amount per time unit. While less than a full window of
+  // history exists, divide by the span observed since the first sample
+  // (clamped to >= 1 time unit) rather than the whole window — otherwise
+  // warm-up rates are understated by window/elapsed.
+  double rate(std::int64_t now) {
+    const double s = sum(now);
+    if (!has_origin_) return 0.0;
+    const std::int64_t span = std::clamp(now - origin_, std::int64_t{1}, window_);
+    return s / static_cast<double>(span);
+  }
 
   std::int64_t window() const { return window_; }
   void clear() {
     samples_.clear();
     sum_ = 0.0;
+    has_origin_ = false;  // measurement restarts (e.g. after a hand-off)
   }
 
  private:
@@ -54,6 +68,8 @@ class WindowedSum {
   std::int64_t window_;
   std::deque<Sample> samples_;
   double sum_ = 0.0;
+  std::int64_t origin_ = 0;  // time of the first sample since construction/clear
+  bool has_origin_ = false;
 };
 
 // Exponentially-weighted moving average with explicit gain.

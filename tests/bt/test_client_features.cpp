@@ -100,7 +100,7 @@ TEST(ClientFeatures, IdleDeadConnectionsAreReaped) {
   auto config = fast_config();
   config.idle_timeout = sim::seconds(60.0);
   config.keepalive_interval = sim::seconds(20.0);
-  auto& seed = swarm.add_wired("seed", true, config);
+  swarm.add_wired("seed", true, config);
   auto& leech = swarm.add_wired("leech", false, config);
   swarm.start_all();
   ASSERT_TRUE(swarm.run_until_complete(leech, 300.0));

@@ -1,0 +1,136 @@
+// ParallelRunner: completeness, result ordering, determinism across job
+// counts, error propagation, and wall-clock accounting.
+#include "exp/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/swarm.hpp"
+#include "metrics/meters.hpp"
+
+namespace wp2p::exp {
+namespace {
+
+TEST(ParallelRunner, RunsEveryIndexExactlyOnce) {
+  ParallelRunner runner{8};
+  std::vector<std::atomic<int>> counts(100);
+  runner.for_each_index(100, [&](int i) { counts[static_cast<std::size_t>(i)]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelRunner, MapReturnsResultsInIndexOrder) {
+  ParallelRunner runner{4};
+  auto squares = runner.map<int>(64, [](int i) { return i * i; });
+  ASSERT_EQ(squares.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(squares[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ParallelRunner, ZeroAndNegativeCountsAreNoOps) {
+  ParallelRunner runner{4};
+  int calls = 0;
+  runner.for_each_index(0, [&](int) { ++calls; });
+  runner.for_each_index(-3, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(runner.map<int>(0, [](int i) { return i; }).empty());
+}
+
+TEST(ParallelRunner, JobsDefaultToHardwareThreads) {
+  ParallelRunner runner{0};
+  EXPECT_EQ(runner.jobs(), ParallelRunner::hardware_jobs());
+  runner.set_jobs(3);
+  EXPECT_EQ(runner.jobs(), 3);
+}
+
+// A small but real seeded simulation: deterministic per seed, heavy enough
+// that workers genuinely interleave.
+double seeded_sim_metric(std::uint64_t seed) {
+  sim::Simulator sim{seed};
+  double acc = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    sim.after(sim::microseconds(static_cast<std::int64_t>(sim.rng().below(1000)) + 1),
+              [&] { acc += sim.rng().uniform(); });
+  }
+  sim.run();
+  return acc;
+}
+
+TEST(ParallelRunner, OneJobAndEightJobsProduceIdenticalAggregates) {
+  auto run_with = [](int jobs) {
+    ParallelRunner runner{jobs};
+    auto values = runner.map<double>(
+        16, [](int i) { return seeded_sim_metric(1000 + static_cast<std::uint64_t>(i)); });
+    metrics::RunStats stats;
+    for (double v : values) stats.add(v);
+    return stats;
+  };
+  const metrics::RunStats serial = run_with(1);
+  const metrics::RunStats parallel = run_with(8);
+  ASSERT_EQ(serial.count(), parallel.count());
+  // Bit-identical, not just close: same seeds, same per-seed simulations, and
+  // index-ordered aggregation make the result independent of interleaving.
+  EXPECT_EQ(serial.values(), parallel.values());
+  EXPECT_EQ(serial.mean(), parallel.mean());
+  EXPECT_EQ(serial.stddev(), parallel.stddev());
+}
+
+TEST(ParallelRunner, SwarmRunsAreDeterministicAcrossJobCounts) {
+  auto run_with = [](int jobs) {
+    ParallelRunner runner{jobs};
+    return runner.map<std::int64_t>(6, [](int i) {
+      exp::Swarm swarm{500 + static_cast<std::uint64_t>(i),
+                       bt::Metainfo::create("f", 2 * 1000 * 1000, 256 * 1024)};
+      bt::ClientConfig config;
+      config.announce_interval = sim::seconds(30.0);
+      swarm.add_wired("seed", true, config);
+      auto& leech = swarm.add_wired("leech", false, config);
+      swarm.start_all();
+      swarm.run_until_complete(leech, 300.0);
+      return leech.client->stats().payload_downloaded;
+    });
+  };
+  EXPECT_EQ(run_with(1), run_with(8));
+}
+
+TEST(ParallelRunner, FirstTaskExceptionPropagates) {
+  ParallelRunner runner{4};
+  EXPECT_THROW(runner.for_each_index(32,
+                                     [](int i) {
+                                       if (i == 17) throw std::runtime_error{"boom"};
+                                     }),
+               std::runtime_error);
+}
+
+TEST(ParallelRunner, ReportAccumulatesAcrossBatches) {
+  ParallelRunner runner{2};
+  runner.for_each_index(8, [](int) {});
+  runner.for_each_index(4, [](int) {});
+  const RunnerReport& report = runner.report();
+  EXPECT_EQ(report.tasks, 12);
+  EXPECT_EQ(report.batches, 2);
+  EXPECT_GE(report.wall_seconds, 0.0);
+  EXPECT_GE(report.task_seconds, 0.0);
+  EXPECT_GT(report.speedup(), 0.0);
+}
+
+TEST(RunStats, MergeMatchesSerialAccumulation) {
+  metrics::RunStats serial;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) serial.add(v);
+
+  metrics::RunStats a, b, merged;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  b.add(4.0);
+  b.add(5.0);
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.values(), serial.values());
+  EXPECT_EQ(merged.mean(), serial.mean());
+  EXPECT_EQ(merged.stddev(), serial.stddev());
+}
+
+}  // namespace
+}  // namespace wp2p::exp

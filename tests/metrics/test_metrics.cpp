@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "metrics/histogram.hpp"
 #include "metrics/meters.hpp"
 #include "metrics/table.hpp"
@@ -11,8 +14,12 @@ TEST(ThroughputMeter, MeasuresWindowRate) {
   ThroughputMeter meter{sim::seconds(10.0)};
   meter.add(sim::seconds(1.0), 1000);
   meter.add(sim::seconds(2.0), 1000);
-  // 2000 bytes over a 10 s window = 200 B/s.
-  EXPECT_NEAR(meter.rate(sim::seconds(2.0)).bytes_per_sec(), 200.0, 1e-9);
+  // Warm-up: only 1 s has elapsed since the first sample, so the denominator
+  // is the observed span, not the 10 s window — 2000 bytes over 1 s.
+  EXPECT_NEAR(meter.rate(sim::seconds(2.0)).bytes_per_sec(), 2000.0, 1e-9);
+  // Once a full window has elapsed the denominator saturates at the window;
+  // the t=1 s sample has just expired, leaving 1000 bytes over 10 s.
+  EXPECT_NEAR(meter.rate(sim::seconds(11.0)).bytes_per_sec(), 100.0, 1e-9);
   EXPECT_EQ(meter.total(), 2000);
 }
 
@@ -90,6 +97,27 @@ TEST(Table, FormatsNumbersAndPrints) {
   table.print(f);
   EXPECT_GT(std::ftell(f), 0);
   std::fclose(f);
+}
+
+TEST(Table, PrintCsvQuotesSpecialCells) {
+  Table table{"csv"};
+  table.columns({"name", "value"});
+  table.row({"plain", "1"});
+  table.row({"with,comma", "say \"hi\""});
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  table.print_csv(f);
+  std::fflush(f);
+  long len = std::ftell(f);
+  ASSERT_GT(len, 0);
+  std::rewind(f);
+  std::string out(static_cast<std::size_t>(len), '\0');
+  ASSERT_EQ(std::fread(out.data(), 1, out.size(), f), out.size());
+  std::fclose(f);
+  EXPECT_NE(out.find("# csv"), std::string::npos);
+  EXPECT_NE(out.find("name,value"), std::string::npos);
+  EXPECT_NE(out.find("plain,1"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\",\"say \"\"hi\"\"\""), std::string::npos);
 }
 
 }  // namespace

@@ -199,6 +199,48 @@ TEST_F(LinkFixture, MacArqRecoversMostCorruptedFrames) {
   EXPECT_EQ(ch->stats().up_packets, static_cast<std::uint64_t>(n) + ch->mac_retransmissions());
 }
 
+TEST_F(LinkFixture, MacArqRetriesPayContentionOverhead) {
+  // A retry is a fresh CSMA/CA medium acquisition: when the opposite direction
+  // has backlog it must pay the same contention surcharge as a first
+  // transmission. BER = 1 makes every attempt fail deterministically (the
+  // bernoulli(1.0) fast path draws no RNG), so the whole schedule is exact.
+  WirelessParams params;
+  params.capacity = util::Rate::bytes_per_sec(1000);  // 1000 B frame = 1 s base
+  params.bit_error_rate = 1.0;
+  params.mac_retries = 3;  // 4 attempts per frame, then drop
+  params.prop_delay = 0;
+  params.per_packet_overhead = 0;
+  params.contention_overhead = 1.0;  // contended attempts cost 2 s
+  net.path().core_delay = 0;
+  Node& m = net.add_node("mobile");
+  Node& f = net.add_node("fixed");
+  m.attach(std::make_unique<WirelessChannel>(sim, m, net, params));
+  WiredParams fast;
+  fast.up_capacity = util::Rate::mbps(1000);
+  fast.prop_delay = 0;
+  f.attach(std::make_unique<WiredLink>(sim, f, net, fast));
+
+  // Two frames queued in each direction. Down frames traverse the fast wired
+  // uplink and reach the AP queue microseconds in, well before the first
+  // up-frame attempt completes.
+  for (int i = 0; i < 2; ++i) {
+    m.send(make_packet({m.address(), 1}, {f.address(), 2}, 1000));
+    f.send(make_packet({f.address(), 2}, {m.address(), 1}, 1000));
+  }
+  sim.run();
+
+  auto* ch = dynamic_cast<WirelessChannel*>(m.access());
+  ASSERT_NE(ch, nullptr);
+  // Exact timeline: up#1 = 1 s uncontended first attempt + 3 contended
+  // retries (6 s) = 7 s; down#1 = 4 contended attempts = 8 s (t=15); up#2
+  // likewise 8 s (t=23); down#2 is alone on the medium = 4 s (t=27). The old
+  // code charged every retry the uncontended airtime and finished at 18 s.
+  EXPECT_EQ(sim.now(), sim::seconds(27.0));
+  EXPECT_EQ(ch->mac_retransmissions(), 12u);  // 3 retries x 4 frames
+  EXPECT_EQ(ch->stats().up_error_drops, 2u);
+  EXPECT_EQ(ch->stats().down_error_drops, 2u);
+}
+
 TEST_F(LinkFixture, WirelessQueueDropsWhenSaturated) {
   WirelessParams params;
   params.capacity = util::Rate::bytes_per_sec(1000);

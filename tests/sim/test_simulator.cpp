@@ -64,6 +64,44 @@ TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(Simulator, CancelAfterFireDoesNotPoisonPendingCount) {
+  Simulator sim;
+  EventId id = sim.at(seconds(1.0), [] {});
+  sim.run();
+  sim.cancel(id);  // stale: the event already fired
+  // A stale cancel must not mask genuinely pending work. The leaky
+  // implementation kept the id in a tombstone set forever, so the next
+  // scheduled event made has_pending() report false.
+  sim.at(seconds(2.0), [] {});
+  EXPECT_TRUE(sim.has_pending());
+  sim.run();
+  EXPECT_EQ(sim.now(), seconds(2.0));
+}
+
+TEST(Simulator, RepeatedStaleCancelsDoNotAccumulate) {
+  Simulator sim;
+  // A long-lived simulation cancels many timers that already fired (or never
+  // existed). None of them may be retained.
+  for (EventId id = 1; id <= 1000; ++id) sim.cancel(id);
+  EXPECT_FALSE(sim.has_pending());
+  bool fired = false;
+  sim.at(seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sim.has_pending());
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(Simulator, HasPendingTracksCancelledEvents) {
+  Simulator sim;
+  EventId id = sim.at(seconds(1.0), [] {});
+  EXPECT_TRUE(sim.has_pending());
+  sim.cancel(id);
+  EXPECT_FALSE(sim.has_pending());
+  sim.run();
+  EXPECT_EQ(sim.now(), 0);
+}
+
 TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
   Simulator sim;
   int fired = 0;

@@ -21,10 +21,41 @@ TEST(WindowedSum, EvictsOldSamples) {
   EXPECT_DOUBLE_EQ(w.sum(150), 0.0);
 }
 
-TEST(WindowedSum, RateIsSumOverWindow) {
+TEST(WindowedSum, RateIsSumOverFullWindowOnceWarm) {
+  WindowedSum w{1000};
+  w.add(0, 300.0);
+  w.add(900, 200.0);
+  // A full window has elapsed: divide by the window.
+  EXPECT_DOUBLE_EQ(w.rate(1000), 0.2);  // sample at t=0 just evicted
+  w.add(1500, 100.0);
+  EXPECT_DOUBLE_EQ(w.rate(1500), 0.3);  // samples at 900 and 1500
+}
+
+TEST(WindowedSum, WarmUpRateDividesByElapsedSpanNotWindow) {
+  WindowedSum w{1000};
+  w.add(0, 100.0);
+  // Only 100 time units observed; dividing by the 1000-unit window would
+  // understate the rate 10x and mislead LIHD's first decisions.
+  EXPECT_DOUBLE_EQ(w.rate(100), 1.0);
+  w.add(250, 100.0);
+  EXPECT_DOUBLE_EQ(w.rate(500), 0.4);
+  // From a full window onward the denominator saturates at the window.
+  EXPECT_DOUBLE_EQ(w.rate(1200), 0.1);  // only the t=250 sample remains
+}
+
+TEST(WindowedSum, FirstSampleRateIsFiniteNotZeroDivide) {
   WindowedSum w{1000};
   w.add(100, 500.0);
-  EXPECT_DOUBLE_EQ(w.rate(100), 0.5);
+  // Span clamps to >= 1 time unit, so the instant after the first sample the
+  // rate is the sample itself per unit, not sum/window.
+  EXPECT_DOUBLE_EQ(w.rate(100), 500.0);
+  EXPECT_DOUBLE_EQ(w.rate(0 + 100), w.sum(100) / 1.0);
+}
+
+TEST(WindowedSum, RateBeforeAnySampleIsZero) {
+  WindowedSum w{1000};
+  EXPECT_DOUBLE_EQ(w.rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(w.rate(5000), 0.0);
 }
 
 TEST(WindowedSum, ClearResets) {
@@ -32,6 +63,18 @@ TEST(WindowedSum, ClearResets) {
   w.add(0, 5.0);
   w.clear();
   EXPECT_DOUBLE_EQ(w.sum(0), 0.0);
+}
+
+TEST(WindowedSum, ClearRestartsWarmUp) {
+  WindowedSum w{1000};
+  w.add(0, 100.0);
+  w.add(900, 100.0);
+  EXPECT_DOUBLE_EQ(w.rate(900), 200.0 / 900.0);
+  // A hand-off resets measurement: the next sample begins a new warm-up.
+  w.clear();
+  EXPECT_DOUBLE_EQ(w.rate(2000), 0.0);
+  w.add(2000, 50.0);
+  EXPECT_DOUBLE_EQ(w.rate(2100), 0.5);
 }
 
 TEST(WindowedSum, ManySamplesStayConsistent) {
