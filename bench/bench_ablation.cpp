@@ -14,6 +14,9 @@ namespace {
 
 double run_am_config(std::uint64_t seed, const core::AmConfig& am, double duration_s) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim,
+                           "ablation/am gamma=" + std::to_string(am.gamma_bytes) +
+                               " modulus=" + std::to_string(am.dupack_drop_modulus)};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("file", 100 * 1000 * 1000, 256 * 1024, "tr", 8);
   net::WirelessParams wless;
@@ -83,6 +86,7 @@ struct MfResult {
 
 MfResult run_mf_variant(std::uint64_t seed, const core::MaConfig& config) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim, "ablation/mf"};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("media", 5 * 1000 * 1000, 256 * 1024, "tr", 13);
   bt::ClientConfig base;
@@ -142,6 +146,8 @@ struct LihdResult {
 
 LihdResult run_lihd_steps(std::uint64_t seed, double alpha, double beta) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim, "ablation/lihd alpha=" + std::to_string(alpha) +
+                                          " beta=" + std::to_string(beta)};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("file", 64 * 1000 * 1000, 256 * 1024, "tr", 10);
   bt::ClientConfig base;
@@ -208,6 +214,7 @@ void ablate_lihd() {
 
 double run_choker_slots(std::uint64_t seed, int slots) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim, "ablation/choker slots=" + std::to_string(slots)};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("file", 16 * 1000 * 1000, 256 * 1024, "tr", 14);
   bt::ClientConfig config;
@@ -256,5 +263,5 @@ int main(int argc, char** argv) {
   wp2p::ablate_lihd();
   wp2p::ablate_choker_slots();
   wp2p::bench::print_runner_summary();
-  return 0;
+  return wp2p::bench::trace_report();
 }

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common.hpp"
+#include "core/am_filter.hpp"
 #include "tcp/connection.hpp"
 
 namespace wp2p {
@@ -24,9 +25,15 @@ struct TransferResult {
 
 // One raw TCP connection between a wireless mobile host and a wired fixed
 // peer; `bidirectional` controls whether the mobile also uploads bulk data.
+// `with_am` attaches the paper's AM filter below the mobile's stack — unused
+// by the Fig. 2 tables (which demonstrate the problem AM solves), but run as
+// an extra traced scenario so --trace output covers the AM events too.
 TransferResult run_transfer(std::uint64_t seed, double ber, bool bidirectional,
-                            double duration_s) {
+                            double duration_s, bool with_am = false) {
   World world{seed};
+  bench::ScopedTrace trace{world.sim, "fig2/transfer ber=" + std::to_string(ber) +
+                                          (bidirectional ? " bi" : " uni") +
+                                          (with_am ? " am" : "")};
   // The paper's regime: the wireless leg is NOT the throughput bottleneck
   // (the remote peer's access uplink is), so at BER=0 uni and bi differ only
   // mildly; as BER grows, bi-TCP's piggybacked ACKs — riding 1.5 KB packets —
@@ -48,6 +55,13 @@ TransferResult run_transfer(std::uint64_t seed, double ber, bool bidirectional,
   cable.up_capacity = util::Rate::kbps(384.0);  // residential uplink: 48 KBps
   cable.down_capacity = util::Rate::mbps(4.0);
   auto& fixed = world.add_wired_host("fixed", cable, small_window);
+
+  std::unique_ptr<core::AmFilter> am;
+  if (with_am) {
+    am = std::make_unique<core::AmFilter>(world.sim);
+    mobile.node->add_egress_filter(am.get());
+    mobile.node->add_ingress_filter(am.get());
+  }
 
   std::shared_ptr<tcp::Connection> server;
   fixed.stack->listen(9000, [&](std::shared_ptr<tcp::Connection> c) { server = std::move(c); });
@@ -100,6 +114,8 @@ void figure_2a() {
 // Packets sent from the client per interval, with buffer-drop events marked.
 void figure_2bc(bool bidirectional) {
   World world{bench::base_seed(42)};
+  bench::ScopedTrace trace{world.sim,
+                           std::string{"fig2"} + (bidirectional ? "c" : "b")};
   net::WirelessParams wless;
   wless.capacity = util::Rate::kBps(100.0);
   wless.down_queue_limit = 16;  // small AP buffer to force congestion drops
@@ -152,9 +168,16 @@ int main(int argc, char** argv) {
   wp2p::figure_2a();
   wp2p::figure_2bc(false);
   wp2p::figure_2bc(true);
+  if (wp2p::bench::trace_options().enabled()) {
+    // Trace-only AM probe: the Fig. 2 tables show the bi-TCP pathology
+    // without AM, so run one extra (non-printing) transfer with the AM filter
+    // attached to get am.* events into the trace alongside tcp.* and chan.*.
+    wp2p::run_transfer(wp2p::bench::base_seed(300), 1.5e-5, /*bidirectional=*/true,
+                       60.0, /*with_am=*/true);
+  }
   wp2p::bench::print_shape_note(
       "after drops, uni-directional client packet counts dip; bi-directional stays "
       "flat (paper Fig. 2b,c)");
   wp2p::bench::print_runner_summary();
-  return 0;
+  return wp2p::bench::trace_report();
 }

@@ -59,6 +59,11 @@ TaskResult run_one_task(std::uint64_t seed, bool wireless_client,
                         util::Rate client_upload, double duration_s,
                         const TaskSpec& spec, int task_index) {
   exp::World world{seed * 97 + static_cast<std::uint64_t>(task_index)};
+  bench::ScopedTrace trace{world.sim,
+                           std::string{"fig3/task "} +
+                               (wireless_client ? "wireless" : "wired") + " up=" +
+                               std::to_string(client_upload.bytes_per_sec()) +
+                               " t=" + std::to_string(task_index)};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("task" + std::to_string(task_index), spec.file_size,
                                    256 * 1024, "tracker",
@@ -193,6 +198,11 @@ void figure_3c() {
     const Curve& curve = curves[static_cast<std::size_t>(c)];
     std::vector<double> mb_at;
     exp::World world{bench::base_seed(77)};
+    // Like over_seeds_map, trace only the first curve of this direct map().
+    const bool was_eligible = bench::trace_eligible();
+    bench::trace_eligible() = (c == 0);
+    bench::ScopedTrace trace{world.sim, std::string{"fig3c/"} + curve.label};
+    bench::trace_eligible() = was_eligible;
     bt::Tracker tracker{world.sim};
     auto meta = bt::Metainfo::create("file100", 100 * 1000 * 1000, 256 * 1024, "tr", 3);
     std::vector<std::unique_ptr<bt::Client>> fixed;
@@ -262,5 +272,5 @@ int main(int argc, char** argv) {
   wp2p::figure_3ab(true);
   wp2p::figure_3c();
   wp2p::bench::print_runner_summary();
-  return 0;
+  return wp2p::bench::trace_report();
 }

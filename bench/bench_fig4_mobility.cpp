@@ -18,6 +18,10 @@ namespace {
 double run_server_mobility(std::uint64_t seed, double change_interval_min, int mobile_count,
                            double duration_s) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim,
+                           "fig4a/server-mobility interval=" +
+                               std::to_string(change_interval_min) +
+                               "min mobile=" + std::to_string(mobile_count)};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("file", 500 * 1000 * 1000, 256 * 1024, "tr", 4);
 
@@ -80,6 +84,8 @@ void figure_4a() {
 std::vector<double> run_playability(std::uint64_t seed, std::int64_t file_size,
                                     bt::SelectorKind selector) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim, "fig4bc/playability size=" +
+                                          std::to_string(file_size)};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("media", file_size, 256 * 1024, "tr", 5);
 
@@ -141,5 +147,5 @@ int main(int argc, char** argv) {
       "playable fraction stays near zero until a very large share of the file is "
       "downloaded; the effect is starker for the larger file (paper Fig. 4b,c)");
   wp2p::bench::print_runner_summary();
-  return 0;
+  return wp2p::bench::trace_report();
 }

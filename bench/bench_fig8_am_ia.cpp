@@ -30,6 +30,7 @@ struct AmResult {
 
 AmResult run_am(std::uint64_t seed, double ber, double duration_s) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim, "fig8a/am ber=" + std::to_string(ber)};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("file100", 100 * 1000 * 1000, 256 * 1024, "tr", 8);
 
@@ -97,6 +98,8 @@ void figure_8a() {
 
 std::vector<double> run_identity(std::uint64_t seed, bool retain_id, double minutes_total) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim, std::string{"fig8b/identity "} +
+                                          (retain_id ? "retain" : "default")};
   bt::Tracker tracker{world.sim};
   // The paper downloads a 688 MB Fedora image from a ~200-peer swarm; we keep
   // the size and shrink the swarm, scaling per-peer rates accordingly.
@@ -147,8 +150,14 @@ std::vector<double> run_identity(std::uint64_t seed, bool retain_id, double minu
 
 void figure_8b() {
   // Two independent single-seed worlds (default vs wP2P-IA): run both at once.
+  // Trace the retain-id curve — it is the one whose bt.handoff/bt.recover
+  // events carry the IA story.
   auto curves = bench::runner().map<std::vector<double>>(2, [&](int i) {
-    return run_identity(bench::base_seed(1200), /*retain_id=*/i == 1, 50.0);
+    const bool was_eligible = bench::trace_eligible();
+    bench::trace_eligible() = (i == 1);
+    std::vector<double> result = run_identity(bench::base_seed(1200), /*retain_id=*/i == 1, 50.0);
+    bench::trace_eligible() = was_eligible;
+    return result;
   });
   const std::vector<double>& def = curves[0];
   const std::vector<double>& wp = curves[1];
@@ -168,6 +177,8 @@ void figure_8b() {
 
 double run_lihd(std::uint64_t seed, double bandwidth_kbps, bool use_lihd, double duration_s) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim, "fig8c/lihd bw=" + std::to_string(bandwidth_kbps) +
+                                          (use_lihd ? " lihd" : " default")};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("file", 64 * 1000 * 1000, 256 * 1024, "tr", 10);
 
@@ -262,5 +273,5 @@ int main(int argc, char** argv) {
   wp2p::figure_8b();
   wp2p::figure_8c();
   wp2p::bench::print_runner_summary();
-  return 0;
+  return wp2p::bench::trace_report();
 }

@@ -19,6 +19,9 @@ namespace {
 
 std::vector<double> run_playability(std::uint64_t seed, std::int64_t file_size, bool use_mf) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim, "fig9ab/playability size=" +
+                                          std::to_string(file_size) +
+                                          (use_mf ? " mf" : " rarest")};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("media", file_size, 256 * 1024, "tr", 11);
 
@@ -86,6 +89,9 @@ void figure_9ab(std::int64_t file_size, const char* which) {
 double run_role_reversal(std::uint64_t seed, double interval_min, bool use_rr,
                          double duration_s) {
   exp::World world{seed};
+  bench::ScopedTrace trace{world.sim, "fig9c/role-reversal interval=" +
+                                          std::to_string(interval_min) +
+                                          (use_rr ? "min rr" : "min default")};
   bt::Tracker tracker{world.sim};
   auto meta = bt::Metainfo::create("fedora.iso", 500 * 1000 * 1000, 256 * 1024, "tr", 12);
 
@@ -154,5 +160,5 @@ int main(int argc, char** argv) {
   wp2p::figure_9ab(100 * 1000 * 1000, "b");
   wp2p::figure_9c();
   wp2p::bench::print_runner_summary();
-  return 0;
+  return wp2p::bench::trace_report();
 }

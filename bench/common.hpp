@@ -12,6 +12,7 @@
 #include "exp/swarm.hpp"
 #include "metrics/meters.hpp"
 #include "metrics/table.hpp"
+#include "trace_support.hpp"
 
 namespace wp2p::bench {
 
@@ -56,22 +57,34 @@ class ArgParser {
             static_cast<std::uint64_t>(parse_int(arg, next_value(argc, argv, i), 0));
       } else if (arg == "--csv") {
         opts.csv = true;
+      } else if (arg == "--trace") {
+        trace_options().path = next_value(argc, argv, i);
+      } else if (arg == "--check-invariants") {
+        trace_options().check_invariants = true;
       } else {
         usage(argv[0], stderr);
         fail("unknown flag: " + arg);
       }
     }
+    // Scenarios run directly on the main thread (not through a seed sweep)
+    // are always the traced run.
+    trace_eligible() = true;
   }
 
  private:
   static void usage(const char* prog, std::FILE* out) {
     std::fprintf(out,
-                 "usage: %s [--runs N] [--jobs N] [--seed S] [--csv]\n"
+                 "usage: %s [--runs N] [--jobs N] [--seed S] [--csv]"
+                 " [--trace FILE] [--check-invariants]\n"
                  "  --runs N  override every figure's seeded-run count\n"
                  "  --jobs N  worker threads for multi-seed sweeps"
                  " (default: one per hardware thread)\n"
                  "  --seed S  offset added to every base seed\n"
-                 "  --csv     print tables as CSV rows\n",
+                 "  --csv     print tables as CSV rows\n"
+                 "  --trace FILE        write structured trace events (JSONL) for the\n"
+                 "                      base-seed run of each scenario\n"
+                 "  --check-invariants  replay traced events through the protocol\n"
+                 "                      invariant checker; exit non-zero on violations\n",
                  prog);
   }
 
@@ -108,8 +121,17 @@ std::vector<T> over_seeds_map(int runs, std::uint64_t seed,
                               const std::function<T(std::uint64_t)>& fn) {
   if (options().runs_override > 0) runs = options().runs_override;
   const std::uint64_t seed0 = base_seed(seed);
-  return runner().map<T>(runs,
-                         [&](int i) { return fn(seed0 + static_cast<std::uint64_t>(i)); });
+  // Only the base-seed run of a sweep is trace-eligible: one run per sweep
+  // keeps --trace output a sequence of coherent scenarios instead of an
+  // interleaving of every worker's events (and one JSONL file stays safe —
+  // sweeps are sequential, so at most one traced run exists at a time).
+  return runner().map<T>(runs, [&](int i) {
+    const bool was_eligible = trace_eligible();
+    trace_eligible() = (i == 0);
+    T result = fn(seed0 + static_cast<std::uint64_t>(i));
+    trace_eligible() = was_eligible;
+    return result;
+  });
 }
 
 // Average a scalar metric over independent seeded runs (the paper's

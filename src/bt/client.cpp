@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/recorder.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -9,6 +10,10 @@ namespace wp2p::bt {
 
 namespace {
 constexpr const char* kLog = "bt";
+
+[[maybe_unused]] trace::TraceEvent bt_event(trace::Kind kind, net::Node& node) {
+  return trace::event(trace::Component::kBt, kind).at(node.name());
+}
 
 std::unique_ptr<PieceSelector> make_selector(SelectorKind kind) {
   switch (kind) {
@@ -541,6 +546,10 @@ void Client::periodic_maintenance() {
 void Client::on_piece_completed(int piece) {
   active_.erase(piece);
   ++stats_.pieces_completed;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPieceComplete, node_)
+                       .with("piece", static_cast<double>(piece))
+                       .with("have", static_cast<double>(store_.bitfield().count()))
+                       .with("total", static_cast<double>(meta_.piece_count())));
   WP2P_LOG(util::LogLevel::kDebug, sim::to_seconds(sim_.now()), kLog,
            "%s completed piece %d (%d/%d)", node_.name().c_str(), piece,
            store_.bitfield().count(), meta_.piece_count());
@@ -639,6 +648,10 @@ void Client::set_choke(PeerConnection& peer, bool choke) {
   if (peer.am_choking == choke) return;
   peer.am_choking = choke;
   if (!choke) peer.last_unchoked_at = sim_.now();
+  WP2P_TRACE(sim_, bt_event(choke ? trace::Kind::kBtChoke : trace::Kind::kBtUnchoke, node_)
+                       .on(net::to_string(peer.tcp().remote()))
+                       .why(&peer == optimistic_peer_ ? "optimistic" : "tit-for-tat")
+                       .with("peer_id", static_cast<double>(peer.remote_id & 0xffffffffu)));
   peer.send(WireMessage::simple(choke ? MsgType::kChoke : MsgType::kUnchoke));
   if (choke) peer.upload_queue.clear();
 }
@@ -692,6 +705,10 @@ void Client::handle_address_change() {
   // the task (the paper's "ongoing tasks are terminated and re-initiated").
   stack_.abort_all();
   ++stats_.task_reinitiations;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtHandoff, node_)
+                       .why(config_.role_reversal ? "role-reversal" : "reinit-delayed")
+                       .with("retained_id", config_.retain_peer_id ? 1.0 : 0.0)
+                       .with("stored_peers", static_cast<double>(stored.size())));
 
   if (config_.role_reversal) {
     if (!config_.retain_peer_id) peer_id_ = rng_.next_u64() | 1;
@@ -718,6 +735,9 @@ void Client::handle_address_change() {
 void Client::reinitiate() {
   if (!running_) return;
   if (!config_.retain_peer_id) peer_id_ = rng_.next_u64() | 1;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtHandoff, node_)
+                       .why("reinit")
+                       .with("retained_id", config_.retain_peer_id ? 1.0 : 0.0));
   initiate_task(AnnounceEvent::kStarted);
   if (on_reinitiated) on_reinitiated();
 }
@@ -727,6 +747,11 @@ void Client::recover_from_disconnection() {
   ++stats_.task_reinitiations;
   stack_.abort_all();
   if (!config_.retain_peer_id) peer_id_ = rng_.next_u64() | 1;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtRecover, node_)
+                       .why(config_.role_reversal ? "role-reversal" : "reannounce")
+                       .with("retained_id", config_.retain_peer_id ? 1.0 : 0.0)
+                       .with("known_endpoints",
+                             static_cast<double>(known_listen_endpoints_.size())));
   initiate_task(AnnounceEvent::kStarted);
   if (config_.role_reversal) {
     for (const auto& [id, endpoint] : known_listen_endpoints_) {

@@ -74,10 +74,15 @@ class AmFilter final : public net::PacketFilter {
     util::WindowedSum ingress_bytes;  // data bytes from the peer (cwnd estimate)
     std::int64_t last_egress_ack = -1;
     std::uint64_t dupack_count = 0;
+    std::uint64_t dupacks_dropped = 0;
+    int traced_class = -1;  // last young(1)/mature(0) classification emitted
   };
 
   Flow& flow(net::Endpoint local, net::Endpoint remote);
   bool young(Flow& f);
+  // Emits a kAmClassify event when the flow's young/mature classification
+  // flips (no-op unless a tracer is installed).
+  void trace_class(Flow& f, net::Endpoint local, net::Endpoint remote);
 
   sim::Simulator& sim_;
   AmConfig config_;

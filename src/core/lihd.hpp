@@ -18,6 +18,7 @@
 
 #include "bt/client.hpp"
 #include "sim/simulator.hpp"
+#include "trace/recorder.hpp"
 #include "util/units.hpp"
 
 namespace wp2p::core {
@@ -33,7 +34,8 @@ struct LihdConfig {
 class LihdController {
  public:
   LihdController(sim::Simulator& sim, bt::Client& client, LihdConfig config = {})
-      : client_{client},
+      : sim_{sim},
+        client_{client},
         config_{config},
         current_{config.max_upload * 0.5},
         task_{sim, config.interval, [this] { update(); }} {}
@@ -51,16 +53,32 @@ class LihdController {
   // One LIHD decision given the current window-averaged download rate.
   // Exposed for unit tests and ablations; update() feeds it live rates.
   util::Rate step(util::Rate d_cur) {
+    [[maybe_unused]] const char* decision = "seed";  // Dprev == 0: history only
     if (d_prev_.bytes_per_sec() != 0.0) {
       if (d_prev_ < d_cur) {
         current_ = current_ + config_.alpha;  // linear increase
         dec_count_ = 0;
+        decision = "increase";
       } else {
-        ++dec_count_;  // history-based (increasingly aggressive) decrease
+        // History-based (increasingly aggressive) decrease. Note the paper's
+        // rule treats d_prev == d_cur — e.g. both pegged at link capacity —
+        // as "no improvement", so a saturated download walks the limit down
+        // until the min_upload clamp catches it (see tests/core/test_lihd).
+        ++dec_count_;
         current_ = current_ - config_.beta * static_cast<double>(dec_count_);
+        decision = "decrease";
       }
       current_ = std::clamp(current_, config_.min_upload, config_.max_upload);
     }
+    WP2P_TRACE(sim_, trace::event(trace::Component::kLihd, trace::Kind::kLihdStep)
+                         .at(client_.node().name())
+                         .why(decision)
+                         .with("limit", current_.bytes_per_sec())
+                         .with("d_cur", d_cur.bytes_per_sec())
+                         .with("d_prev", d_prev_.bytes_per_sec())
+                         .with("dec_count", static_cast<double>(dec_count_))
+                         .with("min", config_.min_upload.bytes_per_sec())
+                         .with("max", config_.max_upload.bytes_per_sec()));
     d_prev_ = d_cur;
     return current_;
   }
@@ -73,6 +91,7 @@ class LihdController {
     if (after.bytes_per_sec() != before.bytes_per_sec()) client_.set_upload_limit(after);
   }
 
+  sim::Simulator& sim_;
   bt::Client& client_;
   LihdConfig config_;
   util::Rate current_;

@@ -12,6 +12,7 @@
 
 #include "bt/client.hpp"
 #include "sim/simulator.hpp"
+#include "trace/recorder.hpp"
 
 namespace wp2p::core {
 
@@ -26,7 +27,8 @@ class MobilityDetector {
  public:
   MobilityDetector(sim::Simulator& sim, bt::Client& client,
                    MobilityDetectorConfig config = {})
-      : client_{client},
+      : sim_{sim},
+        client_{client},
         config_{config},
         task_{sim, config.sample_interval, [this] { sample(); }} {}
 
@@ -48,9 +50,17 @@ class MobilityDetector {
     ++detections_;
     had_peers_ = false;
     zero_streak_ = 0;
+    WP2P_TRACE(sim_, trace::event(trace::Component::kMob, trace::Kind::kMobDetect)
+                         .at(client_.node().name())
+                         .with("detections", static_cast<double>(detections_))
+                         .with("confirm_samples",
+                               static_cast<double>(config_.confirm_samples))
+                         .with("interval_us",
+                               static_cast<double>(config_.sample_interval)));
     client_.recover_from_disconnection();
   }
 
+  sim::Simulator& sim_;
   bt::Client& client_;
   MobilityDetectorConfig config_;
   bool had_peers_ = false;

@@ -15,6 +15,7 @@
 #include "net/wireless_channel.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/stack.hpp"
+#include "trace/recorder.hpp"
 
 namespace wp2p::exp {
 
@@ -49,9 +50,20 @@ class World {
     return hosts.back();
   }
 
+  // Attach a World-owned trace recorder (created on first call) to the
+  // simulator, so tests can turn on tracing without managing lifetime.
+  // External recorders (e.g. a bench's shared session) can still be installed
+  // directly via sim.set_tracer(); that takes precedence until replaced.
+  trace::Recorder& enable_tracing(std::size_t ring_capacity = 4096) {
+    if (!tracer) tracer = std::make_unique<trace::Recorder>(ring_capacity);
+    sim.set_tracer(tracer.get());
+    return *tracer;
+  }
+
   sim::Simulator sim;
   net::Network net;
   std::deque<Host> hosts;
+  std::unique_ptr<trace::Recorder> tracer;  // null until enable_tracing()
 };
 
 }  // namespace wp2p::exp

@@ -33,9 +33,14 @@ class Histogram {
   double max() const { return total_ == 0 ? 0.0 : max_; }
 
   // Value at quantile q in [0,1], linearly interpolated within the bucket.
+  // The extremes return the observed min/max rather than bucket edges: with
+  // clamped out-of-range samples, lo_/hi_ can be arbitrarily far from any
+  // value actually recorded.
   double percentile(double q) const {
     WP2P_ASSERT(q >= 0.0 && q <= 1.0);
     if (total_ == 0) return 0.0;
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
     const double target = q * static_cast<double>(total_);
     double cumulative = 0.0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {

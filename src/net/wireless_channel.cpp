@@ -4,8 +4,15 @@
 
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "trace/recorder.hpp"
 
 namespace wp2p::net {
+
+namespace {
+[[maybe_unused]] const char* dir_name(Direction dir) {
+  return dir == Direction::kUp ? "up" : "down";
+}
+}  // namespace
 
 WirelessChannel::WirelessChannel(sim::Simulator& sim, Node& node, Network& network,
                                  WirelessParams params)
@@ -24,6 +31,11 @@ double WirelessChannel::packet_error_rate(std::int64_t size) const {
 void WirelessChannel::enqueue_up(Packet pkt) {
   if (!node_.connected()) return;
   if (up_queue_.full()) {
+    WP2P_TRACE(sim_, trace::event(trace::Component::kChan, trace::Kind::kChanQueueDrop)
+                         .at(node_.name())
+                         .why("up")
+                         .with("size", static_cast<double>(pkt.size))
+                         .with("limit", static_cast<double>(params_.up_queue_limit)));
     note_queue_drop(Direction::kUp, pkt);
     return;
   }
@@ -34,6 +46,11 @@ void WirelessChannel::enqueue_up(Packet pkt) {
 void WirelessChannel::enqueue_down(Packet pkt) {
   if (!node_.connected()) return;
   if (down_queue_.full()) {
+    WP2P_TRACE(sim_, trace::event(trace::Component::kChan, trace::Kind::kChanQueueDrop)
+                         .at(node_.name())
+                         .why("down")
+                         .with("size", static_cast<double>(pkt.size))
+                         .with("limit", static_cast<double>(params_.down_queue_limit)));
     note_queue_drop(Direction::kDown, pkt);
     return;
   }
@@ -89,6 +106,11 @@ void WirelessChannel::finish(Direction dir, Packet pkt, int attempt) {
     // the frame in flight is this direction's head, so contention exists
     // whenever the opposite direction has backlog waiting.
     ++mac_retransmissions_;
+    WP2P_TRACE(sim_, trace::event(trace::Component::kChan, trace::Kind::kChanArqRetry)
+                         .at(node_.name())
+                         .why(dir_name(dir))
+                         .with("size", static_cast<double>(pkt.size))
+                         .with("attempt", static_cast<double>(attempt + 1)));
     const bool contended =
         dir == Direction::kUp ? !down_queue_.empty() : !up_queue_.empty();
     sim_.after(frame_airtime(pkt.size, contended),
@@ -101,6 +123,11 @@ void WirelessChannel::finish(Direction dir, Packet pkt, int attempt) {
   const bool alive = node_.connected() && !corrupted;
   if (!alive) {
     if (corrupted) {
+      WP2P_TRACE(sim_, trace::event(trace::Component::kChan, trace::Kind::kChanLoss)
+                           .at(node_.name())
+                           .why(dir_name(dir))
+                           .with("size", static_cast<double>(pkt.size))
+                           .with("attempts", static_cast<double>(attempt + 1)));
       if (dir == Direction::kUp) {
         ++stats_.up_error_drops;
       } else {

@@ -16,6 +16,10 @@
 #include "sim/time.hpp"
 #include "util/assert.hpp"
 
+namespace wp2p::trace {
+class Recorder;
+}
+
 namespace wp2p::sim {
 
 using EventId = std::uint64_t;
@@ -32,6 +36,14 @@ class Simulator {
 
   SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  // Structured-trace recorder for components simulated on this clock (see
+  // trace/trace.hpp). Null (the default) means tracing is off and every
+  // WP2P_TRACE point reduces to this one pointer load. Non-owning: the
+  // installer (exp::World, bench::ScopedTrace, a test) keeps the recorder
+  // alive and detaches it before destruction.
+  trace::Recorder* tracer() const { return tracer_; }
+  void set_tracer(trace::Recorder* tracer) { tracer_ = tracer; }
 
   // Schedule `handler` at absolute virtual time `t` (>= now).
   EventId at(SimTime t, Handler handler) {
@@ -117,6 +129,7 @@ class Simulator {
   }
 
   SimTime now_ = 0;
+  trace::Recorder* tracer_ = nullptr;
   EventId next_id_ = 0;
   std::uint64_t processed_ = 0;
   std::priority_queue<Entry> queue_;

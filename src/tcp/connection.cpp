@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tcp/stack.hpp"
+#include "trace/recorder.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -10,6 +11,19 @@ namespace wp2p::tcp {
 
 namespace {
 constexpr const char* kLog = "tcp";
+
+// [[maybe_unused]]: referenced only from WP2P_TRACE expansions, which a
+// WP2P_TRACE_DISABLED build removes entirely.
+[[maybe_unused]] std::string flow_key(net::Endpoint local, net::Endpoint remote) {
+  return net::to_string(local) + ">" + net::to_string(remote);
+}
+
+[[maybe_unused]] trace::TraceEvent tcp_event(trace::Kind kind, Stack& stack,
+                                             net::Endpoint local, net::Endpoint remote) {
+  return trace::event(trace::Component::kTcp, kind)
+      .at(stack.node().name())
+      .on(flow_key(local, remote));
+}
 }
 
 const char* to_string(CloseReason reason) {
@@ -77,6 +91,8 @@ void Connection::fail(CloseReason reason) {
   }
   state_ = ConnState::kDead;
   stack_.connection_dead(*this);
+  WP2P_TRACE(sim_, tcp_event(trace::Kind::kTcpClose, stack_, local_, remote_)
+                       .why(to_string(reason)));
   WP2P_LOG(util::LogLevel::kDebug, sim::to_seconds(sim_.now()), kLog, "%s -> %s closed: %s",
            net::to_string(local_).c_str(), net::to_string(remote_).c_str(),
            to_string(reason));
@@ -121,6 +137,10 @@ void Connection::become_established() {
   state_ = fin_pending_ ? ConnState::kFinSent : ConnState::kEstablished;
   backoff_ = 0;
   cancel_rto();
+  WP2P_TRACE(sim_, tcp_event(trace::Kind::kTcpState, stack_, local_, remote_)
+                       .why(state_ == ConnState::kFinSent ? "fin-sent" : "established")
+                       .with("cwnd", cwnd_)
+                       .with("ssthresh", ssthresh_));
   if (on_connected) on_connected();
 }
 
@@ -234,6 +254,7 @@ void Connection::on_new_ack(std::int64_t ack, std::int64_t newly) {
     if (ack >= recover_) {
       cwnd_ = ssthresh_;
       in_recovery_ = false;
+      trace_cwnd("exit-recovery");
     } else {
       // NewReno partial ACK: retransmit the next hole, deflate the window.
       const std::int64_t len =
@@ -242,14 +263,28 @@ void Connection::on_new_ack(std::int64_t ack, std::int64_t newly) {
         send_data_segment(snd_una_, len, /*fresh=*/false);
       }
       cwnd_ = std::max(cwnd_ - static_cast<double>(newly) + mss, mss);
+      trace_cwnd("partial-ack");
     }
     return;
   }
   if (cwnd_ < ssthresh_) {
     cwnd_ += mss;  // slow start
+    trace_cwnd("slow-start");
   } else {
     cwnd_ += mss * mss / cwnd_;  // congestion avoidance
+    trace_cwnd("congestion-avoidance");
   }
+}
+
+// One kTcpCwnd event per window change; `cause` tells the invariant checker
+// which rule applies (it keys specifically on "exit-recovery").
+void Connection::trace_cwnd([[maybe_unused]] const char* cause) {
+  WP2P_TRACE(sim_, tcp_event(trace::Kind::kTcpCwnd, stack_, local_, remote_)
+                       .why(cause)
+                       .with("cwnd", cwnd_)
+                       .with("ssthresh", ssthresh_)
+                       .with("mss", static_cast<double>(params_.mss))
+                       .with("flight", static_cast<double>(flight_size())));
 }
 
 void Connection::on_dupack() {
@@ -264,6 +299,7 @@ void Connection::enter_fast_retransmit() {
   ++stats_.fast_retransmits;
   const double mss = static_cast<double>(params_.mss);
   const double flight = static_cast<double>(flight_size());
+  [[maybe_unused]] const double cwnd_before = cwnd_;
   ssthresh_ = std::max(flight / 2.0, 2.0 * mss);
   recover_ = snd_nxt_;
   in_recovery_ = true;
@@ -271,6 +307,12 @@ void Connection::enter_fast_retransmit() {
       std::min<std::int64_t>(params_.mss, std::max<std::int64_t>(app_end_ - snd_una_, 0));
   send_data_segment(snd_una_, len, /*fresh=*/false);
   cwnd_ = ssthresh_ + 3.0 * mss;
+  WP2P_TRACE(sim_, tcp_event(trace::Kind::kTcpFastRetransmit, stack_, local_, remote_)
+                       .with("cwnd_before", cwnd_before)
+                       .with("cwnd", cwnd_)
+                       .with("ssthresh", ssthresh_)
+                       .with("flight", flight)
+                       .with("mss", mss));
   arm_rto();
 }
 
@@ -477,8 +519,15 @@ void Connection::on_rto() {
   }
   ++stats_.timeouts;
   const double mss = static_cast<double>(params_.mss);
+  [[maybe_unused]] const double cwnd_before = cwnd_;
   ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0, 2.0 * mss);
   cwnd_ = mss;
+  WP2P_TRACE(sim_, tcp_event(trace::Kind::kTcpRto, stack_, local_, remote_)
+                       .with("cwnd_before", cwnd_before)
+                       .with("cwnd", cwnd_)
+                       .with("ssthresh", ssthresh_)
+                       .with("backoff", static_cast<double>(backoff_))
+                       .with("mss", mss));
   in_recovery_ = false;
   dupacks_ = 0;
   rtt_sample_pending_ = false;

@@ -128,6 +128,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   void fail(CloseReason reason);
   void become_established();
+  void trace_cwnd(const char* cause);  // kTcpCwnd trace point
   std::int64_t fin_seq() const { return app_end_; }
   bool fin_queued() const { return fin_pending_; }
 

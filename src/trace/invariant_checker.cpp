@@ -1,0 +1,145 @@
+#include "trace/invariant_checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wp2p::trace {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+std::string flow_id(const TraceEvent& ev) { return ev.node + "|" + ev.key; }
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(const Violation& v) {
+  char head[48];
+  std::snprintf(head, sizeof head, "[t=%.6fs] ", sim::to_seconds(v.time));
+  return head + v.rule + ": " + v.detail;
+}
+
+void InvariantChecker::violate(const TraceEvent& ev, std::string rule, std::string detail) {
+  violations_.push_back(Violation{ev.time, std::move(rule), std::move(detail)});
+}
+
+void InvariantChecker::reset_scenario() {
+  flows_.clear();
+  detectors_.clear();
+}
+
+void InvariantChecker::check(const TraceEvent& ev) {
+  ++checked_;
+  switch (ev.kind) {
+    case Kind::kScenario:
+      reset_scenario();
+      return;
+
+    case Kind::kTcpCwnd: {
+      ++matched_;
+      FlowState& flow = flows_[flow_id(ev)];
+      const double cwnd = ev.field("cwnd");
+      const double mss = ev.field("mss");
+      if (mss > 0.0 && cwnd < mss - kEps) {
+        violate(ev, "tcp-cwnd-floor",
+                ev.key + " cwnd " + num(cwnd) + " below 1 MSS (" + num(mss) + ")");
+      }
+      if (flow.loss_pending && ev.aux == "exit-recovery") {
+        if (cwnd > flow.exit_bound + kEps) {
+          violate(ev, "tcp-loss-response",
+                  ev.key + " exits recovery at cwnd " + num(cwnd) +
+                      " > ssthresh bound " + num(flow.exit_bound) +
+                      " (pre-loss cwnd " + num(flow.cwnd_at_loss) + ")");
+        }
+        flow.loss_pending = false;
+      }
+      flow.last_cwnd = cwnd;
+      return;
+    }
+
+    case Kind::kTcpFastRetransmit: {
+      ++matched_;
+      FlowState& flow = flows_[flow_id(ev)];
+      flow.cwnd_at_loss = ev.field("cwnd_before", flow.last_cwnd);
+      const double mss = ev.field("mss");
+      const double flight = ev.field("flight", flow.cwnd_at_loss);
+      flow.exit_bound = std::max(flight / 2.0, 2.0 * mss);
+      flow.loss_pending = flow.exit_bound > 0.0;
+      return;
+    }
+
+    case Kind::kTcpRto:
+      // A timeout abandons fast recovery; the exit-recovery sample never
+      // comes, and the cwnd-floor rule covers the collapse to 1 MSS.
+      flows_[flow_id(ev)].loss_pending = false;
+      return;
+
+    case Kind::kAmDecouple: {
+      ++matched_;
+      const double estimate = ev.field("estimate");
+      const double gamma = ev.field("gamma");
+      if (gamma > 0.0 && estimate >= gamma) {
+        violate(ev, "am-decouple-young",
+                ev.key + " decoupled an ACK at estimate " + num(estimate) +
+                    " >= gamma " + num(gamma));
+      }
+      return;
+    }
+
+    case Kind::kAmDupackDrop:
+    case Kind::kAmDupackPass: {
+      ++matched_;
+      const double seen = ev.field("seen");
+      const double dropped = ev.field("dropped");
+      const double modulus = ev.field("modulus");
+      if (modulus > 0.0 && dropped * modulus > seen + kEps) {
+        violate(ev, "am-dupack-budget",
+                ev.key + " dropped " + num(dropped) + " of " + num(seen) +
+                    " DUPACKs, over the 1-in-" + num(modulus) + " budget");
+      }
+      return;
+    }
+
+    case Kind::kLihdStep: {
+      ++matched_;
+      const double limit = ev.field("limit");
+      const double lo = ev.field("min");
+      const double hi = ev.field("max");
+      if (limit < lo - kEps || limit > hi + kEps) {
+        violate(ev, "lihd-bounds",
+                ev.node + " upload limit " + num(limit) + " outside [" + num(lo) +
+                    ", " + num(hi) + "]");
+      }
+      return;
+    }
+
+    case Kind::kMobDetect: {
+      ++matched_;
+      DetectState& det = detectors_[ev.node];
+      const double confirm = ev.field("confirm_samples");
+      const double interval_us = ev.field("interval_us");
+      const auto min_gap = static_cast<sim::SimTime>(confirm * interval_us);
+      if (det.last_detect >= 0 && min_gap > 0 && ev.time - det.last_detect < min_gap) {
+        violate(ev, "mob-single-detect",
+                ev.node + " re-detected mobility after " +
+                    num(sim::to_seconds(ev.time - det.last_detect)) +
+                    " s, inside the confirm window of " +
+                    num(sim::to_seconds(min_gap)) + " s");
+      }
+      det.last_detect = ev.time;
+      return;
+    }
+
+    default:
+      return;  // event kinds with no rule attached
+  }
+}
+
+}  // namespace wp2p::trace

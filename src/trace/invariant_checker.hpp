@@ -1,0 +1,85 @@
+// Trace-driven protocol invariant checking.
+//
+// The checker replays a trace stream (online as a Sink, or offline via
+// replay) and asserts the mechanistic claims of paper Sections 3-5 that the
+// instrumentation makes observable:
+//
+//   tcp-loss-response   After a fast retransmit (a mature-connection loss
+//                       event), the congestion window exiting recovery is at
+//                       most max(flight/2, 2 MSS) for the flight outstanding
+//                       when the loss fired — the NewReno ssthresh bound.
+//                       (Section 3.2: the halving the DUPACK throttle exists
+//                       to make real on the wireless leg. Flight, not the
+//                       pre-loss cwnd, is the base: after an earlier window
+//                       cut, packets from the old window may still be in the
+//                       air, so flight can legitimately exceed cwnd.)
+//   tcp-cwnd-floor      cwnd never falls below 1 MSS.
+//   am-decouple-young   AM ACK decoupling only fires while the estimated
+//                       peer cwnd is below gamma (Section 4.1/5.1).
+//   am-dupack-budget    At most 1 in `modulus` outgoing DUPACKs is dropped
+//                       per flow (Section 4.1's one-quarter rule).
+//   lihd-bounds         The LIHD upload limit stays within [min, max]
+//                       (Section 4.2, Figure 6).
+//   mob-single-detect   Live-peer mobility detections for a node are at
+//                       least confirm_samples * sample_interval apart (the
+//                       detector re-arms only after peers return).
+//
+// kScenario markers reset per-flow state, so one JSONL file may hold many
+// independently checked scenarios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace wp2p::trace {
+
+struct Violation {
+  sim::SimTime time = 0;
+  std::string rule;
+  std::string detail;
+};
+
+std::string to_string(const Violation& v);
+
+class InvariantChecker final : public Sink {
+ public:
+  void on_event(const TraceEvent& ev) override { check(ev); }
+
+  void check(const TraceEvent& ev);
+  template <typename Events>
+  void replay(const Events& events) {
+    for (const TraceEvent& ev : events) check(ev);
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t events_checked() const { return checked_; }
+  // Events that at least one rule actually examined (a smoke signal that the
+  // instrumentation is alive; an all-quiet trace checks vacuously).
+  std::uint64_t events_matched() const { return matched_; }
+
+ private:
+  struct FlowState {
+    double last_cwnd = -1.0;     // most recent tcp.cwnd value
+    double cwnd_at_loss = -1.0;  // cwnd when the last fast retransmit fired
+    double exit_bound = -1.0;    // max(flight/2, 2 MSS) at that loss
+    bool loss_pending = false;   // awaiting the exit-recovery sample
+  };
+  struct DetectState {
+    sim::SimTime last_detect = -1;
+  };
+
+  void violate(const TraceEvent& ev, std::string rule, std::string detail);
+  void reset_scenario();
+
+  std::unordered_map<std::string, FlowState> flows_;
+  std::unordered_map<std::string, DetectState> detectors_;
+  std::vector<Violation> violations_;
+  std::uint64_t checked_ = 0;
+  std::uint64_t matched_ = 0;
+};
+
+}  // namespace wp2p::trace

@@ -1,0 +1,267 @@
+#include "trace/jsonl.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace wp2p::trace {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  // %.17g round-trips every double; trim the common integer case for size.
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+// Minimal cursor-based parser for the flat object shape we write. It is not
+// a general JSON parser, but it accepts members in any order and tolerates
+// whitespace.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        char esc = text[pos++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // Trace strings are ASCII; anything else round-trips as '?'.
+            out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    const char* start = text.data() + pos;
+    char* end = nullptr;
+    out = std::strtod(start, &end);
+    if (end == start) return false;
+    pos += static_cast<std::size_t>(end - start);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string to_jsonl(const TraceEvent& ev) {
+  std::string out;
+  out.reserve(96);
+  out += "{\"t\":";
+  append_number(out, static_cast<double>(ev.time));
+  out += ",\"c\":";
+  append_escaped(out, to_string(ev.component));
+  out += ",\"k\":";
+  append_escaped(out, to_string(ev.kind));
+  out += ",\"n\":";
+  append_escaped(out, ev.node);
+  if (!ev.key.empty()) {
+    out += ",\"key\":";
+    append_escaped(out, ev.key);
+  }
+  if (!ev.aux.empty()) {
+    out += ",\"why\":";
+    append_escaped(out, ev.aux);
+  }
+  if (ev.nfields > 0) {
+    out += ",\"f\":{";
+    for (int i = 0; i < ev.nfields; ++i) {
+      if (i > 0) out.push_back(',');
+      const auto& f = ev.fields[static_cast<std::size_t>(i)];
+      append_escaped(out, f.key);
+      out.push_back(':');
+      append_number(out, f.value);
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::optional<TraceEvent> from_jsonl(std::string_view line) {
+  Cursor cur{line};
+  if (!cur.eat('{')) return std::nullopt;
+  TraceEvent ev;
+  bool have_component = false;
+  bool have_kind = false;
+  if (!cur.peek('}')) {
+    do {
+      std::string member;
+      if (!cur.parse_string(member) || !cur.eat(':')) return std::nullopt;
+      if (member == "t") {
+        double t = 0.0;
+        if (!cur.parse_number(t)) return std::nullopt;
+        ev.time = static_cast<sim::SimTime>(t);
+      } else if (member == "c") {
+        std::string name;
+        if (!cur.parse_string(name)) return std::nullopt;
+        auto c = component_from(name);
+        if (!c) return std::nullopt;
+        ev.component = *c;
+        have_component = true;
+      } else if (member == "k") {
+        std::string name;
+        if (!cur.parse_string(name)) return std::nullopt;
+        auto k = kind_from(name);
+        if (!k) return std::nullopt;
+        ev.kind = *k;
+        have_kind = true;
+      } else if (member == "n") {
+        if (!cur.parse_string(ev.node)) return std::nullopt;
+      } else if (member == "key") {
+        if (!cur.parse_string(ev.key)) return std::nullopt;
+      } else if (member == "why") {
+        if (!cur.parse_string(ev.aux)) return std::nullopt;
+      } else if (member == "f") {
+        if (!cur.eat('{')) return std::nullopt;
+        if (!cur.peek('}')) {
+          do {
+            std::string key;
+            double value = 0.0;
+            if (!cur.parse_string(key) || !cur.eat(':') || !cur.parse_number(value)) {
+              return std::nullopt;
+            }
+            if (ev.nfields < TraceEvent::kMaxFields) {
+              ev.fields[static_cast<std::size_t>(ev.nfields)] =
+                  TraceEvent::Field{std::move(key), value};
+              ++ev.nfields;
+            }
+          } while (cur.eat(','));
+        }
+        if (!cur.eat('}')) return std::nullopt;
+      } else {
+        return std::nullopt;  // unknown member: not one of ours
+      }
+    } while (cur.eat(','));
+  }
+  if (!cur.eat('}')) return std::nullopt;
+  if (!have_component || !have_kind) return std::nullopt;
+  return ev;
+}
+
+std::optional<JsonlFile> read_jsonl(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  JsonlFile result;
+  std::string line;
+  int c;
+  while ((c = std::fgetc(file)) != EOF) {
+    if (c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (!line.empty()) {
+      if (auto ev = from_jsonl(line)) {
+        result.events.push_back(std::move(*ev));
+      } else {
+        ++result.malformed;
+      }
+    }
+    line.clear();
+  }
+  if (!line.empty()) {
+    if (auto ev = from_jsonl(line)) {
+      result.events.push_back(std::move(*ev));
+    } else {
+      ++result.malformed;
+    }
+  }
+  std::fclose(file);
+  return result;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : path_{path}, file_{std::fopen(path.c_str(), "wb")} {}
+
+JsonlWriter::~JsonlWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlWriter::on_event(const TraceEvent& ev) {
+  if (file_ == nullptr) return;
+  const std::string line = to_jsonl(ev);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  ++lines_;
+}
+
+void JsonlWriter::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace wp2p::trace

@@ -1,0 +1,57 @@
+// JSONL serialization of trace streams.
+//
+// One event per line:
+//   {"t":1234567,"c":"tcp","k":"tcp.cwnd","n":"mobile",
+//    "key":"1.0.0.1:49152>1.0.0.2:9000","why":"slow-start",
+//    "f":{"cwnd":14480,"ssthresh":65536}}
+//
+// "key", "why", and "f" are omitted when empty. The parser accepts the
+// members in any order, so files survive hand editing and external tooling.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace wp2p::trace {
+
+std::string to_jsonl(const TraceEvent& ev);
+
+// Parse one JSONL line back into an event; nullopt on malformed input or an
+// unknown component/kind name.
+std::optional<TraceEvent> from_jsonl(std::string_view line);
+
+// Load every parseable line from a JSONL trace file (skips blank lines;
+// malformed lines are counted, not fatal).
+struct JsonlFile {
+  std::vector<TraceEvent> events;
+  std::size_t malformed = 0;
+};
+std::optional<JsonlFile> read_jsonl(const std::string& path);
+
+// Sink that appends one JSONL line per event to a file.
+class JsonlWriter final : public Sink {
+ public:
+  // Opens (truncates) `path`; ok() reports whether the open succeeded.
+  explicit JsonlWriter(const std::string& path);
+  ~JsonlWriter() override;
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  void on_event(const TraceEvent& ev) override;
+  void flush();
+  bool ok() const { return file_ != nullptr; }
+  std::uint64_t lines_written() const { return lines_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace wp2p::trace

@@ -1,0 +1,79 @@
+// Trace recorder and in-memory sink.
+//
+// A Recorder fans each emitted event out to its sinks. It always owns a
+// bounded ring buffer (so the most recent history is inspectable with zero
+// setup); file sinks and checkers are attached non-owning. Instrumentation
+// sites include this header (not trace.hpp) so the WP2P_TRACE macro can call
+// Recorder::emit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace wp2p::trace {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const TraceEvent& ev) = 0;
+};
+
+// Keeps the most recent `capacity` events; older ones are evicted FIFO.
+class RingBufferSink final : public Sink {
+ public:
+  explicit RingBufferSink(std::size_t capacity) : capacity_{capacity} {}
+
+  void on_event(const TraceEvent& ev) override {
+    if (events_.size() >= capacity_) {
+      events_.pop_front();
+      ++evicted_;
+    }
+    events_.push_back(ev);
+  }
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::uint64_t evicted() const { return evicted_; }
+  std::size_t capacity() const { return capacity_; }
+  void clear() {
+    events_.clear();
+    evicted_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t evicted_ = 0;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(std::size_t ring_capacity = 16384) : ring_{ring_capacity} {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // Attach an extra sink (JSONL writer, invariant checker, ...). Non-owning;
+  // the sink must outlive the recorder or be detached first.
+  void add_sink(Sink* sink) { sinks_.push_back(sink); }
+  void remove_sink(Sink* sink) { std::erase(sinks_, sink); }
+
+  void emit(TraceEvent ev) {
+    ++emitted_;
+    for (Sink* sink : sinks_) sink->on_event(ev);
+    ring_.on_event(ev);  // last, so sinks observe pre-eviction order too
+  }
+
+  RingBufferSink& ring() { return ring_; }
+  const RingBufferSink& ring() const { return ring_; }
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  RingBufferSink ring_;
+  std::vector<Sink*> sinks_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace wp2p::trace

@@ -1,0 +1,74 @@
+#include "trace/trace.hpp"
+
+namespace wp2p::trace {
+
+namespace {
+
+struct ComponentName {
+  Component component;
+  const char* name;
+};
+constexpr ComponentName kComponents[] = {
+    {Component::kSim, "sim"}, {Component::kTcp, "tcp"},  {Component::kAm, "am"},
+    {Component::kLihd, "lihd"}, {Component::kBt, "bt"},  {Component::kMob, "mob"},
+    {Component::kChan, "chan"},
+};
+
+struct KindName {
+  Kind kind;
+  const char* name;
+};
+constexpr KindName kKinds[] = {
+    {Kind::kScenario, "scenario"},
+    {Kind::kTcpState, "tcp.state"},
+    {Kind::kTcpCwnd, "tcp.cwnd"},
+    {Kind::kTcpFastRetransmit, "tcp.fast_retx"},
+    {Kind::kTcpRto, "tcp.rto"},
+    {Kind::kTcpClose, "tcp.close"},
+    {Kind::kAmClassify, "am.classify"},
+    {Kind::kAmDecouple, "am.decouple"},
+    {Kind::kAmDupackDrop, "am.dupack_drop"},
+    {Kind::kAmDupackPass, "am.dupack_pass"},
+    {Kind::kLihdStep, "lihd.step"},
+    {Kind::kBtChoke, "bt.choke"},
+    {Kind::kBtUnchoke, "bt.unchoke"},
+    {Kind::kBtPieceComplete, "bt.piece"},
+    {Kind::kBtHandoff, "bt.handoff"},
+    {Kind::kBtRecover, "bt.recover"},
+    {Kind::kMobDetect, "mob.detect"},
+    {Kind::kChanLoss, "chan.loss"},
+    {Kind::kChanArqRetry, "chan.arq"},
+    {Kind::kChanQueueDrop, "chan.queue_drop"},
+};
+
+}  // namespace
+
+const char* to_string(Component c) {
+  for (const auto& entry : kComponents) {
+    if (entry.component == c) return entry.name;
+  }
+  return "?";
+}
+
+const char* to_string(Kind k) {
+  for (const auto& entry : kKinds) {
+    if (entry.kind == k) return entry.name;
+  }
+  return "?";
+}
+
+std::optional<Component> component_from(std::string_view name) {
+  for (const auto& entry : kComponents) {
+    if (name == entry.name) return entry.component;
+  }
+  return std::nullopt;
+}
+
+std::optional<Kind> kind_from(std::string_view name) {
+  for (const auto& entry : kKinds) {
+    if (name == entry.name) return entry.kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wp2p::trace

@@ -1,0 +1,145 @@
+// Structured event tracing — the observability substrate under every protocol
+// claim in the paper's figures.
+//
+// Components emit typed TraceEvents through the WP2P_TRACE macro at cheap
+// inline trace points. When no Recorder is installed on the Simulator the
+// macro costs one pointer load and a branch — none of its arguments are
+// evaluated. Building with -DWP2P_TRACE_DISABLED removes the trace points
+// entirely, so the hot path can be proven to pay nothing.
+//
+// An event carries:
+//   time       virtual timestamp (stamped by the macro)
+//   component  which subsystem emitted it (tcp, am, lihd, bt, mob, chan)
+//   kind       the typed event within that subsystem
+//   node       emitting host (or scenario label for kScenario markers)
+//   key        sub-entity within the host: a TCP flow, a remote peer, ...
+//   aux        short free-form detail ("slow-start", "timeout", "young")
+//   fields     up to kMaxFields named numeric values
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "sim/time.hpp"
+
+namespace wp2p::trace {
+
+enum class Component : std::uint8_t { kSim, kTcp, kAm, kLihd, kBt, kMob, kChan };
+
+enum class Kind : std::uint8_t {
+  kScenario,  // sim: start of a traced scenario; node carries the label
+
+  kTcpState,           // connection state transition; aux = new state
+  kTcpCwnd,            // cwnd/ssthresh update; aux = cause
+  kTcpFastRetransmit,  // 3-DUPACK loss event (window halving)
+  kTcpRto,             // retransmission timeout
+  kTcpClose,           // connection closed; aux = reason
+
+  kAmClassify,    // flow young/mature classification flip; aux = class
+  kAmDecouple,    // extra pure ACK injected ahead of a young flow's data
+  kAmDupackDrop,  // mature-flow DUPACK suppressed
+  kAmDupackPass,  // mature-flow DUPACK let through
+
+  kLihdStep,  // one LIHD decision; aux = increase/decrease/hold/seed
+
+  kBtChoke,          // peer choked
+  kBtUnchoke,        // peer unchoked
+  kBtPieceComplete,  // piece verified and stored
+  kBtHandoff,        // address-change hand-off handled; aux = strategy
+  kBtRecover,        // recovery after silently lost connectivity
+
+  kMobDetect,  // live-peer mobility detection fired
+
+  kChanLoss,      // frame dropped after exhausting MAC retries
+  kChanArqRetry,  // MAC-layer ARQ retransmission
+  kChanQueueDrop,  // access-link queue overflow
+};
+
+const char* to_string(Component c);
+const char* to_string(Kind k);
+std::optional<Component> component_from(std::string_view name);
+std::optional<Kind> kind_from(std::string_view name);
+
+struct TraceEvent {
+  static constexpr int kMaxFields = 6;
+  struct Field {
+    std::string key;
+    double value = 0.0;
+  };
+
+  sim::SimTime time = 0;
+  Component component = Component::kSim;
+  Kind kind = Kind::kScenario;
+  std::string node;
+  std::string key;
+  std::string aux;
+  std::array<Field, kMaxFields> fields{};
+  int nfields = 0;
+
+  // Fluent builders, rvalue-qualified so `event(...).at(...).with(...)`
+  // chains allocate one object.
+  TraceEvent&& at(std::string n) && {
+    node = std::move(n);
+    return std::move(*this);
+  }
+  TraceEvent&& on(std::string k) && {
+    key = std::move(k);
+    return std::move(*this);
+  }
+  TraceEvent&& why(std::string a) && {
+    aux = std::move(a);
+    return std::move(*this);
+  }
+  TraceEvent&& with(std::string name, double value) && {
+    if (nfields < kMaxFields) {
+      fields[static_cast<std::size_t>(nfields)] = Field{std::move(name), value};
+      ++nfields;
+    }
+    return std::move(*this);
+  }
+
+  bool has_field(std::string_view name) const {
+    for (int i = 0; i < nfields; ++i) {
+      if (fields[static_cast<std::size_t>(i)].key == name) return true;
+    }
+    return false;
+  }
+  double field(std::string_view name, double fallback = 0.0) const {
+    for (int i = 0; i < nfields; ++i) {
+      if (fields[static_cast<std::size_t>(i)].key == name) {
+        return fields[static_cast<std::size_t>(i)].value;
+      }
+    }
+    return fallback;
+  }
+};
+
+inline TraceEvent event(Component component, Kind kind) {
+  TraceEvent ev;
+  ev.component = component;
+  ev.kind = kind;
+  return ev;
+}
+
+}  // namespace wp2p::trace
+
+// The trace point. `sim_expr` is any expression yielding a sim::Simulator&;
+// `builder` is a trace::TraceEvent expression (normally a trace::event(...)
+// chain). The builder is evaluated ONLY when a recorder is installed, and the
+// whole statement compiles away under WP2P_TRACE_DISABLED.
+#ifdef WP2P_TRACE_DISABLED
+#define WP2P_TRACE(sim_expr, builder) ((void)0)
+#else
+#define WP2P_TRACE(sim_expr, builder)                                 \
+  do {                                                                \
+    if (::wp2p::trace::Recorder* wp2p_trace_rec = (sim_expr).tracer()) { \
+      ::wp2p::trace::TraceEvent wp2p_trace_ev = (builder);            \
+      wp2p_trace_ev.time = (sim_expr).now();                          \
+      wp2p_trace_rec->emit(std::move(wp2p_trace_ev));                 \
+    }                                                                 \
+  } while (0)
+#endif

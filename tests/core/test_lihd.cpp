@@ -86,6 +86,47 @@ TEST_F(LihdTest, ClampsToBounds) {
   EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 5.0);
 }
 
+// Paper-faithful edge case (Figure 6): the decrease branch fires whenever
+// Dprev >= Dcur, INCLUDING Dprev == Dcur. A download pegged at a constant
+// rate — e.g. saturating the link no matter what the upload limit does —
+// therefore walks the limit down forever with growing aggressiveness; the
+// min_upload clamp is the only guard. The trace stream documents each
+// decision, so this behavior is pinned observably rather than inferred.
+TEST_F(LihdTest, EqualRatesWalkLimitToMinUploadFloor) {
+  config.alpha = kb(10);
+  config.beta = kb(10);
+  config.max_upload = kb(200);
+  config.min_upload = kb(5);
+  [[maybe_unused]] trace::Recorder& recorder = world.enable_tracing();
+  auto lihd = make();
+
+  lihd->step(kb(80));  // seed history
+  // d_prev_ == d_cur on every subsequent step: "no improvement" forever.
+  for (int i = 0; i < 10; ++i) lihd->step(kb(80));
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 5.0);
+  lihd->step(kb(80));  // pinned at the floor, still decreasing in spirit
+  EXPECT_DOUBLE_EQ(lihd->current_limit().kilobytes_per_sec(), 5.0);
+
+  // The trace agrees: after the seed step, every decision is a decrease with
+  // a monotonically growing dec_count, and the limit never dips below min.
+#ifndef WP2P_TRACE_DISABLED
+  int decreases = 0;
+  double last_dec_count = 0.0;
+  for (const trace::TraceEvent& ev : recorder.ring().events()) {
+    if (ev.kind != trace::Kind::kLihdStep) continue;
+    EXPECT_GE(ev.field("limit"), ev.field("min") - 1e-9);
+    if (ev.aux == "decrease") {
+      ++decreases;
+      EXPECT_GT(ev.field("dec_count"), last_dec_count);
+      last_dec_count = ev.field("dec_count");
+    } else {
+      EXPECT_EQ(ev.aux, "seed");  // only the history-seeding first step
+    }
+  }
+  EXPECT_EQ(decreases, 11);
+#endif
+}
+
 TEST_F(LihdTest, StartAppliesLimitToClient) {
   config.max_upload = kb(200);
   auto lihd = make();

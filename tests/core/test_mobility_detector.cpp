@@ -87,6 +87,72 @@ TEST_F(MobilityDetectorTest, ConfirmSamplesSuppressTransients) {
   EXPECT_GT(mobile->client->peer_count(), 0u);
 }
 
+// The detector's reason to exist (Section 5.1): an AP roam where the OS
+// surfaces NO interface event. The address changes under the client, so its
+// established connections blackhole and die one by one as TCP retries
+// exhaust — peers drain to zero over several sample intervals rather than
+// vanishing in one instant — and only then does detection fire, exactly once,
+// with Role Reversal rebuilding the swarm from the stored peer endpoints.
+TEST(MobilityDetectorRoamTest, SilentRoamDrainsPeersThenFiresExactlyOnce) {
+  bt::Metainfo meta = bt::Metainfo::create("f", 256 * 1024 * 1024, 256 * 1024, "tr", 23);
+  exp::Swarm swarm{43, meta};
+  bt::ClientConfig fc;
+  fc.announce_interval = sim::minutes(10.0);  // tracker must not heal the swarm
+  fc.upload_limit = util::Rate::kBps(100.0);
+  swarm.add_wired("seed", true, fc);
+  bt::ClientConfig mc = fc;
+  mc.role_reversal = true;
+  mc.retain_peer_id = true;
+  // A leech between block arrivals has no unacked outbound data, so a
+  // blackholed connection sits silent until the next keep-alive probes it;
+  // keep that probe (and the retry budget below) short so the connection
+  // dies within the test window instead of the default ~100 s + minutes.
+  mc.keepalive_interval = sim::seconds(5.0);
+  tcp::TcpParams fast_fail;
+  fast_fail.init_rto = sim::milliseconds(300.0);
+  fast_fail.max_rto = sim::milliseconds(500.0);
+  fast_fail.max_data_retries = 3;
+  auto& mobile = swarm.add_wireless("mobile", false, mc, {}, fast_fail);
+  swarm.start_all();
+
+  MobilityDetectorConfig config;
+  config.sample_interval = sim::seconds(2.0);
+  config.confirm_samples = 3;
+  MobilityDetector detector{swarm.world.sim, *mobile.client, config};
+  detector.start();
+  swarm.run_for(20.0);
+  ASSERT_GT(mobile.client->peer_count(), 0u);
+
+  // Roam: rebind the address with the interface-event hooks suppressed.
+  net::Node& node = *mobile.host->node;
+  auto hooks = std::move(node.on_address_change);
+  node.on_address_change.clear();
+  node.change_address();
+  node.on_address_change = std::move(hooks);
+  ASSERT_GT(mobile.client->peer_count(), 0u);  // nothing aborted synchronously
+
+  // Peers drain as each connection's retries exhaust.
+  double drained_at = -1.0;
+  for (int i = 0; i < 300 && drained_at < 0.0; ++i) {
+    swarm.run_for(0.1);
+    if (mobile.client->peer_count() == 0) {
+      drained_at = sim::to_seconds(swarm.world.sim.now());
+    }
+  }
+  ASSERT_GE(drained_at, 0.0) << "blackholed connections never timed out";
+  // The confirm window (3 zero-peer samples) cannot have elapsed yet.
+  EXPECT_EQ(detector.detections(), 0u);
+
+  swarm.run_for(10.0);
+  EXPECT_EQ(detector.detections(), 1u);
+  EXPECT_GT(mobile.client->peer_count(), 0u);  // role reversal reconnected
+
+  // Recovery holds: re-armed on live peers, but no spurious re-detection.
+  swarm.run_for(30.0);
+  EXPECT_EQ(detector.detections(), 1u);
+  EXPECT_GT(mobile.client->peer_count(), 0u);
+}
+
 TEST_F(MobilityDetectorTest, StopPreventsFurtherDetections) {
   MobilityDetectorConfig config;
   config.sample_interval = sim::seconds(2.0);

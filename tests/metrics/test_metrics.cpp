@@ -85,6 +85,27 @@ TEST(Histogram, OutOfRangeClampsToEdges) {
   EXPECT_DOUBLE_EQ(h.max(), 100.0);
 }
 
+// Regression: percentile(0) used to answer the range floor lo_ and
+// percentile(1) could answer the range ceiling hi_; both must report values
+// that were actually observed.
+TEST(Histogram, ExtremePercentilesReturnObservedValues) {
+  Histogram h{0.0, 100.0, 10};
+  h.add(12.0);
+  h.add(37.0);
+  h.add(64.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 12.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 64.0);
+}
+
+TEST(Histogram, ExtremePercentilesWithClampedSamples) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-3.0);   // clamps into bucket 0, but min() knows the real value
+  h.add(5.0);
+  h.add(42.0);   // clamps into the last bucket; hi_ (10.0) was never observed
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), -3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+}
+
 TEST(Table, FormatsNumbersAndPrints) {
   Table table{"test"};
   table.columns({"a", "b"});

@@ -1,0 +1,158 @@
+// InvariantChecker tests: every rule must fire on a deliberately corrupted
+// stream and stay silent on the equivalent clean stream.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/invariant_checker.hpp"
+
+namespace wp2p::trace {
+namespace {
+
+TraceEvent at_time(TraceEvent ev, double seconds) {
+  ev.time = sim::seconds(seconds);
+  return ev;
+}
+
+TraceEvent fast_retx(double cwnd_before, double flight, double mss) {
+  return event(Component::kTcp, Kind::kTcpFastRetransmit)
+      .at("mobile")
+      .on("flow")
+      .with("cwnd_before", cwnd_before)
+      .with("flight", flight)
+      .with("mss", mss);
+}
+
+TraceEvent exit_recovery(double cwnd, double mss) {
+  return event(Component::kTcp, Kind::kTcpCwnd)
+      .at("mobile")
+      .on("flow")
+      .why("exit-recovery")
+      .with("cwnd", cwnd)
+      .with("mss", mss);
+}
+
+std::vector<Violation> run(const std::vector<TraceEvent>& events) {
+  InvariantChecker checker;
+  checker.replay(events);
+  return checker.violations();
+}
+
+TEST(Invariants, CleanLossEpisodePasses) {
+  auto v = run({fast_retx(10000, 10000, 1000), exit_recovery(5000, 1000)});
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Invariants, TcpLossResponseFiresOnUnhalvedWindow) {
+  auto v = run({fast_retx(10000, 10000, 1000), exit_recovery(9500, 1000)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "tcp-loss-response");
+}
+
+TEST(Invariants, TcpLossResponseAllowsFlightAboveCwnd) {
+  // After an earlier window cut, packets from the old window may still be in
+  // the air: flight 8000 with cwnd_before 2000 legally exits at 4000.
+  auto v = run({fast_retx(2000, 8000, 1000), exit_recovery(4000, 1000)});
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Invariants, RtoAbandonsTheLossEpisode) {
+  auto v = run({fast_retx(10000, 10000, 1000),
+                event(Component::kTcp, Kind::kTcpRto).at("mobile").on("flow"),
+                exit_recovery(9500, 1000)});
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Invariants, TcpCwndFloorFiresBelowOneMss) {
+  auto v = run({event(Component::kTcp, Kind::kTcpCwnd)
+                    .at("mobile")
+                    .on("flow")
+                    .why("slow-start")
+                    .with("cwnd", 400.0)
+                    .with("mss", 1000.0)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "tcp-cwnd-floor");
+}
+
+TEST(Invariants, AmDecoupleYoungFiresOnMatureEstimate) {
+  TraceEvent young = event(Component::kAm, Kind::kAmDecouple)
+                         .on("flow")
+                         .with("estimate", 4000.0)
+                         .with("gamma", 9000.0);
+  TraceEvent mature = event(Component::kAm, Kind::kAmDecouple)
+                          .on("flow")
+                          .with("estimate", 12000.0)
+                          .with("gamma", 9000.0);
+  EXPECT_TRUE(run({young}).empty());
+  auto v = run({mature});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "am-decouple-young");
+}
+
+TEST(Invariants, AmDupackBudgetFiresOnOverDropping) {
+  auto dupack = [](Kind kind, double seen, double dropped) {
+    return event(Component::kAm, kind)
+        .on("flow")
+        .with("seen", seen)
+        .with("dropped", dropped)
+        .with("modulus", 4.0);
+  };
+  EXPECT_TRUE(run({dupack(Kind::kAmDupackDrop, 8, 2)}).empty());  // exactly 1-in-4
+  auto v = run({dupack(Kind::kAmDupackDrop, 8, 3)});              // over budget
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "am-dupack-budget");
+  EXPECT_TRUE(run({dupack(Kind::kAmDupackPass, 100, 25)}).empty());
+}
+
+TEST(Invariants, LihdBoundsFiresOutsideTheClamp) {
+  auto step = [](double limit) {
+    return event(Component::kLihd, Kind::kLihdStep)
+        .at("mobile")
+        .why("decrease")
+        .with("limit", limit)
+        .with("min", 5000.0)
+        .with("max", 200000.0);
+  };
+  EXPECT_TRUE(run({step(5000.0), step(200000.0), step(42000.0)}).empty());
+  auto low = run({step(1000.0)});
+  ASSERT_EQ(low.size(), 1u);
+  EXPECT_EQ(low[0].rule, "lihd-bounds");
+  auto high = run({step(250000.0)});
+  ASSERT_EQ(high.size(), 1u);
+  EXPECT_EQ(high[0].rule, "lihd-bounds");
+}
+
+TEST(Invariants, MobSingleDetectFiresInsideConfirmWindow) {
+  auto detect = [](double seconds) {
+    return at_time(event(Component::kMob, Kind::kMobDetect)
+                       .at("mobile")
+                       .with("confirm_samples", 2.0)
+                       .with("interval_us", sim::seconds(5.0)),
+                   seconds);
+  };
+  // Detections 20 s apart re-armed legitimately (window is 10 s).
+  EXPECT_TRUE(run({detect(10.0), detect(30.0)}).empty());
+  // A re-detection 4 s later cannot have re-confirmed over 2x5 s samples.
+  auto v = run({detect(10.0), detect(14.0)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "mob-single-detect");
+}
+
+TEST(Invariants, ScenarioMarkerResetsFlowState) {
+  auto v = run({fast_retx(10000, 10000, 1000),
+                event(Component::kSim, Kind::kScenario).on("next scenario"),
+                exit_recovery(9500, 1000)});
+  EXPECT_TRUE(v.empty());  // the pending loss episode died with the scenario
+}
+
+TEST(Invariants, CountsCheckedAndMatchedEvents) {
+  InvariantChecker checker;
+  checker.check(event(Component::kBt, Kind::kBtChoke));  // no rule attached
+  checker.check(exit_recovery(5000, 1000));
+  EXPECT_EQ(checker.events_checked(), 2u);
+  EXPECT_EQ(checker.events_matched(), 1u);
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+}  // namespace
+}  // namespace wp2p::trace

@@ -1,0 +1,201 @@
+// Unit tests of the trace substrate: event builders, ring-buffer eviction,
+// recorder fan-out, JSONL round-trip, and live World integration.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "exp/world.hpp"
+#include "tcp/connection.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/recorder.hpp"
+
+namespace wp2p::trace {
+namespace {
+
+TraceEvent sample_event(double v = 1.0) {
+  return event(Component::kTcp, Kind::kTcpCwnd)
+      .at("mobile")
+      .on("1.0.0.1:49152>1.0.0.2:9000")
+      .why("slow-start")
+      .with("cwnd", v)
+      .with("ssthresh", 65536.0);
+}
+
+TEST(TraceEvent, BuilderFillsFields) {
+  TraceEvent ev = sample_event(14480.0);
+  EXPECT_EQ(ev.component, Component::kTcp);
+  EXPECT_EQ(ev.kind, Kind::kTcpCwnd);
+  EXPECT_EQ(ev.node, "mobile");
+  EXPECT_EQ(ev.aux, "slow-start");
+  EXPECT_TRUE(ev.has_field("cwnd"));
+  EXPECT_DOUBLE_EQ(ev.field("cwnd"), 14480.0);
+  EXPECT_DOUBLE_EQ(ev.field("missing", -1.0), -1.0);
+  EXPECT_FALSE(ev.has_field("missing"));
+}
+
+TEST(TraceEvent, FieldCapIsEnforced) {
+  TraceEvent ev = event(Component::kSim, Kind::kScenario)
+                      .with("a", 1)
+                      .with("b", 2)
+                      .with("c", 3)
+                      .with("d", 4)
+                      .with("e", 5)
+                      .with("f", 6)
+                      .with("overflow", 7);
+  EXPECT_EQ(ev.nfields, TraceEvent::kMaxFields);
+  EXPECT_FALSE(ev.has_field("overflow"));
+}
+
+TEST(RingBufferSink, EvictsOldestBeyondCapacity) {
+  RingBufferSink ring{3};
+  for (int i = 0; i < 5; ++i) ring.on_event(sample_event(static_cast<double>(i)));
+  EXPECT_EQ(ring.events().size(), 3u);
+  EXPECT_EQ(ring.evicted(), 2u);
+  // Survivors are the three newest, still in emission order.
+  EXPECT_DOUBLE_EQ(ring.events().front().field("cwnd"), 2.0);
+  EXPECT_DOUBLE_EQ(ring.events().back().field("cwnd"), 4.0);
+  ring.clear();
+  EXPECT_TRUE(ring.events().empty());
+  EXPECT_EQ(ring.evicted(), 0u);
+}
+
+TEST(Recorder, FansOutToSinksAndRing) {
+  Recorder recorder{8};
+  RingBufferSink extra{8};
+  recorder.add_sink(&extra);
+  recorder.emit(sample_event());
+  recorder.emit(sample_event());
+  EXPECT_EQ(recorder.emitted(), 2u);
+  EXPECT_EQ(recorder.ring().events().size(), 2u);
+  EXPECT_EQ(extra.events().size(), 2u);
+  recorder.remove_sink(&extra);
+  recorder.emit(sample_event());
+  EXPECT_EQ(extra.events().size(), 2u);
+  EXPECT_EQ(recorder.ring().events().size(), 3u);
+}
+
+TEST(Jsonl, RoundTripsAllMembers) {
+  TraceEvent ev = sample_event(14480.0);
+  ev.time = sim::seconds(12.5);
+  const std::string line = to_jsonl(ev);
+  auto back = from_jsonl(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->time, ev.time);
+  EXPECT_EQ(back->component, ev.component);
+  EXPECT_EQ(back->kind, ev.kind);
+  EXPECT_EQ(back->node, ev.node);
+  EXPECT_EQ(back->key, ev.key);
+  EXPECT_EQ(back->aux, ev.aux);
+  ASSERT_EQ(back->nfields, ev.nfields);
+  EXPECT_DOUBLE_EQ(back->field("cwnd"), 14480.0);
+  EXPECT_DOUBLE_EQ(back->field("ssthresh"), 65536.0);
+}
+
+TEST(Jsonl, RoundTripsStringEscapes) {
+  TraceEvent ev = event(Component::kSim, Kind::kScenario)
+                      .on("label \"quoted\" back\\slash\ttab\nnewline");
+  const std::string line = to_jsonl(ev);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // escapes keep it one line
+  auto back = from_jsonl(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->key, ev.key);
+}
+
+TEST(Jsonl, OmitsEmptyMembersAndParsesAnyOrder) {
+  TraceEvent bare = event(Component::kChan, Kind::kChanLoss);
+  const std::string line = to_jsonl(bare);
+  EXPECT_EQ(line.find("\"key\""), std::string::npos);
+  EXPECT_EQ(line.find("\"why\""), std::string::npos);
+  EXPECT_EQ(line.find("\"f\""), std::string::npos);
+  // Members reordered by external tooling still parse.
+  auto back = from_jsonl(R"({"k":"chan.loss","t":7,"c":"chan","n":"ap"})");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, Kind::kChanLoss);
+  EXPECT_EQ(back->time, 7);
+  EXPECT_EQ(back->node, "ap");
+}
+
+TEST(Jsonl, RejectsMalformedLines) {
+  EXPECT_FALSE(from_jsonl("").has_value());
+  EXPECT_FALSE(from_jsonl("not json").has_value());
+  EXPECT_FALSE(from_jsonl(R"({"t":1,"c":"tcp"})").has_value());  // no kind
+  EXPECT_FALSE(from_jsonl(R"({"t":1,"c":"nope","k":"tcp.cwnd"})").has_value());
+  EXPECT_FALSE(from_jsonl(R"({"t":1,"c":"tcp","k":"tcp.cwnd")").has_value());
+}
+
+TEST(Jsonl, WriterAndReaderRoundTripAFile) {
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.jsonl";
+  {
+    JsonlWriter writer{path};
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 10; ++i) writer.on_event(sample_event(static_cast<double>(i)));
+    writer.flush();
+    EXPECT_EQ(writer.lines_written(), 10u);
+  }
+  auto file = read_jsonl(path);
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->malformed, 0u);
+  ASSERT_EQ(file->events.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(file->events[static_cast<std::size_t>(i)].field("cwnd"),
+                     static_cast<double>(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Jsonl, ReaderCountsMalformedLinesWithoutFailing) {
+  const std::string path = ::testing::TempDir() + "trace_malformed.jsonl";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs((to_jsonl(sample_event()) + "\n").c_str(), f);
+    std::fputs("garbage line\n\n", f);  // one malformed + one blank
+    std::fputs((to_jsonl(sample_event()) + "\n").c_str(), f);
+    std::fclose(f);
+  }
+  auto file = read_jsonl(path);
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->events.size(), 2u);
+  EXPECT_EQ(file->malformed, 1u);
+  std::remove(path.c_str());
+}
+
+// Integration: a World with tracing enabled records real TCP events, and
+// detaching the tracer stops recording without disturbing the simulation.
+TEST(WorldTracing, RecordsLiveTcpEvents) {
+#ifdef WP2P_TRACE_DISABLED
+  GTEST_SKIP() << "instrumentation compiled out (WP2P_TRACE_DISABLED)";
+#else
+  exp::World world{7};
+  Recorder& recorder = world.enable_tracing();
+  auto& a = world.add_wired_host("a");
+  auto& b = world.add_wired_host("b");
+  std::shared_ptr<tcp::Connection> server;
+  b.stack->listen(9000, [&](std::shared_ptr<tcp::Connection> c) { server = std::move(c); });
+  auto client = a.stack->connect(b.endpoint(9000));
+  world.sim.run_until(sim::seconds(1.0));
+  ASSERT_TRUE(client->established());
+  client->send_message(nullptr, 64 * 1024);
+  world.sim.run_until(sim::seconds(5.0));
+
+  bool saw_established = false;
+  bool saw_cwnd = false;
+  for (const TraceEvent& ev : recorder.ring().events()) {
+    if (ev.kind == Kind::kTcpState && ev.aux == "established") saw_established = true;
+    if (ev.kind == Kind::kTcpCwnd) saw_cwnd = true;
+  }
+  EXPECT_TRUE(saw_established);
+  EXPECT_TRUE(saw_cwnd);
+
+  const std::uint64_t emitted = recorder.emitted();
+  EXPECT_GT(emitted, 0u);
+  world.sim.set_tracer(nullptr);
+  client->send_message(nullptr, 64 * 1024);
+  world.sim.run_until(sim::seconds(10.0));
+  EXPECT_EQ(recorder.emitted(), emitted);  // detached: nothing new recorded
+#endif
+}
+
+}  // namespace
+}  // namespace wp2p::trace
