@@ -1,0 +1,300 @@
+// Fault-injection bench and property-based scenario fuzzer driver.
+//
+// Default mode: a table of swarm outcomes (leech completion, goodput, applied
+// faults) under canonical fault schedules — the regression surface for the
+// fault layer itself. Extra modes:
+//
+//   --fuzz N            run N random scenarios through exp::ScenarioFuzzer on
+//                       the worker pool; any failure is shrunk to a minimal
+//                       reproducing scenario and printed for the corpus
+//                       (tests/integration/corpus/). Exit 1 on failure.
+//   --fuzz-seed S       base seed for --fuzz (default 1).
+//   --replay FILE       parse a scenario spec (see TESTING.md) and run it
+//                       once; exit 1 if it fails.
+//   --break-cwnd-floor  disable TCP's 1-MSS cwnd floor in fuzzed/replayed
+//                       scenarios. The invariant checker must catch this —
+//                       it is the fuzz harness's self-test.
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common.hpp"
+#include "exp/scenario_fuzzer.hpp"
+
+namespace wp2p {
+namespace {
+
+struct FaultBenchOptions {
+  int fuzz = 0;
+  std::uint64_t fuzz_seed = 1;
+  std::string replay_path;
+  bool break_cwnd_floor = false;
+};
+
+FaultBenchOptions& fault_options() {
+  static FaultBenchOptions opts;
+  return opts;
+}
+
+// --- Canonical fault-plan table ----------------------------------------------
+
+struct NamedPlan {
+  const char* label;
+  sim::FaultPlan plan;
+};
+
+sim::FaultAction make_action(sim::FaultKind kind, double at_s, double dur_s, double mag,
+                             std::string target) {
+  sim::FaultAction a;
+  a.kind = kind;
+  a.at = sim::seconds(at_s);
+  a.duration = sim::seconds(dur_s);
+  a.magnitude = mag;
+  a.target = std::move(target);
+  return a;
+}
+
+// The fixed swarm under test: one wired seed, a wireless wP2P leech, a
+// wireless default leech, and a wired leech. Names are what the plans target.
+std::vector<exp::ScenarioPeer> canonical_peers() {
+  return {
+      {.name = "seed0", .wireless = false, .is_seed = true, .wp2p = false, .preload = 0.0},
+      {.name = "mob-w", .wireless = true, .is_seed = false, .wp2p = true, .preload = 0.0},
+      {.name = "mob-d", .wireless = true, .is_seed = false, .wp2p = false, .preload = 0.0},
+      {.name = "fix-l", .wireless = false, .is_seed = false, .wp2p = false, .preload = 0.2},
+  };
+}
+
+std::vector<NamedPlan> canonical_plans() {
+  std::vector<NamedPlan> plans;
+  plans.push_back({"baseline (no faults)", {}});
+  plans.push_back({"link flaps", {{
+      make_action(sim::FaultKind::kLinkFlap, 40, 12, 0, "mob-w"),
+      make_action(sim::FaultKind::kLinkFlap, 90, 8, 0, "fix-l"),
+  }}});
+  plans.push_back({"BER episode", {{
+      make_action(sim::FaultKind::kBerEpisode, 30, 50, 2e-5, "mob-w"),
+      make_action(sim::FaultKind::kBerEpisode, 45, 40, 2e-5, "mob-d"),
+  }}});
+  plans.push_back({"hand-off storm", {{
+      make_action(sim::FaultKind::kHandoffStorm, 50, 20, 4, "mob-w"),
+      make_action(sim::FaultKind::kHandoffStorm, 70, 20, 4, "mob-d"),
+  }}});
+  plans.push_back({"tracker outage", {{
+      make_action(sim::FaultKind::kTrackerOutage, 25, 70, 0, ""),
+  }}});
+  plans.push_back({"peer crash/restart", {{
+      make_action(sim::FaultKind::kPeerCrash, 60, 25, 0, "fix-l"),
+  }}});
+  plans.push_back({"dup+reorder chaos", {{
+      make_action(sim::FaultKind::kDuplicate, 20, 120, 0.1, "mob-w"),
+      make_action(sim::FaultKind::kReorder, 20, 120, 0.1, "fix-l"),
+      make_action(sim::FaultKind::kHandoff, 80, 0, 0, "mob-d"),
+  }}});
+  return plans;
+}
+
+struct PlanOutcome {
+  double completion = 0.0;  // mean completed fraction across leeches
+  double goodput = 0.0;     // swarm payload-download rate, bytes/s
+  double faults = 0.0;
+  double violations = 0.0;
+};
+
+PlanOutcome run_canonical(std::uint64_t seed, const sim::FaultPlan& plan,
+                          double duration_s) {
+  exp::Scenario scenario;
+  scenario.seed = seed;
+  scenario.duration_s = duration_s;
+  // Large enough that the download spans most of the window, so disruptive
+  // schedules show up in completion/goodput instead of finishing early.
+  scenario.file_size = 32 << 20;
+  scenario.piece_size = 256 * 1024;
+  scenario.peers = canonical_peers();
+  scenario.faults = plan;
+
+  exp::ScenarioFuzzer fuzzer;
+  const exp::FuzzVerdict verdict = fuzzer.run(scenario);
+
+  PlanOutcome out;
+  int leeches = 0;
+  for (const auto& p : scenario.peers) leeches += p.is_seed ? 0 : 1;
+  out.completion = leeches > 0
+                       ? static_cast<double>(verdict.completed_leeches) / leeches
+                       : 0.0;
+  out.goodput = static_cast<double>(verdict.bytes_downloaded) / duration_s;
+  out.faults = static_cast<double>(verdict.faults_applied);
+  out.violations = static_cast<double>(verdict.violations.size()) +
+                   static_cast<double>(verdict.property_failures.size());
+  return out;
+}
+
+int fault_table() {
+  const double duration_s = 60.0;
+  metrics::Table table{"Swarm outcomes under canonical fault schedules "
+                       "(1 seed + 3 leeches, 32 MB, 60 s)"};
+  table.columns({"fault schedule", "leech completion %", "goodput (KBps)",
+                 "faults applied", "violations"});
+  double total_violations = 0.0;
+  for (const NamedPlan& named : canonical_plans()) {
+    metrics::RunStats completion, goodput, faults, violations;
+    for (const PlanOutcome& out : bench::over_seeds_map<PlanOutcome>(
+             5, 4200, [&](std::uint64_t s) { return run_canonical(s, named.plan, duration_s); })) {
+      completion.add(out.completion * 100.0);
+      goodput.add(out.goodput);
+      faults.add(out.faults);
+      violations.add(out.violations);
+    }
+    total_violations += violations.mean() * static_cast<double>(violations.count());
+    table.row({named.label, metrics::Table::num(completion.mean()),
+               bench::kbps(goodput.mean()), metrics::Table::num(faults.mean()),
+               metrics::Table::num(violations.mean() * static_cast<double>(violations.count()), 0)});
+  }
+  bench::show(table);
+  bench::print_shape_note(
+      "every schedule completes with zero protocol-invariant violations; "
+      "disruptive schedules (storms, outages, crashes) cost completion/goodput "
+      "but never correctness");
+  return total_violations > 0.0 ? 1 : 0;
+}
+
+// --- Fuzz / replay modes ------------------------------------------------------
+
+void print_failure(const exp::Scenario& scenario, const exp::FuzzVerdict& verdict) {
+  std::printf("verdict: %s\n", verdict.summary().c_str());
+  for (const trace::Violation& v : verdict.violations) {
+    std::printf("  violation: %s\n", trace::to_string(v).c_str());
+  }
+  for (const std::string& p : verdict.property_failures) {
+    std::printf("  property: %s\n", p.c_str());
+  }
+  std::printf("--- scenario spec (save under tests/integration/corpus/) ---\n%s",
+              scenario.serialize().c_str());
+}
+
+int fuzz_mode() {
+  const FaultBenchOptions& fopts = fault_options();
+  exp::ScenarioFuzzer fuzzer;
+  std::printf("fuzzing %d scenarios from seed %llu%s...\n", fopts.fuzz,
+              static_cast<unsigned long long>(fopts.fuzz_seed),
+              fopts.break_cwnd_floor ? " (cwnd floor DISABLED — failures expected)" : "");
+
+  auto scenario_for = [&](std::uint64_t seed) {
+    exp::Scenario s = fuzzer.generate(seed);
+    s.unsafe_no_cwnd_floor = fault_options().break_cwnd_floor;
+    return s;
+  };
+
+  std::vector<exp::ScenarioFuzzer::SweepResult> results =
+      bench::runner().map<exp::ScenarioFuzzer::SweepResult>(fopts.fuzz, [&](int i) {
+        const std::uint64_t seed = fopts.fuzz_seed + static_cast<std::uint64_t>(i);
+        const exp::FuzzVerdict verdict = fuzzer.run(scenario_for(seed));
+        exp::ScenarioFuzzer::SweepResult r;
+        r.seed = seed;
+        r.passed = verdict.passed;
+        r.violations = verdict.violations.size();
+        r.property_failures = verdict.property_failures.size();
+        r.trace_hash = verdict.trace_hash;
+        if (!verdict.violations.empty()) {
+          r.first_failure = trace::to_string(verdict.violations.front());
+        } else if (!verdict.property_failures.empty()) {
+          r.first_failure = verdict.property_failures.front();
+        }
+        return r;
+      });
+
+  int failures = 0;
+  for (const auto& r : results) {
+    if (r.passed) continue;
+    ++failures;
+    std::printf("seed %llu FAILED: %s\n", static_cast<unsigned long long>(r.seed),
+                r.first_failure.c_str());
+  }
+  std::printf("%d/%d scenarios passed\n", fopts.fuzz - failures, fopts.fuzz);
+  if (failures == 0) return 0;
+
+  // Shrink the first failure to the minimal reproducing scenario.
+  for (const auto& r : results) {
+    if (r.passed) continue;
+    std::printf("shrinking seed %llu...\n", static_cast<unsigned long long>(r.seed));
+    const exp::Scenario minimal = fuzzer.shrink(scenario_for(r.seed));
+    print_failure(minimal, fuzzer.run(minimal));
+    break;
+  }
+  return 1;
+}
+
+int replay_mode() {
+  std::ifstream in{fault_options().replay_path};
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", fault_options().replay_path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto scenario = exp::Scenario::parse(buffer.str());
+  if (!scenario) {
+    std::fprintf(stderr, "malformed scenario spec: %s\n",
+                 fault_options().replay_path.c_str());
+    return 2;
+  }
+  if (fault_options().break_cwnd_floor) scenario->unsafe_no_cwnd_floor = true;
+
+  exp::ScenarioFuzzer fuzzer;
+  const exp::FuzzVerdict verdict = fuzzer.run(*scenario);
+  if (verdict.passed) {
+    std::printf("replay %s: %s\n", fault_options().replay_path.c_str(),
+                verdict.summary().c_str());
+    return 0;
+  }
+  print_failure(*scenario, verdict);
+  return 1;
+}
+
+}  // namespace
+}  // namespace wp2p
+
+int main(int argc, char** argv) {
+  // Peel off this binary's own flags before the shared parser (which rejects
+  // anything it does not know).
+  wp2p::FaultBenchOptions& fopts = wp2p::fault_options();
+  std::vector<char*> shared_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (++i >= argc) {
+        std::fprintf(stderr, "%s expects a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    if (arg == "--fuzz") {
+      fopts.fuzz = std::atoi(value());
+      if (fopts.fuzz <= 0) {
+        std::fprintf(stderr, "--fuzz: bad count\n");
+        return 2;
+      }
+    } else if (arg == "--fuzz-seed") {
+      fopts.fuzz_seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--replay") {
+      fopts.replay_path = value();
+    } else if (arg == "--break-cwnd-floor") {
+      fopts.break_cwnd_floor = true;
+    } else {
+      shared_args.push_back(argv[i]);
+    }
+  }
+  wp2p::bench::ArgParser{static_cast<int>(shared_args.size()), shared_args.data()};
+
+  int rc;
+  if (!fopts.replay_path.empty()) {
+    rc = wp2p::replay_mode();
+  } else if (fopts.fuzz > 0) {
+    rc = wp2p::fuzz_mode();
+  } else {
+    rc = wp2p::fault_table();
+  }
+  wp2p::bench::print_runner_summary();
+  const int trace_rc = wp2p::bench::trace_report();
+  return rc != 0 ? rc : trace_rc;
+}

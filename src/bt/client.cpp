@@ -94,12 +94,17 @@ void Client::start() {
   stack_.listen(config_.listen_port, [this, alive = alive_](auto conn) {
     if (*alive) accept_connection(std::move(conn));
   });
-  node_.on_address_change.push_back([this, alive = alive_](net::IpAddr, net::IpAddr) {
-    if (*alive) handle_address_change();
-  });
-  node_.on_connectivity_change.push_back([this, alive = alive_](bool connected) {
-    if (*alive && !connected) last_disconnect_ = sim_.now();
-  });
+  // Register node hooks once; a stop()/start() cycle (fault-injected crash
+  // and restart) must not stack duplicate handlers.
+  if (!node_hooks_installed_) {
+    node_hooks_installed_ = true;
+    node_.on_address_change.push_back([this, alive = alive_](net::IpAddr, net::IpAddr) {
+      if (*alive) handle_address_change();
+    });
+    node_.on_connectivity_change.push_back([this, alive = alive_](bool connected) {
+      if (*alive && !connected) last_disconnect_ = sim_.now();
+    });
+  }
   choke_task_.start();
   optimistic_task_.start();
   // Random announce phase: real clients join at arbitrary times, so their

@@ -165,6 +165,7 @@ class Client {
   PeerId peer_id_ = 0;
   bool running_ = false;
   bool completed_notified_ = false;
+  bool node_hooks_installed_ = false;
 
   std::vector<std::shared_ptr<PeerConnection>> peers_;
   std::vector<int> availability_;                       // remote copies per piece

@@ -3,6 +3,10 @@
 namespace wp2p::bt {
 
 void Tracker::announce(const AnnounceRequest& request, AnnounceCallback callback) {
+  if (!reachable_) {
+    ++dropped_announces_;
+    return;
+  }
   ++announces_;
   Swarm& swarm = swarms_[request.info_hash];
   expire(swarm);

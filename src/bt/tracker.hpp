@@ -53,10 +53,18 @@ class Tracker {
   // of other peers in the swarm (empty for kStopped).
   void announce(const AnnounceRequest& request, AnnounceCallback callback);
 
+  // Outage injection (net::FaultInjector's tracker-outage hook): while
+  // unreachable the tracker swallows announces — no state change, no
+  // response — exactly how a dead HTTP tracker looks to a client, which
+  // simply retries on its next announce interval.
+  void set_reachable(bool reachable) { reachable_ = reachable; }
+  bool reachable() const { return reachable_; }
+
   // Swarm inspection (test/experiment support; not part of the protocol).
   std::size_t swarm_size(InfoHash hash) const;
   std::size_t seed_count(InfoHash hash) const;
   std::uint64_t announces() const { return announces_; }
+  std::uint64_t dropped_announces() const { return dropped_announces_; }
 
  private:
   struct Entry {
@@ -72,7 +80,9 @@ class Tracker {
   TrackerConfig config_;
   sim::Rng rng_;
   std::unordered_map<InfoHash, Swarm> swarms_;
+  bool reachable_ = true;
   std::uint64_t announces_ = 0;
+  std::uint64_t dropped_announces_ = 0;
 };
 
 }  // namespace wp2p::bt

@@ -1,5 +1,7 @@
 #include "bt/wire.hpp"
 
+#include <cstddef>
+
 namespace wp2p::bt {
 
 const char* to_string(MsgType type) {
@@ -17,6 +19,209 @@ const char* to_string(MsgType type) {
     case MsgType::kCancel: return "cancel";
   }
   return "?";
+}
+
+namespace {
+
+constexpr std::string_view kProtocol = "BitTorrent protocol";
+
+// BEP 3 message ids (no id for keep-alive or the handshake).
+constexpr std::uint8_t kIdChoke = 0;
+constexpr std::uint8_t kIdUnchoke = 1;
+constexpr std::uint8_t kIdInterested = 2;
+constexpr std::uint8_t kIdNotInterested = 3;
+constexpr std::uint8_t kIdHave = 4;
+constexpr std::uint8_t kIdBitfield = 5;
+constexpr std::uint8_t kIdRequest = 6;
+constexpr std::uint8_t kIdPiece = 7;
+constexpr std::uint8_t kIdCancel = 8;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v >> 24));
+  out.push_back(static_cast<char>(v >> 16));
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+}
+
+// The simulated 64-bit identity in the last 8 bytes of a 20-byte field.
+void put_id20(std::string& out, std::uint64_t v) {
+  out.append(12, '\0');
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>(v >> shift));
+  }
+}
+
+std::uint32_t get_u32(std::string_view b, std::size_t at) {
+  return (static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[at])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[at + 1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[at + 2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[at + 3]));
+}
+
+std::optional<std::uint64_t> get_id20(std::string_view b, std::size_t at) {
+  for (std::size_t i = 0; i < 12; ++i) {
+    if (b[at + i] != '\0') return std::nullopt;  // upper bytes must be zero
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 12; i < 20; ++i) {
+    v = (v << 8) | static_cast<std::uint8_t>(b[at + i]);
+  }
+  return v;
+}
+
+std::optional<WireMessage> decode_handshake(std::string_view bytes) {
+  if (bytes.size() != 68 || static_cast<std::uint8_t>(bytes[0]) != kProtocol.size() ||
+      bytes.substr(1, kProtocol.size()) != kProtocol) {
+    return std::nullopt;
+  }
+  const auto hash = get_id20(bytes, 28);
+  const auto id = get_id20(bytes, 48);
+  if (!hash || !id) return std::nullopt;
+  WireMessage msg;
+  msg.type = MsgType::kHandshake;
+  msg.info_hash = *hash;
+  msg.peer_id = *id;
+  return msg;
+}
+
+std::optional<WireMessage> decode_bitfield(std::string_view body, int bits) {
+  if (bits < 0) bits = static_cast<int>(body.size()) * 8;
+  if ((static_cast<std::size_t>(bits) + 7) / 8 != body.size()) return std::nullopt;
+  WireMessage msg;
+  msg.type = MsgType::kBitfield;
+  msg.bitfield = Bitfield{bits};
+  for (std::size_t byte = 0; byte < body.size(); ++byte) {
+    const auto v = static_cast<std::uint8_t>(body[byte]);
+    for (int bit = 0; bit < 8; ++bit) {
+      if (!(v & (0x80u >> bit))) continue;
+      const int index = static_cast<int>(byte) * 8 + bit;
+      if (index >= bits) return std::nullopt;  // spare bits must be zero
+      msg.bitfield.set(index);
+    }
+  }
+  return msg;
+}
+
+}  // namespace
+
+std::string encode(const WireMessage& msg) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(msg.wire_size()));
+  switch (msg.type) {
+    case MsgType::kHandshake:
+      out.push_back(static_cast<char>(kProtocol.size()));
+      out += kProtocol;
+      out.append(8, '\0');  // reserved/extension bits
+      put_id20(out, msg.info_hash);
+      put_id20(out, msg.peer_id);
+      break;
+    case MsgType::kKeepAlive:
+      put_u32(out, 0);
+      break;
+    case MsgType::kChoke:
+    case MsgType::kUnchoke:
+    case MsgType::kInterested:
+    case MsgType::kNotInterested: {
+      put_u32(out, 1);
+      const std::uint8_t id = msg.type == MsgType::kChoke       ? kIdChoke
+                              : msg.type == MsgType::kUnchoke   ? kIdUnchoke
+                              : msg.type == MsgType::kInterested ? kIdInterested
+                                                                 : kIdNotInterested;
+      out.push_back(static_cast<char>(id));
+      break;
+    }
+    case MsgType::kHave:
+      put_u32(out, 5);
+      out.push_back(static_cast<char>(kIdHave));
+      put_u32(out, static_cast<std::uint32_t>(msg.piece));
+      break;
+    case MsgType::kBitfield: {
+      put_u32(out, static_cast<std::uint32_t>(1 + msg.bitfield.byte_size()));
+      out.push_back(static_cast<char>(kIdBitfield));
+      // MSB-first within each byte, per BEP 3.
+      for (std::int64_t byte = 0; byte < msg.bitfield.byte_size(); ++byte) {
+        std::uint8_t v = 0;
+        for (int bit = 0; bit < 8; ++bit) {
+          const int index = static_cast<int>(byte) * 8 + bit;
+          if (index < msg.bitfield.size() && msg.bitfield.test(index)) {
+            v |= static_cast<std::uint8_t>(0x80u >> bit);
+          }
+        }
+        out.push_back(static_cast<char>(v));
+      }
+      break;
+    }
+    case MsgType::kRequest:
+    case MsgType::kCancel:
+      put_u32(out, 13);
+      out.push_back(
+          static_cast<char>(msg.type == MsgType::kRequest ? kIdRequest : kIdCancel));
+      put_u32(out, static_cast<std::uint32_t>(msg.piece));
+      put_u32(out, static_cast<std::uint32_t>(msg.offset));
+      put_u32(out, static_cast<std::uint32_t>(msg.length));
+      break;
+    case MsgType::kPiece:
+      put_u32(out, static_cast<std::uint32_t>(9 + msg.length));
+      out.push_back(static_cast<char>(kIdPiece));
+      put_u32(out, static_cast<std::uint32_t>(msg.piece));
+      put_u32(out, static_cast<std::uint32_t>(msg.offset));
+      out.append(static_cast<std::size_t>(msg.length), '\0');  // simulated payload
+      break;
+  }
+  return out;
+}
+
+std::optional<WireMessage> decode(std::string_view bytes, int bitfield_bits) {
+  if (!bytes.empty() && static_cast<std::uint8_t>(bytes[0]) == kProtocol.size()) {
+    return decode_handshake(bytes);
+  }
+  if (bytes.size() < 4) return std::nullopt;
+  const std::uint32_t len = get_u32(bytes, 0);
+  if (bytes.size() != 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  if (len == 0) {
+    WireMessage msg;
+    msg.type = MsgType::kKeepAlive;
+    return msg;
+  }
+
+  const auto id = static_cast<std::uint8_t>(bytes[4]);
+  const std::string_view body = bytes.substr(5);
+  WireMessage msg;
+  switch (id) {
+    case kIdChoke:
+    case kIdUnchoke:
+    case kIdInterested:
+    case kIdNotInterested:
+      if (!body.empty()) return std::nullopt;
+      msg.type = id == kIdChoke       ? MsgType::kChoke
+                 : id == kIdUnchoke   ? MsgType::kUnchoke
+                 : id == kIdInterested ? MsgType::kInterested
+                                       : MsgType::kNotInterested;
+      return msg;
+    case kIdHave:
+      if (body.size() != 4) return std::nullopt;
+      msg.type = MsgType::kHave;
+      msg.piece = static_cast<int>(get_u32(bytes, 5));
+      return msg;
+    case kIdBitfield:
+      return decode_bitfield(body, bitfield_bits);
+    case kIdRequest:
+    case kIdCancel:
+      if (body.size() != 12) return std::nullopt;
+      msg.type = id == kIdRequest ? MsgType::kRequest : MsgType::kCancel;
+      msg.piece = static_cast<int>(get_u32(bytes, 5));
+      msg.offset = get_u32(bytes, 9);
+      msg.length = get_u32(bytes, 13);
+      return msg;
+    case kIdPiece:
+      if (body.size() < 8) return std::nullopt;
+      msg.type = MsgType::kPiece;
+      msg.piece = static_cast<int>(get_u32(bytes, 5));
+      msg.offset = get_u32(bytes, 9);
+      msg.length = static_cast<std::int64_t>(body.size()) - 8;
+      return msg;
+  }
+  return std::nullopt;
 }
 
 }  // namespace wp2p::bt

@@ -7,6 +7,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 
 #include "bt/bitfield.hpp"
 #include "bt/metainfo.hpp"
@@ -111,5 +114,21 @@ struct WireMessage {
     return m;
   }
 };
+
+// BEP 3 byte encoding. The simulation moves WireMessage structs directly, but
+// the encoder/decoder keep the model honest: encode() emits the real framing
+// (big-endian u32 length prefix, one-byte message id, 68-byte handshake) and
+// decode() parses it back. The 64-bit simulated info-hash / peer-id occupy the
+// trailing 8 bytes of the real protocol's 20-byte fields (the rest are zero),
+// and piece payloads are zero bytes of the declared length.
+std::string encode(const WireMessage& msg);
+
+// Decodes exactly one message occupying the whole buffer. `bitfield_bits`
+// gives the piece count for kBitfield bodies (the wire format doesn't carry
+// it); pass <0 to default to 8 bits per body byte. Returns nullopt on any
+// malformed input: truncated buffers, trailing bytes, unknown ids, bad
+// handshake magic, bitfield spare bits set, or a length prefix that
+// disagrees with its body.
+std::optional<WireMessage> decode(std::string_view bytes, int bitfield_bits = -1);
 
 }  // namespace wp2p::bt

@@ -1,0 +1,37 @@
+// Wires a net::FaultInjector into a Swarm's application layer.
+//
+// The injector itself only knows the network; the hooks bound here realize
+// the swarm-level faults: tracker outages flip the tracker's reachability,
+// and peer-crash windows stop/restart the bt::Client living on the target
+// node (its piece store survives, as a real client's disk would — the crash
+// kills the process, not the download state).
+#pragma once
+
+#include <memory>
+
+#include "exp/swarm.hpp"
+#include "net/fault_injector.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace wp2p::exp {
+
+inline std::unique_ptr<net::FaultInjector> bind_faults(Swarm& swarm, sim::FaultPlan plan) {
+  auto injector = std::make_unique<net::FaultInjector>(swarm.world.net, std::move(plan));
+  injector->on_tracker_outage = [tracker = &swarm.tracker](bool down) {
+    tracker->set_reachable(!down);
+  };
+  injector->on_peer_process = [members = &swarm.members](net::Node& node, bool up) {
+    for (auto& member : *members) {
+      if (member.host->node != &node) continue;
+      if (up && !member.client->running()) {
+        member.client->start();
+      } else if (!up && member.client->running()) {
+        member.client->stop();
+      }
+      return;
+    }
+  };
+  return injector;
+}
+
+}  // namespace wp2p::exp

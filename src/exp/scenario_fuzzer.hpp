@@ -1,0 +1,456 @@
+// Property-based scenario fuzzing with shrinking.
+//
+// A Scenario is a fully explicit experiment: swarm composition, file shape,
+// run length, and a sim::FaultPlan — everything needed to reproduce a run
+// bit-for-bit from one seed. ScenarioFuzzer
+//
+//   generate(seed)  derives a random scenario from a seed (deterministic),
+//   run(scenario)   executes it with a trace recorder + InvariantChecker
+//                   attached and returns a verdict: protocol-invariant
+//                   violations, end-to-end property failures, and a hash of
+//                   the full event stream (the determinism fingerprint),
+//   shrink(s)       given a failing scenario, greedily minimizes it — drop
+//                   fault actions (ddmin-style chunks), remove peers, shorten
+//                   the schedule — while it keeps failing, yielding the
+//                   minimal repro that goes into tests/integration/corpus/,
+//   sweep(...)      fans N seeds out over an exp::ParallelRunner; verdicts
+//                   are independent of --jobs because every run owns its
+//                   Simulator, Network, and RNG tree.
+//
+// The verdict deliberately does NOT require download completion: under
+// adversarial fault schedules a slow swarm is legitimate. What must survive
+// ANY schedule: the paper's protocol invariants (Sections 3-5, enforced by
+// trace::InvariantChecker), byte conservation, and piece-store consistency.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bt/metainfo.hpp"
+#include "core/am_filter.hpp"
+#include "exp/faults.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/swarm.hpp"
+#include "sim/fault_plan.hpp"
+#include "trace/invariant_checker.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/recorder.hpp"
+
+namespace wp2p::exp {
+
+struct FuzzLimits {
+  int min_peers = 3;  // including the initial seed
+  int max_peers = 6;
+  double min_duration_s = 90.0;
+  double max_duration_s = 240.0;
+  std::int64_t min_file = 1 << 20;
+  std::int64_t max_file = 3 << 20;
+  std::int64_t piece_size = 256 * 1024;
+  int max_faults = 6;
+};
+
+struct ScenarioPeer {
+  std::string name;
+  bool wireless = false;
+  bool is_seed = false;
+  bool wp2p = false;  // identity retention + role reversal (+ AM when wireless)
+  double preload = 0.0;
+
+  bool operator==(const ScenarioPeer&) const = default;
+};
+
+struct Scenario {
+  std::uint64_t seed = 1;
+  double duration_s = 180.0;
+  std::int64_t file_size = 2 << 20;
+  std::int64_t piece_size = 256 * 1024;
+  std::vector<ScenarioPeer> peers;
+  sim::FaultPlan faults;
+  // Harness self-test switch: propagated to every peer's TcpParams so a
+  // deliberately broken cwnd floor is visible to the invariant checker.
+  bool unsafe_no_cwnd_floor = false;
+
+  std::string serialize() const {
+    char head[192];
+    std::snprintf(head, sizeof head,
+                  "scenario seed=%llu duration=%.6f file=%lld piece=%lld unsafe=%d\n",
+                  static_cast<unsigned long long>(seed), duration_s,
+                  static_cast<long long>(file_size), static_cast<long long>(piece_size),
+                  unsafe_no_cwnd_floor ? 1 : 0);
+    std::string out = head;
+    for (const ScenarioPeer& p : peers) {
+      char line[160];
+      std::snprintf(line, sizeof line, "peer name=%s link=%s role=%s wp2p=%d preload=%g\n",
+                    p.name.c_str(), p.wireless ? "wireless" : "wired",
+                    p.is_seed ? "seed" : "leech", p.wp2p ? 1 : 0, p.preload);
+      out += line;
+    }
+    out += faults.serialize();
+    return out;
+  }
+
+  // Parses the serialize() format. Lines starting with '#' and blank lines
+  // are comments; returns nullopt if no scenario header is present or any
+  // non-comment line is malformed.
+  static std::optional<Scenario> parse(std::string_view text);
+};
+
+struct FuzzVerdict {
+  bool passed = false;
+  std::vector<trace::Violation> violations;
+  std::vector<std::string> property_failures;
+  std::uint64_t events = 0;
+  std::uint64_t trace_hash = 0;  // FNV-1a over the serialized event stream
+  std::uint64_t faults_applied = 0;
+  std::int64_t bytes_downloaded = 0;
+  int completed_leeches = 0;
+
+  std::string summary() const {
+    char buf[224];
+    std::snprintf(buf, sizeof buf,
+                  "%s: %zu invariant violations, %zu property failures, %llu events, "
+                  "%llu faults, %d leeches complete, hash=%016llx",
+                  passed ? "PASS" : "FAIL", violations.size(), property_failures.size(),
+                  static_cast<unsigned long long>(events),
+                  static_cast<unsigned long long>(faults_applied), completed_leeches,
+                  static_cast<unsigned long long>(trace_hash));
+    return buf;
+  }
+};
+
+namespace detail {
+
+// Trace sink computing the determinism fingerprint: FNV-1a over every
+// serialized event line. Any divergence in event content or order between
+// two runs of the same scenario changes the hash.
+class HashSink final : public trace::Sink {
+ public:
+  void on_event(const trace::TraceEvent& ev) override {
+    for (char c : trace::to_jsonl(ev)) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ULL;
+    }
+    ++events_;
+  }
+  std::uint64_t hash() const { return hash_; }
+  std::uint64_t events() const { return events_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+  std::uint64_t events_ = 0;
+};
+
+inline bool parse_kv(std::string_view tok, std::string_view key, std::string& out) {
+  if (tok.size() <= key.size() + 1 || tok.substr(0, key.size()) != key ||
+      tok[key.size()] != '=') {
+    return false;
+  }
+  out = std::string{tok.substr(key.size() + 1)};
+  return true;
+}
+
+}  // namespace detail
+
+class ScenarioFuzzer {
+ public:
+  explicit ScenarioFuzzer(FuzzLimits limits = {}) : limits_{limits} {}
+
+  const FuzzLimits& limits() const { return limits_; }
+
+  // Deterministic scenario derivation: the same seed always yields the same
+  // swarm and fault schedule, independent of call order or thread.
+  Scenario generate(std::uint64_t seed) const {
+    sim::Rng rng{seed ^ 0x9e3779b97f4a7c15ULL};
+    Scenario s;
+    s.seed = seed;
+    s.duration_s = rng.uniform(limits_.min_duration_s, limits_.max_duration_s);
+    s.piece_size = limits_.piece_size;
+    s.file_size = rng.range(limits_.min_file, limits_.max_file) / s.piece_size * s.piece_size;
+    if (s.file_size < s.piece_size) s.file_size = s.piece_size;
+
+    const auto n = static_cast<int>(rng.range(limits_.min_peers, limits_.max_peers));
+    std::vector<std::string> names, wireless;
+    for (int i = 0; i < n; ++i) {
+      ScenarioPeer p;
+      p.name = "p" + std::to_string(i);
+      if (i == 0) {
+        // p0 anchors the swarm: a wired seed, so every scenario starts with
+        // at least one stable full copy.
+        p.is_seed = true;
+      } else {
+        p.wireless = rng.bernoulli(0.5);
+        p.wp2p = p.wireless && rng.bernoulli(0.5);
+        p.preload = rng.bernoulli(0.3) ? rng.uniform(0.1, 0.5) : 0.0;
+      }
+      names.push_back(p.name);
+      if (p.wireless) wireless.push_back(p.name);
+      s.peers.push_back(std::move(p));
+    }
+    s.faults = sim::FaultPlan::random(rng, names, wireless, s.duration_s, limits_.max_faults);
+    return s;
+  }
+
+  FuzzVerdict run(const Scenario& scenario) const {
+    // Sinks are declared before the swarm: teardown of clients/connections
+    // can still emit trace events, so the recorder must outlive the world.
+    trace::Recorder recorder{/*ring_capacity=*/4};
+    trace::InvariantChecker checker;
+    detail::HashSink hasher;
+    recorder.add_sink(&checker);
+    recorder.add_sink(&hasher);
+
+    auto meta = bt::Metainfo::create("fuzz", scenario.file_size, scenario.piece_size, "tr",
+                                     scenario.seed ^ 0xa076bd5f3017c1d3ULL);
+    Swarm swarm{scenario.seed, meta};
+    swarm.world.sim.set_tracer(&recorder);
+    recorder.emit(trace::event(trace::Component::kSim, trace::Kind::kScenario)
+                      .on("fuzz/seed=" + std::to_string(scenario.seed)));
+
+    tcp::TcpParams tcp_params;
+    tcp_params.unsafe_no_cwnd_floor = scenario.unsafe_no_cwnd_floor;
+    std::vector<std::unique_ptr<core::AmFilter>> am_filters;
+    for (const ScenarioPeer& p : scenario.peers) {
+      bt::ClientConfig config;
+      config.announce_interval = sim::seconds(20.0);
+      config.listen_port = static_cast<std::uint16_t>(6881 + swarm.members.size());
+      if (p.wp2p) {
+        config.retain_peer_id = true;
+        config.role_reversal = true;
+      }
+      Swarm::Member& member =
+          p.wireless ? swarm.add_wireless(p.name, p.is_seed, config, {}, tcp_params)
+                     : swarm.add_wired(p.name, p.is_seed, config, {}, tcp_params);
+      if (p.wp2p && p.wireless) {
+        // The AM packet filter below the stack, as core::WP2PClient installs it.
+        am_filters.push_back(std::make_unique<core::AmFilter>(swarm.world.sim));
+        member.host->node->add_egress_filter(am_filters.back().get());
+        member.host->node->add_ingress_filter(am_filters.back().get());
+      }
+      if (!p.is_seed && p.preload > 0.0) member.client->preload(p.preload);
+    }
+
+    auto injector = bind_faults(swarm, scenario.faults);
+    swarm.start_all();
+    swarm.run_for(scenario.duration_s);
+
+    FuzzVerdict verdict;
+    verdict.faults_applied = injector->stats().applied;
+
+    // End-to-end properties that must hold under ANY fault schedule.
+    std::int64_t uploaded = 0, downloaded = 0;
+    for (std::size_t i = 0; i < swarm.members.size(); ++i) {
+      const bt::Client& client = *swarm.members[i].client;
+      uploaded += client.stats().payload_uploaded;
+      downloaded += client.stats().payload_downloaded;
+      verdict.bytes_downloaded += client.stats().payload_downloaded;
+      if (client.store().bytes_completed() > meta.total_size) {
+        verdict.property_failures.push_back(scenario.peers[i].name +
+                                            ": store exceeds file size");
+      }
+      if (client.complete() != client.store().bitfield().all()) {
+        verdict.property_failures.push_back(scenario.peers[i].name +
+                                            ": completion flag disagrees with bitfield");
+      }
+      if (!scenario.peers[i].is_seed && client.complete()) ++verdict.completed_leeches;
+    }
+    if (downloaded > uploaded) {
+      verdict.property_failures.push_back(
+          "conservation: downloaded " + std::to_string(downloaded) + " > uploaded " +
+          std::to_string(uploaded));
+    }
+
+    // Detach before the swarm (and its emitting components) is destroyed.
+    swarm.world.sim.set_tracer(nullptr);
+    verdict.violations = checker.violations();
+    verdict.events = hasher.events();
+    verdict.trace_hash = hasher.hash();
+    verdict.passed = verdict.violations.empty() && verdict.property_failures.empty();
+    return verdict;
+  }
+
+  // Greedy minimization of a failing scenario. Tries, in order: removing
+  // chunks of fault actions (ddmin-style, halving chunk sizes), removing
+  // peers (faults targeting a removed peer go with it), halving the run
+  // length, and halving the file. A candidate is kept only if it still
+  // fails. `budget` caps the number of candidate runs.
+  Scenario shrink(const Scenario& failing, int budget = 150) const {
+    Scenario best = failing;
+    auto still_fails = [&](const Scenario& candidate) {
+      if (budget <= 0) return false;
+      --budget;
+      return !run(candidate).passed;
+    };
+
+    // 1. Fault-plan reduction.
+    bool progress = true;
+    while (progress && !best.faults.actions.empty() && budget > 0) {
+      progress = false;
+      for (std::size_t chunk = best.faults.actions.size(); chunk >= 1; chunk /= 2) {
+        for (std::size_t start = 0; start < best.faults.actions.size() && budget > 0;) {
+          Scenario candidate = best;
+          const auto first = candidate.faults.actions.begin() +
+                             static_cast<std::ptrdiff_t>(start);
+          const auto last = candidate.faults.actions.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                std::min(start + chunk, candidate.faults.actions.size()));
+          candidate.faults.actions.erase(first, last);
+          if (still_fails(candidate)) {
+            best = std::move(candidate);
+            progress = true;  // same offset now names the next chunk
+          } else {
+            start += chunk;
+          }
+        }
+        if (chunk == 1) break;
+      }
+    }
+
+    // 2. Peer reduction (keep at least one seed and one other peer).
+    for (std::size_t i = best.peers.size(); i-- > 0 && budget > 0;) {
+      if (best.peers.size() <= 2) break;
+      if (best.peers[i].is_seed && seed_count(best) == 1) continue;
+      Scenario candidate = best;
+      const std::string name = candidate.peers[i].name;
+      candidate.peers.erase(candidate.peers.begin() + static_cast<std::ptrdiff_t>(i));
+      std::erase_if(candidate.faults.actions,
+                    [&](const sim::FaultAction& a) { return a.target == name; });
+      if (still_fails(candidate)) best = std::move(candidate);
+    }
+
+    // 3. Schedule shortening: run only slightly past the last fault, then halve.
+    const double fault_end_s = sim::to_seconds(best.faults.horizon()) + 30.0;
+    for (double d : {fault_end_s, best.duration_s / 2.0, best.duration_s / 4.0}) {
+      if (budget <= 0 || d >= best.duration_s || d < 10.0) continue;
+      Scenario candidate = best;
+      candidate.duration_s = d;
+      if (still_fails(candidate)) best = std::move(candidate);
+    }
+
+    // 4. File-size halving.
+    while (budget > 0 && best.file_size / 2 >= best.piece_size) {
+      Scenario candidate = best;
+      candidate.file_size = best.file_size / 2 / best.piece_size * best.piece_size;
+      if (!still_fails(candidate)) break;
+      best = std::move(candidate);
+    }
+    return best;
+  }
+
+  struct SweepResult {
+    std::uint64_t seed = 0;
+    bool passed = true;
+    std::size_t violations = 0;
+    std::size_t property_failures = 0;
+    std::uint64_t trace_hash = 0;
+    std::string first_failure;
+  };
+
+  // Run `count` seeds starting at `base_seed` on the given pool. Results are
+  // in seed order regardless of the pool's thread count.
+  std::vector<SweepResult> sweep(std::uint64_t base_seed, int count,
+                                 ParallelRunner& runner) const {
+    return runner.map<SweepResult>(count, [&](int i) {
+      const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+      const FuzzVerdict verdict = run(generate(seed));
+      SweepResult r;
+      r.seed = seed;
+      r.passed = verdict.passed;
+      r.violations = verdict.violations.size();
+      r.property_failures = verdict.property_failures.size();
+      r.trace_hash = verdict.trace_hash;
+      if (!verdict.violations.empty()) {
+        r.first_failure = trace::to_string(verdict.violations.front());
+      } else if (!verdict.property_failures.empty()) {
+        r.first_failure = verdict.property_failures.front();
+      }
+      return r;
+    });
+  }
+
+ private:
+  static std::size_t seed_count(const Scenario& s) {
+    std::size_t n = 0;
+    for (const ScenarioPeer& p : s.peers) n += p.is_seed ? 1 : 0;
+    return n;
+  }
+
+  FuzzLimits limits_;
+};
+
+inline std::optional<Scenario> Scenario::parse(std::string_view text) {
+  Scenario s;
+  bool saw_header = false;
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    std::string_view line = text.substr(0, eol);
+    if (eol == std::string_view::npos) {
+      text = {};
+    } else {
+      text.remove_prefix(eol + 1);
+    }
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string_view> tokens;
+    std::string_view rest = line;
+    while (!rest.empty()) {
+      const std::size_t sp = rest.find(' ');
+      if (sp != 0) tokens.push_back(rest.substr(0, sp));
+      if (sp == std::string_view::npos) break;
+      rest.remove_prefix(sp + 1);
+    }
+    if (tokens.empty()) continue;
+
+    std::string value;
+    if (tokens[0] == "scenario") {
+      saw_header = true;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (detail::parse_kv(tokens[i], "seed", value)) {
+          s.seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (detail::parse_kv(tokens[i], "duration", value)) {
+          s.duration_s = std::strtod(value.c_str(), nullptr);
+        } else if (detail::parse_kv(tokens[i], "file", value)) {
+          s.file_size = std::strtoll(value.c_str(), nullptr, 10);
+        } else if (detail::parse_kv(tokens[i], "piece", value)) {
+          s.piece_size = std::strtoll(value.c_str(), nullptr, 10);
+        } else if (detail::parse_kv(tokens[i], "unsafe", value)) {
+          s.unsafe_no_cwnd_floor = value == "1";
+        } else {
+          return std::nullopt;
+        }
+      }
+    } else if (tokens[0] == "peer") {
+      ScenarioPeer p;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (detail::parse_kv(tokens[i], "name", value)) {
+          p.name = value;
+        } else if (detail::parse_kv(tokens[i], "link", value)) {
+          p.wireless = value == "wireless";
+        } else if (detail::parse_kv(tokens[i], "role", value)) {
+          p.is_seed = value == "seed";
+        } else if (detail::parse_kv(tokens[i], "wp2p", value)) {
+          p.wp2p = value == "1";
+        } else if (detail::parse_kv(tokens[i], "preload", value)) {
+          p.preload = std::strtod(value.c_str(), nullptr);
+        } else {
+          return std::nullopt;
+        }
+      }
+      if (p.name.empty()) return std::nullopt;
+      s.peers.push_back(std::move(p));
+    } else if (tokens[0] == "fault") {
+      auto action = sim::FaultAction::parse(line);
+      if (!action) return std::nullopt;
+      s.faults.actions.push_back(std::move(*action));
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_header || s.peers.empty()) return std::nullopt;
+  return s;
+}
+
+}  // namespace wp2p::exp

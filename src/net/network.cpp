@@ -17,6 +17,13 @@ Node* Network::find(IpAddr addr) {
   return it == routes_.end() ? nullptr : it->second;
 }
 
+Node* Network::find_by_name(std::string_view name) {
+  for (auto& node : nodes_) {
+    if (node->name() == name) return node.get();
+  }
+  return nullptr;
+}
+
 void Network::rebind(Node& node, IpAddr old_addr, IpAddr new_addr) {
   auto it = routes_.find(old_addr);
   WP2P_ASSERT(it != routes_.end() && it->second == &node);

@@ -10,6 +10,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "net/node.hpp"
@@ -35,6 +36,9 @@ class Network {
 
   Node& add_node(std::string name);
   Node* find(IpAddr addr);
+  // Name lookup survives address changes, which makes it the right key for
+  // fault plans and scenario specs. Linear scan; not for the packet path.
+  Node* find_by_name(std::string_view name);
 
   // Called by an access link once a packet has cleared the up direction.
   // Applies core-path impairments, then delivers to the destination's access

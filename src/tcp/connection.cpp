@@ -262,7 +262,8 @@ void Connection::on_new_ack(std::int64_t ack, std::int64_t newly) {
       if (len > 0 || (fin_pending_ && snd_una_ == app_end_)) {
         send_data_segment(snd_una_, len, /*fresh=*/false);
       }
-      cwnd_ = std::max(cwnd_ - static_cast<double>(newly) + mss, mss);
+      cwnd_ = std::max(cwnd_ - static_cast<double>(newly) + mss,
+                       params_.unsafe_no_cwnd_floor ? 0.0 : mss);
       trace_cwnd("partial-ack");
     }
     return;
@@ -521,7 +522,8 @@ void Connection::on_rto() {
   const double mss = static_cast<double>(params_.mss);
   [[maybe_unused]] const double cwnd_before = cwnd_;
   ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0, 2.0 * mss);
-  cwnd_ = mss;
+  cwnd_ = params_.unsafe_no_cwnd_floor ? mss * 0.5 : mss;
+  if (params_.unsafe_no_cwnd_floor) trace_cwnd("rto-collapse");
   WP2P_TRACE(sim_, tcp_event(trace::Kind::kTcpRto, stack_, local_, remote_)
                        .with("cwnd_before", cwnd_before)
                        .with("cwnd", cwnd_)

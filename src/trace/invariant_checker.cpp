@@ -33,6 +33,7 @@ void InvariantChecker::violate(const TraceEvent& ev, std::string rule, std::stri
 void InvariantChecker::reset_scenario() {
   flows_.clear();
   detectors_.clear();
+  faults_.clear();
 }
 
 void InvariantChecker::check(const TraceEvent& ev) {
@@ -134,6 +135,25 @@ void InvariantChecker::check(const TraceEvent& ev) {
                     num(sim::to_seconds(min_gap)) + " s");
       }
       det.last_detect = ev.time;
+      return;
+    }
+
+    case Kind::kFaultStart: {
+      ++matched_;
+      // One bracket per (target, fault kind); aux carries the kind name.
+      ++faults_[ev.node + "|" + ev.aux].open;
+      return;
+    }
+
+    case Kind::kFaultEnd: {
+      ++matched_;
+      FaultState& fault = faults_[ev.node + "|" + ev.aux];
+      if (fault.open <= 0) {
+        violate(ev, "fault-bracket",
+                ev.aux + " on " + ev.node + " ended without a matching start");
+        return;
+      }
+      --fault.open;
       return;
     }
 

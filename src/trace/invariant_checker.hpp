@@ -23,6 +23,12 @@
 //   mob-single-detect   Live-peer mobility detections for a node are at
 //                       least confirm_samples * sample_interval apart (the
 //                       detector re-arms only after peers return).
+//   fault-bracket       Injected-fault episodes (net::FaultInjector) are
+//                       well-bracketed: every kFaultEnd closes a matching
+//                       kFaultStart for the same fault kind and target. This
+//                       audits the fault layer itself, so fuzzer verdicts can
+//                       trust that an episode's protocol events really fell
+//                       inside the window the plan prescribed.
 //
 // kScenario markers reset per-flow state, so one JSONL file may hold many
 // independently checked scenarios.
@@ -71,12 +77,16 @@ class InvariantChecker final : public Sink {
   struct DetectState {
     sim::SimTime last_detect = -1;
   };
+  struct FaultState {
+    int open = 0;
+  };
 
   void violate(const TraceEvent& ev, std::string rule, std::string detail);
   void reset_scenario();
 
   std::unordered_map<std::string, FlowState> flows_;
   std::unordered_map<std::string, DetectState> detectors_;
+  std::unordered_map<std::string, FaultState> faults_;
   std::vector<Violation> violations_;
   std::uint64_t checked_ = 0;
   std::uint64_t matched_ = 0;

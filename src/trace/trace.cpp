@@ -11,7 +11,7 @@ struct ComponentName {
 constexpr ComponentName kComponents[] = {
     {Component::kSim, "sim"}, {Component::kTcp, "tcp"},  {Component::kAm, "am"},
     {Component::kLihd, "lihd"}, {Component::kBt, "bt"},  {Component::kMob, "mob"},
-    {Component::kChan, "chan"},
+    {Component::kChan, "chan"}, {Component::kFault, "fault"},
 };
 
 struct KindName {
@@ -39,6 +39,8 @@ constexpr KindName kKinds[] = {
     {Kind::kChanLoss, "chan.loss"},
     {Kind::kChanArqRetry, "chan.arq"},
     {Kind::kChanQueueDrop, "chan.queue_drop"},
+    {Kind::kFaultStart, "fault.start"},
+    {Kind::kFaultEnd, "fault.end"},
 };
 
 }  // namespace

@@ -28,7 +28,7 @@
 
 namespace wp2p::trace {
 
-enum class Component : std::uint8_t { kSim, kTcp, kAm, kLihd, kBt, kMob, kChan };
+enum class Component : std::uint8_t { kSim, kTcp, kAm, kLihd, kBt, kMob, kChan, kFault };
 
 enum class Kind : std::uint8_t {
   kScenario,  // sim: start of a traced scenario; node carries the label
@@ -57,6 +57,9 @@ enum class Kind : std::uint8_t {
   kChanLoss,      // frame dropped after exhausting MAC retries
   kChanArqRetry,  // MAC-layer ARQ retransmission
   kChanQueueDrop,  // access-link queue overflow
+
+  kFaultStart,  // injected fault episode begins; aux = fault kind, node = target
+  kFaultEnd,    // injected fault episode ends (same aux/node as its start)
 };
 
 const char* to_string(Component c);

@@ -1,0 +1,135 @@
+// bt::wire BEP 3 encoding: byte-level round trips and malformed-input
+// rejection for every message type.
+#include <gtest/gtest.h>
+
+#include "bt/wire.hpp"
+#include "sim/rng.hpp"
+
+namespace wp2p {
+namespace {
+
+using bt::MsgType;
+using bt::WireMessage;
+
+void expect_round_trip(const WireMessage& msg, int bitfield_bits = -1) {
+  const std::string bytes = bt::encode(msg);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), msg.wire_size())
+      << bt::to_string(msg.type);
+  const auto decoded = bt::decode(bytes, bitfield_bits);
+  ASSERT_TRUE(decoded.has_value()) << bt::to_string(msg.type);
+  EXPECT_EQ(decoded->type, msg.type);
+  EXPECT_EQ(decoded->info_hash, msg.info_hash);
+  EXPECT_EQ(decoded->peer_id, msg.peer_id);
+  EXPECT_EQ(decoded->piece, msg.piece);
+  EXPECT_EQ(decoded->offset, msg.offset);
+  EXPECT_EQ(decoded->length, msg.length);
+  EXPECT_EQ(decoded->bitfield, msg.bitfield);
+}
+
+TEST(Wire, HandshakeRoundTripsWithFullIdentity) {
+  expect_round_trip(*WireMessage::handshake(0xdeadbeefcafef00dULL, 0x0123456789abcdefULL));
+  // Extreme values survive the 20-byte field packing.
+  expect_round_trip(*WireMessage::handshake(0, 0));
+  expect_round_trip(*WireMessage::handshake(~0ULL, 1));
+}
+
+TEST(Wire, HandshakeWireFormat) {
+  const std::string bytes = bt::encode(*WireMessage::handshake(7, 9));
+  ASSERT_EQ(bytes.size(), 68u);
+  EXPECT_EQ(bytes[0], 19);
+  EXPECT_EQ(bytes.substr(1, 19), "BitTorrent protocol");
+  for (int i = 20; i < 28; ++i) EXPECT_EQ(bytes[static_cast<std::size_t>(i)], 0) << i;
+  EXPECT_EQ(bytes[47], 7);  // info-hash value in the last byte of its field
+  EXPECT_EQ(bytes[67], 9);  // peer-id likewise
+}
+
+TEST(Wire, ControlMessagesRoundTrip) {
+  for (MsgType type : {MsgType::kKeepAlive, MsgType::kChoke, MsgType::kUnchoke,
+                       MsgType::kInterested, MsgType::kNotInterested}) {
+    expect_round_trip(*WireMessage::simple(type));
+  }
+}
+
+TEST(Wire, HaveRequestPieceCancelRoundTrip) {
+  expect_round_trip(*WireMessage::have(42));
+  expect_round_trip(*WireMessage::request(3, 16384, 16384));
+  expect_round_trip(*WireMessage::cancel(3, 32768, 16384));
+  expect_round_trip(*WireMessage::piece_msg(9, 49152, 16384));
+  expect_round_trip(*WireMessage::piece_msg(0, 0, 0));  // empty payload
+}
+
+TEST(Wire, RandomBitfieldsRoundTrip) {
+  sim::Rng rng{2024};
+  for (int trial = 0; trial < 50; ++trial) {
+    const int bits = static_cast<int>(rng.range(1, 400));
+    bt::Bitfield bf{bits};
+    for (int i = 0; i < bits; ++i) {
+      if (rng.bernoulli(0.5)) bf.set(i);
+    }
+    expect_round_trip(*WireMessage::bitfield_msg(bf), bits);
+  }
+  // Without a bit-count hint the decoder assumes 8 bits per body byte, so
+  // only byte-aligned sizes round trip hint-free.
+  bt::Bitfield aligned{16};
+  aligned.set(0);
+  aligned.set(15);
+  expect_round_trip(*WireMessage::bitfield_msg(aligned));
+}
+
+TEST(Wire, WireSizeMatchesEncodedLengthForAllTypes) {
+  std::vector<std::shared_ptr<const WireMessage>> msgs{
+      WireMessage::handshake(1, 2),
+      WireMessage::simple(MsgType::kKeepAlive),
+      WireMessage::simple(MsgType::kChoke),
+      WireMessage::have(5),
+      WireMessage::bitfield_msg(bt::Bitfield{13}),
+      WireMessage::request(1, 0, 16384),
+      WireMessage::cancel(1, 0, 16384),
+      WireMessage::piece_msg(1, 0, 16384),
+  };
+  for (const auto& m : msgs) {
+    EXPECT_EQ(static_cast<std::int64_t>(bt::encode(*m).size()), m->wire_size())
+        << bt::to_string(m->type);
+  }
+}
+
+TEST(Wire, DecodeRejectsMalformedInput) {
+  EXPECT_FALSE(bt::decode(""));
+  EXPECT_FALSE(bt::decode("\x00\x00\x00"));           // truncated length prefix
+  EXPECT_FALSE(bt::decode(std::string{"\x00\x00\x00\x05", 4}));  // body missing
+  // Length prefix longer than the body.
+  std::string have = bt::encode(*WireMessage::have(1));
+  EXPECT_FALSE(bt::decode(have.substr(0, have.size() - 1)));
+  // Trailing garbage.
+  EXPECT_FALSE(bt::decode(have + "x"));
+  // Unknown message id.
+  std::string unknown{"\x00\x00\x00\x01", 4};
+  unknown.push_back(99);
+  EXPECT_FALSE(bt::decode(unknown));
+  // Handshake with corrupted magic.
+  std::string hs = bt::encode(*WireMessage::handshake(1, 2));
+  hs[5] = 'X';
+  EXPECT_FALSE(bt::decode(hs));
+  // Handshake truncated.
+  EXPECT_FALSE(bt::decode(hs.substr(0, 60)));
+  // Piece body shorter than its fixed header.
+  std::string piece{"\x00\x00\x00\x05", 4};
+  piece.push_back(7);
+  piece += std::string{"\x00\x00\x00\x01", 4};
+  EXPECT_FALSE(bt::decode(piece));
+}
+
+TEST(Wire, DecodeRejectsBadBitfields) {
+  bt::Bitfield bf{10};
+  bf.set(3);
+  const std::string bytes = bt::encode(*WireMessage::bitfield_msg(bf));
+  // Hint disagrees with the body size.
+  EXPECT_FALSE(bt::decode(bytes, 100));
+  // Spare bits beyond the hinted size must be zero.
+  std::string tampered = bytes;
+  tampered.back() = static_cast<char>(0xff);
+  EXPECT_FALSE(bt::decode(tampered, 10));
+}
+
+}  // namespace
+}  // namespace wp2p

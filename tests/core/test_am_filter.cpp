@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/faults.hpp"
+#include "exp/swarm.hpp"
 #include "tcp/segment.hpp"
+#include "trace/invariant_checker.hpp"
 
 namespace wp2p::core {
 namespace {
@@ -137,6 +140,52 @@ TEST_F(AmFilterTest, FlowsAreIndependent) {
   std::vector<net::Packet> out;
   filter.egress(tcp_packet(local, other, 1448, 100), out);
   EXPECT_EQ(out.size(), 2u);
+}
+
+// Whole-stack scenario: a mobile wP2P leecher downloads through the AM
+// filter while an injected BER episode forces real losses. The duplicate-ACK
+// throttle must stay within its budget (at most every 4th duplicate dropped)
+// for the whole run — checked both from the filter's own counters and by the
+// trace-level am-dupack-budget invariant.
+TEST(AmFilterUnderFault, DupackBudgetHoldsAcrossBerEpisode) {
+  trace::Recorder recorder{/*ring_capacity=*/4};
+  trace::InvariantChecker checker;
+  recorder.add_sink(&checker);
+
+  auto meta = bt::Metainfo::create("am-fault", 2 * 1024 * 1024, 256 * 1024, "tr", 90);
+  exp::Swarm swarm{90, meta};
+  swarm.world.sim.set_tracer(&recorder);
+
+  bt::ClientConfig config;
+  config.announce_interval = sim::seconds(20.0);
+  swarm.add_wired("seed", true, config);
+  bt::ClientConfig mc = config;
+  mc.listen_port = 6882;
+  mc.retain_peer_id = true;
+  mc.role_reversal = true;
+  auto& mobile = swarm.add_wireless("mobile", false, mc);
+  AmFilter filter{swarm.world.sim};
+  mobile.host->node->add_egress_filter(&filter);
+  mobile.host->node->add_ingress_filter(&filter);
+
+  sim::FaultPlan plan;
+  plan.actions =
+      sim::FaultPlan::parse("fault ber at=10 dur=30 mag=1e-5 target=mobile\n").actions;
+  auto injector = exp::bind_faults(swarm, plan);
+  swarm.start_all();
+  swarm.run_for(60.0);
+  swarm.world.sim.set_tracer(nullptr);
+
+  EXPECT_EQ(injector->stats().applied, 1u);
+  EXPECT_GT(mobile->stats().payload_downloaded, 0);
+  // The raised bit-error rate produces genuine losses, hence duplicate ACKs
+  // on the mobile's egress path.
+  EXPECT_GT(filter.stats().dupacks_seen, 0u);
+  // Budget: at most every 4th duplicate of an ACK value may be dropped.
+  EXPECT_LE(filter.stats().dupacks_dropped * 4, filter.stats().dupacks_seen + 3);
+  for (const trace::Violation& v : checker.violations()) {
+    ADD_FAILURE() << trace::to_string(v);
+  }
 }
 
 TEST_F(AmFilterTest, HandshakeSegmentsPassUntouched) {

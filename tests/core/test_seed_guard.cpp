@@ -66,6 +66,66 @@ TEST_F(SeedGuardUnit, RespectsBounds) {
   EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(), 5.0);
 }
 
+TEST_F(SeedGuardUnit, ExactToleranceBoundaryIsNotHarmed) {
+  // The harm test is strict: rate must drop BELOW tolerance * best. Use a
+  // tolerance of 0.5 so the boundary product is exact in floating point.
+  config.tolerance = 0.5;
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  guard.step(kb(100));  // baseline
+  guard.step(kb(50));   // exactly at the boundary: healthy
+  EXPECT_EQ(guard.backoffs(), 0u);
+  EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(), 120.0);
+  guard.step(kb(49));  // below it: harmed
+  EXPECT_EQ(guard.backoffs(), 1u);
+}
+
+TEST_F(SeedGuardUnit, ZeroForegroundNeverCountsAsHarm) {
+  // No foreground traffic at all (best stays 0): the guard creeps straight
+  // up to the ceiling instead of oscillating on a phantom baseline.
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  for (int i = 0; i < 15; ++i) guard.step(util::Rate::zero());
+  EXPECT_EQ(guard.backoffs(), 0u);
+  EXPECT_DOUBLE_EQ(guard.current_limit().kilobytes_per_sec(),
+                   config.max_upload.kilobytes_per_sec());
+}
+
+TEST_F(SeedGuardUnit, BestCeilingDecaysUnderSustainedHarm) {
+  // A permanently lower foreground rate must eventually become the new
+  // baseline: the remembered best decays 1% per harmed step, so backoffs
+  // stop once tolerance * best falls below the observed rate.
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  guard.step(kb(100));  // best = 100; harm threshold starts at 90
+  int steps_until_recovery = 0;
+  for (int i = 0; i < 30; ++i) {
+    const double before = guard.current_limit().kilobytes_per_sec();
+    guard.step(kb(85));
+    ++steps_until_recovery;
+    if (guard.current_limit().kilobytes_per_sec() > before) break;  // increase resumed
+  }
+  EXPECT_LT(steps_until_recovery, 10);
+  EXPECT_LT(guard.foreground_best(), kb(85).bytes_per_sec() / config.tolerance);
+  const std::uint64_t backoffs = guard.backoffs();
+  guard.step(kb(85));  // re-baselined: no further harm
+  EXPECT_EQ(guard.backoffs(), backoffs);
+}
+
+TEST_F(SeedGuardUnit, HigherForegroundRebaselines) {
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  guard.step(kb(100));
+  guard.step(kb(150));  // foreground demand grew: new best
+  EXPECT_DOUBLE_EQ(guard.foreground_best(), kb(150).bytes_per_sec());
+  guard.step(kb(140));  // fine against the new baseline (> 0.9 * 150)
+  EXPECT_EQ(guard.backoffs(), 0u);
+  guard.step(kb(130));  // below it: harmed
+  EXPECT_EQ(guard.backoffs(), 1u);
+}
+
+TEST_F(SeedGuardUnit, StepReturnValueTracksCurrentLimit) {
+  SeedUploadGuard guard{world.sim, client, [] { return util::Rate::zero(); }, config};
+  const util::Rate r = guard.step(kb(100));
+  EXPECT_DOUBLE_EQ(r.bytes_per_sec(), guard.current_limit().bytes_per_sec());
+}
+
 // End to end: a mobile seed serves a swarm while the same host runs a
 // foreground TCP download; the guard should sacrifice upload rate to keep
 // the foreground near its unimpeded rate.

@@ -1,0 +1,137 @@
+// exp::ScenarioFuzzer: determinism, the broken-invariant self-test, and
+// shrinking convergence.
+#include <gtest/gtest.h>
+
+#include "exp/parallel_runner.hpp"
+#include "exp/scenario_fuzzer.hpp"
+
+namespace wp2p {
+namespace {
+
+using exp::Scenario;
+using exp::ScenarioFuzzer;
+
+// Small limits keep fuzz tests fast; the nightly CI job uses the defaults.
+exp::FuzzLimits quick_limits() {
+  exp::FuzzLimits limits;
+  limits.min_peers = 2;
+  limits.max_peers = 4;
+  limits.min_duration_s = 60.0;
+  limits.max_duration_s = 120.0;
+  limits.min_file = 512 * 1024;
+  limits.max_file = 1024 * 1024;
+  limits.max_faults = 4;
+  return limits;
+}
+
+TEST(ScenarioFuzzer, GenerateIsDeterministicPerSeed) {
+  ScenarioFuzzer fuzzer{quick_limits()};
+  const Scenario a = fuzzer.generate(11);
+  const Scenario b = fuzzer.generate(11);
+  EXPECT_EQ(a.serialize(), b.serialize());
+  const Scenario c = fuzzer.generate(12);
+  EXPECT_NE(a.serialize(), c.serialize());
+  // Structural guarantees: an anchor seed exists, fault targets are members.
+  ASSERT_FALSE(a.peers.empty());
+  EXPECT_TRUE(a.peers[0].is_seed);
+  EXPECT_FALSE(a.peers[0].wireless);
+}
+
+TEST(ScenarioFuzzer, ScenarioSpecRoundTrips) {
+  ScenarioFuzzer fuzzer{quick_limits()};
+  Scenario s = fuzzer.generate(21);
+  s.unsafe_no_cwnd_floor = true;
+  const auto parsed = Scenario::parse(s.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->serialize(), s.serialize());
+  EXPECT_EQ(parsed->seed, s.seed);
+  EXPECT_EQ(parsed->peers.size(), s.peers.size());
+  EXPECT_EQ(parsed->faults.size(), s.faults.size());
+  EXPECT_TRUE(parsed->unsafe_no_cwnd_floor);
+
+  EXPECT_FALSE(Scenario::parse(""));                       // no header
+  EXPECT_FALSE(Scenario::parse("scenario seed=1\n"));      // no peers
+  EXPECT_FALSE(Scenario::parse("scenario bogus=1\n"));     // unknown key
+  EXPECT_FALSE(Scenario::parse("scenario seed=1\npeer link=wired\n"));  // nameless
+}
+
+TEST(ScenarioFuzzer, RunIsDeterministicAcrossRepeatsAndJobs) {
+  ScenarioFuzzer fuzzer{quick_limits()};
+  const Scenario scenario = fuzzer.generate(31);
+
+  const exp::FuzzVerdict v1 = fuzzer.run(scenario);
+  const exp::FuzzVerdict v2 = fuzzer.run(scenario);
+  EXPECT_GT(v1.events, 0u);
+  EXPECT_EQ(v1.trace_hash, v2.trace_hash);
+  EXPECT_EQ(v1.events, v2.events);
+  EXPECT_EQ(v1.passed, v2.passed);
+  EXPECT_EQ(v1.summary(), v2.summary());
+
+  // The same 4-seed sweep on 1 worker and 4 workers: identical verdicts and
+  // hashes in identical order.
+  exp::ParallelRunner serial{1}, parallel{4};
+  const auto r1 = fuzzer.sweep(31, 4, serial);
+  const auto r4 = fuzzer.sweep(31, 4, parallel);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].seed, r4[i].seed);
+    EXPECT_EQ(r1[i].passed, r4[i].passed);
+    EXPECT_EQ(r1[i].trace_hash, r4[i].trace_hash) << "seed " << r1[i].seed;
+  }
+}
+
+TEST(ScenarioFuzzer, CleanSweepPasses) {
+  ScenarioFuzzer fuzzer{quick_limits()};
+  exp::ParallelRunner pool{2};
+  for (const auto& r : fuzzer.sweep(100, 6, pool)) {
+    EXPECT_TRUE(r.passed) << "seed " << r.seed << ": " << r.first_failure;
+  }
+}
+
+// The harness self-test: with TCP's cwnd floor deliberately disabled, the
+// invariant checker must catch the violation, and shrinking must converge to
+// a minimal scenario (tiny fault plan) that still fails.
+TEST(ScenarioFuzzer, BrokenCwndFloorIsCaughtAndShrunk) {
+  ScenarioFuzzer fuzzer{quick_limits()};
+
+  // Find a failing seed; with the floor gone, RTO collapse goes below 1 MSS
+  // as soon as any fault (or plain congestion) forces a timeout.
+  std::optional<Scenario> failing;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Scenario s = fuzzer.generate(seed);
+    s.unsafe_no_cwnd_floor = true;
+    const exp::FuzzVerdict v = fuzzer.run(s);
+    if (!v.passed) {
+      ASSERT_FALSE(v.violations.empty());
+      EXPECT_EQ(v.violations.front().rule, "tcp-cwnd-floor");
+      failing = std::move(s);
+      break;
+    }
+  }
+  ASSERT_TRUE(failing.has_value()) << "no seed tripped the broken floor";
+
+  const Scenario minimal = fuzzer.shrink(*failing);
+  const exp::FuzzVerdict v = fuzzer.run(minimal);
+  EXPECT_FALSE(v.passed) << "shrunk scenario no longer fails";
+  EXPECT_LE(minimal.faults.size(), 5u);           // acceptance bound
+  EXPECT_LE(minimal.peers.size(), failing->peers.size());
+  EXPECT_LE(minimal.duration_s, failing->duration_s);
+  EXPECT_LE(minimal.file_size, failing->file_size);
+  // The minimized spec replays from its serialization alone.
+  const auto replayed = Scenario::parse(minimal.serialize());
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_FALSE(fuzzer.run(*replayed).passed);
+}
+
+TEST(ScenarioFuzzer, ShrinkKeepsPassingScenarioIntact) {
+  // shrink() on a passing scenario has nothing to chase: every candidate
+  // passes, so the "minimized" result is the input itself.
+  ScenarioFuzzer fuzzer{quick_limits()};
+  const Scenario s = fuzzer.generate(41);
+  ASSERT_TRUE(fuzzer.run(s).passed);
+  const Scenario same = fuzzer.shrink(s, /*budget=*/20);
+  EXPECT_EQ(same.serialize(), s.serialize());
+}
+
+}  // namespace
+}  // namespace wp2p
