@@ -14,6 +14,16 @@
 //   --break-cwnd-floor  disable TCP's 1-MSS cwnd floor in fuzzed/replayed
 //                       scenarios. The invariant checker must catch this —
 //                       it is the fuzz harness's self-test.
+//   --no-ban            disable corruption banning (ClientConfig
+//                       unsafe_no_peer_ban) in fuzzed/replayed scenarios;
+//                       the peer-ban invariant rule must catch this.
+//   --poison            recovery-layer self-test: a swarm with a poisoning
+//                       seed (whole-run kCorrupt fault) is run twice. With
+//                       banning disabled the leeches keep accepting damaged
+//                       pieces (waste inflates, invariants flag the run);
+//                       with banning enabled they ban the poisoner and
+//                       complete from the clean seed. Exit 1 if either half
+//                       misbehaves.
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -29,6 +39,8 @@ struct FaultBenchOptions {
   std::uint64_t fuzz_seed = 1;
   std::string replay_path;
   bool break_cwnd_floor = false;
+  bool no_ban = false;
+  bool poison = false;
 };
 
 FaultBenchOptions& fault_options() {
@@ -91,6 +103,9 @@ std::vector<NamedPlan> canonical_plans() {
       make_action(sim::FaultKind::kReorder, 20, 120, 0.1, "fix-l"),
       make_action(sim::FaultKind::kHandoff, 80, 0, 0, "mob-d"),
   }}});
+  plans.push_back({"payload corruption", {{
+      make_action(sim::FaultKind::kCorrupt, 15, 40, 0.2, "mob-w"),
+  }}});
   return plans;
 }
 
@@ -129,6 +144,79 @@ PlanOutcome run_canonical(std::uint64_t seed, const sim::FaultPlan& plan,
   return out;
 }
 
+// --- Announce recovery after a tracker outage ---------------------------------
+
+// Watches one client's announce stream: records when the tracker outage
+// lifted and when the client's first successful announce after it landed.
+struct RecoverySink final : trace::Sink {
+  sim::SimTime outage_end = -1;
+  sim::SimTime first_ok = -1;
+  void on_event(const trace::TraceEvent& ev) override {
+    if (ev.kind == trace::Kind::kFaultEnd && ev.aux == "tracker-outage") {
+      if (outage_end < 0) outage_end = ev.time;
+    } else if (ev.kind == trace::Kind::kBtAnnounce && ev.node == "mob" &&
+               outage_end >= 0 && first_ok < 0 && ev.field("ok") > 0.5) {
+      first_ok = ev.time;
+    }
+  }
+};
+
+// A tracker outage (14-64 s) swallows the seed's first periodic announce
+// (random phase in [0.25, 1.0] x interval = [15, 60] s). With retry the
+// backoff chain lands a fresh announce seconds after the outage lifts;
+// without it the client waits for the next periodic announce, up to a full
+// announce_interval of avoidable swarm blindness. The watched client is a
+// seed so no mid-run completion re-anchors its announce schedule.
+double announce_recovery_seconds(std::uint64_t seed, bool retry) {
+  trace::Recorder recorder{/*ring_capacity=*/4};
+  RecoverySink sink;
+  recorder.add_sink(&sink);
+  auto meta = bt::Metainfo::create("rec", 4 << 20, 256 * 1024, "tr", seed);
+  exp::Swarm swarm{seed, meta};
+  swarm.world.sim.set_tracer(&recorder);
+  bt::ClientConfig config;
+  config.announce_interval = sim::seconds(60.0);
+  swarm.add_wired("seed0", /*is_seed=*/true, config);
+  config.listen_port = 6882;
+  config.announce_retry = retry;
+  config.announce_retry_cap = sim::seconds(8.0);
+  swarm.add_wireless("mob", /*is_seed=*/true, config);
+  sim::FaultPlan plan;
+  plan.actions.push_back(make_action(sim::FaultKind::kTrackerOutage, 14, 50, 0, ""));
+  auto injector = exp::bind_faults(swarm, plan);
+  swarm.start_all();
+  swarm.run_for(130.0);
+  swarm.world.sim.set_tracer(nullptr);
+  if (sink.outage_end < 0 || sink.first_ok < 0) return -1.0;
+  return sim::to_seconds(sink.first_ok - sink.outage_end);
+}
+
+int announce_recovery_table() {
+  metrics::Table table{"Time from tracker-outage end to first successful announce "
+                       "(outage 14-64 s over the first periodic announce, interval 60 s, retry cap 8 s)"};
+  table.columns({"client", "recovery (s)"});
+  double with_retry = 0.0, without_retry = 0.0;
+  for (const bool retry : {true, false}) {
+    metrics::RunStats recovery;
+    for (const double r : bench::over_seeds_map<double>(
+             3, 7100, [&](std::uint64_t s) { return announce_recovery_seconds(s, retry); })) {
+      if (r >= 0.0) recovery.add(r);
+    }
+    (retry ? with_retry : without_retry) = recovery.mean();
+    table.row({retry ? "announce retry (backoff)" : "periodic announce only",
+               metrics::Table::num(recovery.mean())});
+  }
+  bench::show(table);
+  bench::print_shape_note(
+      "the retry chain recovers within seconds of the outage lifting; the "
+      "naive client stays dark for the rest of its announce interval");
+  // The whole point of the retry schedule: recovery must beat waiting for
+  // the next periodic announce by a wide margin.
+  return with_retry >= 0.0 && without_retry > 0.0 && with_retry < without_retry / 2.0
+             ? 0
+             : 1;
+}
+
 int fault_table() {
   const double duration_s = 60.0;
   metrics::Table table{"Swarm outcomes under canonical fault schedules "
@@ -158,6 +246,69 @@ int fault_table() {
   return total_violations > 0.0 ? 1 : 0;
 }
 
+// --- Poison self-test ---------------------------------------------------------
+
+exp::Scenario poison_scenario(bool no_ban) {
+  exp::Scenario s;
+  s.seed = 9000;
+  s.duration_s = 120.0;
+  s.file_size = 4 << 20;
+  s.piece_size = 256 * 1024;
+  s.peers = {
+      {.name = "seed0", .wireless = false, .is_seed = true, .wp2p = false, .preload = 0.0},
+      {.name = "venom", .wireless = false, .is_seed = true, .wp2p = false, .preload = 0.0},
+      {.name = "l0", .wireless = false, .is_seed = false, .wp2p = false, .preload = 0.0},
+      {.name = "l1", .wireless = false, .is_seed = false, .wp2p = false, .preload = 0.0},
+  };
+  // The poisoner's egress is damaged for the whole run: every piece it
+  // serves fails verification at the receiver.
+  s.faults.actions.push_back(make_action(sim::FaultKind::kCorrupt, 0.5, 119.0, 0.5, "venom"));
+  s.unsafe_no_ban = no_ban;
+  return s;
+}
+
+int poison_mode() {
+  exp::ScenarioFuzzer fuzzer;
+  const exp::FuzzVerdict banning = fuzzer.run(poison_scenario(/*no_ban=*/false));
+  const exp::FuzzVerdict unbanned = fuzzer.run(poison_scenario(/*no_ban=*/true));
+
+  metrics::Table table{"Poisoning seed vs corruption defense "
+                       "(2 clean-seed leeches + 1 poisoner, 4 MB, 120 s)"};
+  table.columns({"banning", "leeches complete", "wasted (MiB)", "bans",
+                 "corrupt pieces", "violations"});
+  auto row = [&](const char* label, const exp::FuzzVerdict& v) {
+    table.row({label, metrics::Table::num(v.completed_leeches, 0),
+               metrics::Table::num(static_cast<double>(v.wasted_bytes) / (1 << 20)),
+               metrics::Table::num(static_cast<double>(v.peers_banned), 0),
+               metrics::Table::num(static_cast<double>(v.corrupt_pieces), 0),
+               metrics::Table::num(static_cast<double>(v.violations.size()), 0)});
+  };
+  row("enabled", banning);
+  row("DISABLED (unsafe)", unbanned);
+  bench::show(table);
+
+  // Self-test contract: with banning the swarm shrugs the poisoner off; with
+  // it disabled the waste balloons and the peer-ban invariant flags the run.
+  int rc = 0;
+  auto expect = [&](bool ok, const char* what) {
+    std::printf("  %s: %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) rc = 1;
+  };
+  expect(banning.completed_leeches == 2, "banning on: both leeches complete");
+  expect(banning.peers_banned >= 2, "banning on: both leeches ban the poisoner");
+  expect(banning.violations.empty(), "banning on: no invariant violations");
+  expect(!unbanned.violations.empty(),
+         "banning off: invariant checker flags the run (peer-ban rule)");
+  expect(unbanned.wasted_bytes > banning.wasted_bytes,
+         "banning off: wasted bytes exceed the banning run");
+  for (const trace::Violation& v : unbanned.violations) {
+    if (v.rule != "peer-ban") continue;
+    std::printf("  first flag: %s\n", trace::to_string(v).c_str());
+    break;
+  }
+  return rc;
+}
+
 // --- Fuzz / replay modes ------------------------------------------------------
 
 void print_failure(const exp::Scenario& scenario, const exp::FuzzVerdict& verdict) {
@@ -182,6 +333,7 @@ int fuzz_mode() {
   auto scenario_for = [&](std::uint64_t seed) {
     exp::Scenario s = fuzzer.generate(seed);
     s.unsafe_no_cwnd_floor = fault_options().break_cwnd_floor;
+    s.unsafe_no_ban = fault_options().no_ban;
     return s;
   };
 
@@ -239,6 +391,7 @@ int replay_mode() {
     return 2;
   }
   if (fault_options().break_cwnd_floor) scenario->unsafe_no_cwnd_floor = true;
+  if (fault_options().no_ban) scenario->unsafe_no_ban = true;
 
   exp::ScenarioFuzzer fuzzer;
   const exp::FuzzVerdict verdict = fuzzer.run(*scenario);
@@ -280,6 +433,10 @@ int main(int argc, char** argv) {
       fopts.replay_path = value();
     } else if (arg == "--break-cwnd-floor") {
       fopts.break_cwnd_floor = true;
+    } else if (arg == "--no-ban") {
+      fopts.no_ban = true;
+    } else if (arg == "--poison") {
+      fopts.poison = true;
     } else {
       shared_args.push_back(argv[i]);
     }
@@ -291,8 +448,12 @@ int main(int argc, char** argv) {
     rc = wp2p::replay_mode();
   } else if (fopts.fuzz > 0) {
     rc = wp2p::fuzz_mode();
+  } else if (fopts.poison) {
+    rc = wp2p::poison_mode();
   } else {
     rc = wp2p::fault_table();
+    const int recovery_rc = wp2p::announce_recovery_table();
+    if (rc == 0) rc = recovery_rc;
   }
   wp2p::bench::print_runner_summary();
   const int trace_rc = wp2p::bench::trace_report();

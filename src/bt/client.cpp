@@ -55,6 +55,10 @@ Client::Client(net::Node& node, tcp::Stack& stack, Tracker& tracker, const Metai
 Client::~Client() {
   *alive_ = false;
   if (reinit_event_ != sim::kInvalidEventId) sim_.cancel(reinit_event_);
+  if (announce_retry_event_ != sim::kInvalidEventId) sim_.cancel(announce_retry_event_);
+  for (auto& [endpoint, state] : reconnects_) {
+    if (state.event != sim::kInvalidEventId) sim_.cancel(state.event);
+  }
   for (auto& peer : peers_) peer->detach();
 }
 
@@ -124,6 +128,8 @@ void Client::stop() {
   announce_task_.stop();
   timeout_task_.stop();
   upload_pump_task_.stop();
+  reset_announce_backoff();
+  cancel_reconnects();
   stack_.stop_listening(config_.listen_port);
   if (node_.connected()) {
     tracker_.announce(AnnounceRequest{meta_.info_hash,
@@ -143,21 +149,74 @@ void Client::stop() {
   });
 }
 
-void Client::initiate_task(AnnounceEvent event) {
+void Client::initiate_task(AnnounceEvent event) { do_announce(event); }
+
+void Client::do_announce(AnnounceEvent event) {
   if (!running_ || !node_.connected()) return;
   AnnounceRequest req{meta_.info_hash,
                       {node_.address(), config_.listen_port},
                       peer_id_,
                       store_.complete(),
                       event};
-  tracker_.announce(req, [this, alive = alive_](std::vector<TrackerPeerInfo> peers) {
-    if (*alive && running_) handle_announce(std::move(peers));
+  tracker_.announce(req, [this, alive = alive_](AnnounceResult result) {
+    if (*alive && running_) on_announce_result(std::move(result));
   });
+}
+
+void Client::on_announce_result(AnnounceResult result) {
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtAnnounce, node_)
+                       .with("ok", result.ok ? 1.0 : 0.0)
+                       .with("peers", static_cast<double>(result.peers.size())));
+  if (result.ok) {
+    reset_announce_backoff();
+    handle_announce(std::move(result.peers));
+    return;
+  }
+  ++stats_.announce_failures;
+  if (config_.announce_retry) schedule_announce_retry();
+}
+
+void Client::schedule_announce_retry() {
+  if (announce_retry_event_ != sim::kInvalidEventId) return;  // one pending retry
+  announce_retry_base_ =
+      announce_retry_attempt_ == 0
+          ? std::min(config_.announce_retry_initial, config_.announce_retry_cap)
+          : std::min(announce_retry_base_ * 2, config_.announce_retry_cap);
+  ++announce_retry_attempt_;
+  // Deterministic jitter from the client's own RNG stream: spreads retries of
+  // peers that failed in the same outage without breaking reproducibility.
+  const double factor = 1.0 + config_.announce_retry_jitter * (rng_.uniform() * 2.0 - 1.0);
+  const auto delay = std::max<sim::SimTime>(
+      1, static_cast<sim::SimTime>(static_cast<double>(announce_retry_base_) * factor));
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtAnnounceRetry, node_)
+                       .with("attempt", static_cast<double>(announce_retry_attempt_))
+                       .with("base_s", sim::to_seconds(announce_retry_base_))
+                       .with("delay_s", sim::to_seconds(delay))
+                       .with("cap_s", sim::to_seconds(config_.announce_retry_cap))
+                       .with("jitter", config_.announce_retry_jitter));
+  announce_retry_event_ = sim_.after(delay, [this, alive = alive_] {
+    if (!*alive) return;
+    announce_retry_event_ = sim::kInvalidEventId;
+    if (!running_) return;
+    ++stats_.announce_retries;
+    // kStarted: a tracker that lost our announce may not know us at all.
+    do_announce(AnnounceEvent::kStarted);
+  });
+}
+
+void Client::reset_announce_backoff() {
+  if (announce_retry_event_ != sim::kInvalidEventId) {
+    sim_.cancel(announce_retry_event_);
+    announce_retry_event_ = sim::kInvalidEventId;
+  }
+  announce_retry_base_ = 0;
+  announce_retry_attempt_ = 0;
 }
 
 void Client::handle_announce(std::vector<TrackerPeerInfo> peers) {
   const net::Endpoint self{node_.address(), config_.listen_port};
   for (const TrackerPeerInfo& info : peers) {
+    if (is_banned(info.peer_id)) continue;  // never re-learn a banned peer
     known_listen_endpoints_[info.peer_id] = info.endpoint;
     if (static_cast<int>(peers_.size()) >= config_.max_peers) break;
     if (info.endpoint == self || info.peer_id == peer_id_) continue;
@@ -212,7 +271,26 @@ void Client::setup_peer(const std::shared_ptr<PeerConnection>& peer) {
     auto msg = std::static_pointer_cast<const WireMessage>(handle);
     if (msg) on_peer_message(*p, *msg);
   };
-  conn.on_closed = [this, p](tcp::CloseReason) { drop_peer(p); };
+  conn.on_closed = [this, p](tcp::CloseReason reason) {
+    // Snapshot what the reconnect decision needs before drop_peer frees p.
+    net::Endpoint listen{};
+    if (p->initiator()) {
+      listen = p->remote_endpoint();  // dialed: remote IS its listen endpoint
+    } else if (auto it = known_listen_endpoints_.find(p->remote_id);
+               p->remote_id != 0 && it != known_listen_endpoints_.end()) {
+      listen = it->second;
+    }
+    const bool was_established = p->app_established();
+    drop_peer(p);
+    // Only a TIMEOUT earns a reconnect: silent death is the signature of an
+    // outage/crash/hand-off. A close or reset means the peer is alive and
+    // chose to drop us (seed-to-seed, duplicate connection, ban) — re-dialing
+    // would loop: each dial handshakes, gets aborted, and repeats.
+    if (reason == tcp::CloseReason::kTimeout && listen.valid() &&
+        (was_established || reconnects_.count(listen) > 0)) {
+      consider_reconnect(listen, reason);
+    }
+  };
 }
 
 void Client::drop_peer(PeerConnection* peer) {
@@ -265,6 +343,10 @@ void Client::handle_handshake(PeerConnection& peer, const WireMessage& msg) {
     peer.tcp().abort();  // wrong swarm; triggers drop via on_closed
     return;
   }
+  if (is_banned(msg.peer_id)) {
+    peer.tcp().abort();  // a banned peer gets no second handshake
+    return;
+  }
   // Duplicate-connection handling: same peer-id from the same ADDRESS means
   // both sides dialled each other (ports differ: one side is ephemeral) —
   // keep the established connection and drop the newcomer. Same peer-id from
@@ -277,8 +359,14 @@ void Client::handle_handshake(PeerConnection& peer, const WireMessage& msg) {
       continue;
     }
     if (other->remote_endpoint().addr == peer.remote_endpoint().addr) {
-      peer.tcp().abort();
-      return;
+      // Same peer-id, same address. Two ways to get here: a simultaneous
+      // open (both sides dialled; the old conn is healthy — the newcomer
+      // loses), or the peer died silently and reconnected (our old conn is
+      // a zombie stuck in retransmission — it yields to the newcomer).
+      if (other->tcp().rto_backoff() == 0) {
+        peer.tcp().abort();
+        return;
+      }
     }
     stale.push_back(other.get());
   }
@@ -295,6 +383,8 @@ void Client::handle_handshake(PeerConnection& peer, const WireMessage& msg) {
     // For dialed peers the remote endpoint is their listen endpoint.
     known_listen_endpoints_[peer.remote_id] = peer.remote_endpoint();
   }
+  // The peer is demonstrably back: forget any reconnect backoff against it.
+  clear_reconnect(peer.remote_endpoint());
 }
 
 void Client::handle_bitfield(PeerConnection& peer, const WireMessage& msg) {
@@ -373,16 +463,21 @@ void Client::handle_piece(PeerConnection& peer, const WireMessage& msg) {
   peer.snubbed = false;  // it delivered: reciprocation resumes
 
   if (msg.piece < 0 || msg.piece >= meta_.piece_count()) return;
-  if (store_.has_block(msg.piece, block)) {
+  const bool corrupt = peer.tcp().last_message_corrupted();
+  const BlockResult result = store_.mark_block(msg.piece, block, corrupt);
+  if (result == BlockResult::kDuplicate) {
     fill_requests(peer);
     return;  // duplicate (e.g. timed out, then both peers delivered)
   }
   if (auto it = active_.find(msg.piece); it != active_.end()) {
     it->second[static_cast<std::size_t>(block)] = BlockState::kReceived;
   }
+  record_contributor(peer, msg.piece, block);
   cancel_duplicates(peer, msg.piece, block);  // end-game duplicate requests
-  if (store_.mark_block(msg.piece, block)) {
+  if (result == BlockResult::kPieceComplete) {
     on_piece_completed(msg.piece);
+  } else if (result == BlockResult::kPieceCorrupt) {
+    handle_corrupt_piece(msg.piece);
   }
   fill_requests(peer);
 }
@@ -480,11 +575,16 @@ std::optional<Client::BlockRef> Client::endgame_block_for(PeerConnection& peer) 
 
 void Client::fill_requests(PeerConnection& peer) {
   if (!peer.app_established()) return;
+  if (is_banned(peer.remote_id)) return;  // banned peers get no requests, ever
   while (static_cast<int>(peer.outstanding.size()) < config_.pipeline_depth) {
     auto next = next_block_for(peer);
     if (!next) break;
     block_state(next->piece, next->block) = BlockState::kRequested;
     peer.outstanding.push_back({next->piece, next->block, sim_.now()});
+    WP2P_TRACE(sim_, bt_event(trace::Kind::kBtRequest, node_)
+                         .with("peer_id", static_cast<double>(peer.remote_id & 0xffffffffu))
+                         .with("piece", static_cast<double>(next->piece))
+                         .with("block", static_cast<double>(next->block)));
     peer.send(WireMessage::request(next->piece,
                                    static_cast<std::int64_t>(next->block) * kBlockSize,
                                    store_.block_size(next->piece, next->block)));
@@ -550,6 +650,7 @@ void Client::periodic_maintenance() {
 
 void Client::on_piece_completed(int piece) {
   active_.erase(piece);
+  contributors_.erase(piece);
   ++stats_.pieces_completed;
   WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPieceComplete, node_)
                        .with("piece", static_cast<double>(piece))
@@ -581,6 +682,121 @@ void Client::on_download_finished() {
            node_.name().c_str());
   if (on_complete) on_complete();
   if (!config_.seed_after_complete) stop();
+}
+
+// --- Integrity / banning ------------------------------------------------------------
+
+void Client::record_contributor(PeerConnection& peer, int piece, int block) {
+  auto [it, inserted] = contributors_.try_emplace(
+      piece, static_cast<std::size_t>(store_.blocks_in_piece(piece)), PeerId{0});
+  it->second[static_cast<std::size_t>(block)] = peer.remote_id;
+}
+
+void Client::handle_corrupt_piece(int piece) {
+  ++stats_.corrupt_pieces;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPieceCorrupt, node_)
+                       .with("piece", static_cast<double>(piece))
+                       .with("wasted", static_cast<double>(store_.wasted_bytes())));
+  WP2P_LOG(util::LogLevel::kInfo, sim::to_seconds(sim_.now()), kLog,
+           "%s piece %d failed verification, resetting", node_.name().c_str(), piece);
+  // Strike exactly the peers that supplied the damaged blocks (libtorrent's
+  // "smart ban"): clean contributors to the same piece stay unblamed.
+  if (auto it = contributors_.find(piece); it != contributors_.end()) {
+    std::vector<PeerId> struck;  // one strike per peer per piece
+    for (int block : store_.last_corrupt_blocks()) {
+      const PeerId id = it->second[static_cast<std::size_t>(block)];
+      if (id == 0) continue;
+      if (std::find(struck.begin(), struck.end(), id) != struck.end()) continue;
+      struck.push_back(id);
+      strike_peer(id, piece);
+    }
+    contributors_.erase(it);
+  }
+  // The store already discarded the blocks; dropping the request state makes
+  // the piece a fresh candidate for the selector again.
+  active_.erase(piece);
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPieceReset, node_)
+                       .with("piece", static_cast<double>(piece)));
+}
+
+void Client::strike_peer(PeerId id, int piece) {
+  // An already-banned peer is beyond striking: pieces it contributed to may
+  // keep completing after the ban, and those strikes would overshoot the
+  // threshold under perfectly correct behaviour.
+  if (is_banned(id)) return;
+  const int strikes = ++strikes_[id];
+  ++stats_.peer_strikes;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPeerStrike, node_)
+                       .with("peer_id", static_cast<double>(id & 0xffffffffu))
+                       .with("strikes", static_cast<double>(strikes))
+                       .with("threshold", static_cast<double>(config_.ban_threshold))
+                       .with("piece", static_cast<double>(piece)));
+  if (config_.unsafe_no_peer_ban || strikes < config_.ban_threshold) return;
+  banned_.insert(id);
+  ++stats_.peers_banned;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPeerBan, node_)
+                       .with("peer_id", static_cast<double>(id & 0xffffffffu))
+                       .with("strikes", static_cast<double>(strikes)));
+  WP2P_LOG(util::LogLevel::kInfo, sim::to_seconds(sim_.now()), kLog,
+           "%s banned peer %llx after %d corruption strikes", node_.name().c_str(),
+           static_cast<unsigned long long>(id), strikes);
+  if (auto it = known_listen_endpoints_.find(id); it != known_listen_endpoints_.end()) {
+    clear_reconnect(it->second);
+  }
+  // Cut every connection to the peer loose (collect first: aborting mutates
+  // peers_ through on_closed).
+  std::vector<PeerConnection*> victims;
+  for (auto& peer : peers_) {
+    if (peer->remote_id == id) victims.push_back(peer.get());
+  }
+  for (PeerConnection* victim : victims) victim->tcp().abort();
+}
+
+// --- Reconnect policy ---------------------------------------------------------------
+
+void Client::consider_reconnect(net::Endpoint remote, tcp::CloseReason reason) {
+  if (!config_.reconnect || !running_) return;
+  for (const auto& [id, endpoint] : known_listen_endpoints_) {
+    if (endpoint == remote && is_banned(id)) return;
+  }
+  ReconnectState& state = reconnects_[remote];
+  if (state.event != sim::kInvalidEventId) return;  // a dial is already pending
+  if (state.attempts >= config_.reconnect_max_attempts) return;
+  state.backoff = state.attempts == 0
+                      ? std::min(config_.reconnect_initial, config_.reconnect_cap)
+                      : std::min(state.backoff * 2, config_.reconnect_cap);
+  ++state.attempts;
+  ++stats_.reconnect_attempts;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtReconnect, node_)
+                       .on(net::to_string(remote))
+                       .why(tcp::to_string(reason))
+                       .with("attempt", static_cast<double>(state.attempts))
+                       .with("delay_s", sim::to_seconds(state.backoff))
+                       .with("cap_s", sim::to_seconds(config_.reconnect_cap)));
+  state.event = sim_.after(state.backoff, [this, alive = alive_, remote] {
+    if (!*alive) return;
+    if (auto it = reconnects_.find(remote); it != reconnects_.end()) {
+      it->second.event = sim::kInvalidEventId;
+    }
+    if (!running_ || !node_.connected()) return;
+    if (connected_to(remote)) return;
+    if (static_cast<int>(peers_.size()) >= config_.max_peers) return;
+    connect_to(remote);
+  });
+}
+
+void Client::clear_reconnect(net::Endpoint remote) {
+  auto it = reconnects_.find(remote);
+  if (it == reconnects_.end()) return;
+  if (it->second.event != sim::kInvalidEventId) sim_.cancel(it->second.event);
+  reconnects_.erase(it);
+}
+
+void Client::cancel_reconnects() {
+  for (auto& [endpoint, state] : reconnects_) {
+    if (state.event != sim::kInvalidEventId) sim_.cancel(state.event);
+  }
+  reconnects_.clear();
 }
 
 // --- Choking ----------------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bt/client_config.hpp"
@@ -40,6 +41,14 @@ struct ClientStats {
   std::uint64_t task_reinitiations = 0;
   std::uint64_t peers_connected_total = 0;
   std::uint64_t blocks_requeued = 0;  // request timeouts
+
+  // Recovery layer (announce retry / integrity / reconnect).
+  std::uint64_t announce_failures = 0;   // announces that came back ok=false
+  std::uint64_t announce_retries = 0;    // backoff retries actually dialed
+  std::uint64_t corrupt_pieces = 0;      // completed pieces that failed verify
+  std::uint64_t peer_strikes = 0;        // corruption strikes handed out
+  std::uint64_t peers_banned = 0;
+  std::uint64_t reconnect_attempts = 0;  // backoff re-dials after TCP timeouts
 };
 
 class Client {
@@ -112,6 +121,10 @@ class Client {
 
   // Lifecycle / tracker.
   void initiate_task(AnnounceEvent event);
+  void do_announce(AnnounceEvent event);
+  void on_announce_result(AnnounceResult result);
+  void schedule_announce_retry();
+  void reset_announce_backoff();
   void handle_announce(std::vector<TrackerPeerInfo> peers);
   void connect_to(net::Endpoint remote);
   bool connected_to(net::Endpoint remote) const;
@@ -148,6 +161,17 @@ class Client {
   // Upload side.
   void pump_uploads();
 
+  // Integrity / banning.
+  void record_contributor(PeerConnection& peer, int piece, int block);
+  void handle_corrupt_piece(int piece);
+  void strike_peer(PeerId id, int piece);
+  bool is_banned(PeerId id) const { return banned_.count(id) > 0; }
+
+  // Reconnect policy.
+  void consider_reconnect(net::Endpoint remote, tcp::CloseReason reason);
+  void clear_reconnect(net::Endpoint remote);
+  void cancel_reconnects();
+
   // Mobility.
   void handle_address_change();
   void reinitiate();
@@ -170,6 +194,11 @@ class Client {
   std::vector<std::shared_ptr<PeerConnection>> peers_;
   std::vector<int> availability_;                       // remote copies per piece
   std::map<int, std::vector<BlockState>> active_;       // pieces in progress
+  // Which peer supplied each block of a piece in progress — the attribution
+  // map consulted when a completed piece fails verification (smart ban).
+  std::map<int, std::vector<PeerId>> contributors_;
+  std::unordered_map<PeerId, int> strikes_;
+  std::unordered_set<PeerId> banned_;
   std::unordered_map<PeerId, net::Endpoint> known_listen_endpoints_;
   CreditLedger credit_;
   util::TokenBucket upload_bucket_;
@@ -182,6 +211,21 @@ class Client {
   sim::PeriodicTask timeout_task_;
   sim::PeriodicTask upload_pump_task_;
   sim::EventId reinit_event_ = sim::kInvalidEventId;
+
+  // Announce retry chain: one pending retry at a time, base delay doubling
+  // from announce_retry_initial up to announce_retry_cap; any successful
+  // announce resets it.
+  sim::EventId announce_retry_event_ = sim::kInvalidEventId;
+  sim::SimTime announce_retry_base_ = 0;
+  int announce_retry_attempt_ = 0;
+
+  // Per-endpoint reconnect state for peers lost to TCP timeouts.
+  struct ReconnectState {
+    sim::SimTime backoff = 0;
+    int attempts = 0;
+    sim::EventId event = sim::kInvalidEventId;
+  };
+  std::map<net::Endpoint, ReconnectState> reconnects_;
 
   ClientStats stats_;
   metrics::ThroughputMeter down_rate_;

@@ -46,6 +46,38 @@ struct ClientConfig {
   std::int64_t max_tcp_backlog = 128 * 1024;  // per-peer TCP send buffering cap
   sim::SimTime upload_pump_interval = sim::milliseconds(50.0);
 
+  // --- Recovery behaviour ---------------------------------------------------
+  // Announce retry: a failed announce (unreachable tracker) is retried on a
+  // capped exponential backoff with deterministic jitter, decoupled from the
+  // periodic announce — recovery after an outage or hand-off takes seconds,
+  // not a full announce_interval. Disable to model the naive client.
+  bool announce_retry = true;
+  sim::SimTime announce_retry_initial = sim::seconds(2.0);
+  sim::SimTime announce_retry_cap = sim::seconds(30.0);
+  // Jitter factor: each retry delay is base * (1 + jitter * u), u in [-1, 1)
+  // drawn from the client's own RNG stream (deterministic per seed).
+  double announce_retry_jitter = 0.25;
+
+  // Corruption defense: a completed piece that fails verification earns each
+  // contributing peer of the damaged blocks a strike; a peer reaching
+  // ban_threshold strikes is banned (disconnected, never re-dialed, refused
+  // on handshake, skipped in announce responses, no unchoke slots).
+  int ban_threshold = 3;
+  // Self-test switch (see TESTING.md): accept corrupt contributors forever.
+  // The peer-ban invariant rule must flag runs with this set; never enable
+  // outside the harness.
+  bool unsafe_no_peer_ban = false;
+
+  // Reconnect policy: when an established peer connection dies by TCP
+  // timeout (silent peer — the signature of a hand-off, not a deliberate
+  // close/reset), re-dial its listen endpoint on a capped exponential
+  // backoff. This re-knits a mobile host's swarm even with role_reversal
+  // off. Disable to model the naive client.
+  bool reconnect = true;
+  sim::SimTime reconnect_initial = sim::seconds(2.0);
+  sim::SimTime reconnect_cap = sim::seconds(60.0);
+  int reconnect_max_attempts = 4;
+
   // --- Mobility behaviour ---------------------------------------------------
   // Default clients regenerate their peer-id on task re-initiation; the wP2P
   // Incentive-Aware component retains it within the swarm (Section 4.2).

@@ -41,6 +41,13 @@ Metainfo Metainfo::create(std::string name, std::int64_t total_size,
   return m;
 }
 
+std::uint64_t Metainfo::block_tag(int piece, int block) const {
+  std::uint64_t tag =
+      fnv1a(name + "!" + std::to_string(piece) + ":" + std::to_string(block));
+  // A single corrupt block must always perturb the accumulator; force a bit.
+  return tag | 1;
+}
+
 Bencode Metainfo::to_bencode() const {
   Bencode::Dict info;
   info["length"] = total_size;

@@ -2,8 +2,10 @@
 //
 // Single-file torrents only (what the paper's experiments use). Piece hashes
 // are simulated: 64-bit FNV-1a values derived from (content id, piece index)
-// stand in for SHA-1 digests — the simulation never corrupts application
-// data (TCP provides integrity), so hashes only need to be deterministic.
+// stand in for SHA-1 digests. There are no payload bytes to hash — instead a
+// receiver accumulates the expected piece hash XOR a per-block tag for every
+// block delivered corrupt, so a damaged block makes verification fail exactly
+// as a real digest mismatch would (see PieceStore::mark_block).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +28,14 @@ struct Metainfo {
   InfoHash info_hash = 0;
 
   int piece_count() const { return static_cast<int>(piece_hashes.size()); }
+
+  std::uint64_t piece_hash(int index) const {
+    return piece_hashes[static_cast<std::size_t>(index)];
+  }
+
+  // Simulated per-block digest contribution: XORed into a piece's accumulator
+  // when block `block` arrives damaged, guaranteeing a hash mismatch.
+  std::uint64_t block_tag(int piece, int block) const;
 
   std::int64_t piece_size(int index) const {
     const std::int64_t start = static_cast<std::int64_t>(index) * piece_length;

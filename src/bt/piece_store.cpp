@@ -24,27 +24,56 @@ bool PieceStore::has_block(int piece, int block) const {
   if (have_.test(piece)) return true;
   auto it = partial_.find(piece);
   if (it == partial_.end()) return false;
-  WP2P_ASSERT(block >= 0 && block < static_cast<int>(it->second.size()));
-  return it->second[static_cast<std::size_t>(block)];
+  WP2P_ASSERT(block >= 0 && block < static_cast<int>(it->second.blocks.size()));
+  return it->second.blocks[static_cast<std::size_t>(block)];
 }
 
-bool PieceStore::mark_block(int piece, int block) {
+BlockResult PieceStore::mark_block(int piece, int block, bool corrupt) {
   WP2P_ASSERT(piece >= 0 && piece < piece_count());
-  if (have_.test(piece)) return false;  // duplicate delivery of a finished piece
-  auto [it, inserted] =
-      partial_.try_emplace(piece, static_cast<std::size_t>(blocks_in_piece(piece)), false);
-  auto& blocks = it->second;
-  WP2P_ASSERT(block >= 0 && block < static_cast<int>(blocks.size()));
-  if (blocks[static_cast<std::size_t>(block)]) return false;  // duplicate block
-  blocks[static_cast<std::size_t>(block)] = true;
-  bytes_completed_ += block_size(piece, block);
-  for (bool b : blocks) {
-    if (!b) return false;
+  if (have_.test(piece)) {
+    // Duplicate delivery of a finished piece (late endgame copy).
+    wasted_bytes_ += block_size(piece, block);
+    return BlockResult::kDuplicate;
   }
-  // Piece complete: "verify" and promote to the bitfield.
+  auto [it, inserted] = partial_.try_emplace(piece);
+  Partial& p = it->second;
+  if (inserted) {
+    p.blocks.assign(static_cast<std::size_t>(blocks_in_piece(piece)), false);
+    p.corrupt.assign(p.blocks.size(), false);
+    p.digest = meta_->piece_hash(piece);
+  }
+  WP2P_ASSERT(block >= 0 && block < static_cast<int>(p.blocks.size()));
+  const auto idx = static_cast<std::size_t>(block);
+  if (p.blocks[idx]) {
+    wasted_bytes_ += block_size(piece, block);
+    return BlockResult::kDuplicate;
+  }
+  p.blocks[idx] = true;
+  if (corrupt) {
+    p.corrupt[idx] = true;
+    p.digest ^= meta_->block_tag(piece, block);
+  }
+  bytes_completed_ += block_size(piece, block);
+  for (bool b : p.blocks) {
+    if (!b) return BlockResult::kAccepted;
+  }
+  if (p.digest != meta_->piece_hash(piece)) {
+    // Verification failed: throw the whole piece away so it re-enters the
+    // selector as missing. Every byte of it was wasted transfer.
+    last_corrupt_blocks_.clear();
+    for (std::size_t b = 0; b < p.corrupt.size(); ++b) {
+      if (p.corrupt[b]) last_corrupt_blocks_.push_back(static_cast<int>(b));
+    }
+    bytes_completed_ -= meta_->piece_size(piece);
+    wasted_bytes_ += meta_->piece_size(piece);
+    ++corrupt_pieces_detected_;
+    partial_.erase(it);
+    return BlockResult::kPieceCorrupt;
+  }
+  // Piece complete: digest verified, promote to the bitfield.
   partial_.erase(it);
   have_.set(piece);
-  return true;
+  return BlockResult::kPieceComplete;
 }
 
 void PieceStore::mark_piece(int piece) {
@@ -53,8 +82,8 @@ void PieceStore::mark_piece(int piece) {
   // Count only bytes not already counted through partial blocks.
   std::int64_t already = 0;
   if (auto it = partial_.find(piece); it != partial_.end()) {
-    for (int b = 0; b < static_cast<int>(it->second.size()); ++b) {
-      if (it->second[static_cast<std::size_t>(b)]) already += block_size(piece, b);
+    for (int b = 0; b < static_cast<int>(it->second.blocks.size()); ++b) {
+      if (it->second.blocks[static_cast<std::size_t>(b)]) already += block_size(piece, b);
     }
     partial_.erase(it);
   }
@@ -75,8 +104,8 @@ std::int64_t PieceStore::contiguous_bytes() const {
   }
   if (piece < piece_count()) {
     if (auto it = partial_.find(piece); it != partial_.end()) {
-      for (int b = 0; b < static_cast<int>(it->second.size()); ++b) {
-        if (!it->second[static_cast<std::size_t>(b)]) break;
+      for (int b = 0; b < static_cast<int>(it->second.blocks.size()); ++b) {
+        if (!it->second.blocks[static_cast<std::size_t>(b)]) break;
         bytes += block_size(piece, b);
       }
     }
@@ -90,7 +119,7 @@ std::vector<int> PieceStore::missing_blocks(int piece) const {
   auto it = partial_.find(piece);
   const int n = blocks_in_piece(piece);
   for (int b = 0; b < n; ++b) {
-    const bool got = it != partial_.end() && it->second[static_cast<std::size_t>(b)];
+    const bool got = it != partial_.end() && it->second.blocks[static_cast<std::size_t>(b)];
     if (!got) missing.push_back(b);
   }
   return missing;

@@ -17,6 +17,15 @@ namespace wp2p::bt {
 
 inline constexpr std::int64_t kBlockSize = 16 * 1024;
 
+// Outcome of recording one downloaded block.
+enum class BlockResult {
+  kAccepted,       // new block stored, piece still incomplete
+  kDuplicate,      // already had it (late/duplicate delivery) — bytes wasted
+  kPieceComplete,  // block completed its piece and the digest verified
+  kPieceCorrupt,   // block completed its piece but verification failed:
+                   // the piece was reset and must be re-downloaded
+};
+
 class PieceStore {
  public:
   explicit PieceStore(const Metainfo& meta);
@@ -32,9 +41,13 @@ class PieceStore {
   bool has_block(int piece, int block) const;
   bool complete() const { return have_.all(); }
 
-  // Record a downloaded block. Returns true when this block completed its
-  // piece (the piece then "verifies" and enters the bitfield).
-  bool mark_block(int piece, int block);
+  // Record a downloaded block. `corrupt` marks a block whose payload was
+  // damaged in flight (simulated digest perturbation). When the last block of
+  // a piece lands, the accumulated digest is checked against the metainfo
+  // hash: a match promotes the piece into the bitfield (kPieceComplete); a
+  // mismatch discards every block of the piece (kPieceCorrupt) so rarest-first
+  // re-requests it from scratch.
+  BlockResult mark_block(int piece, int block, bool corrupt = false);
 
   // Mark a whole piece present (seed initialization / hash-checked resume).
   void mark_piece(int piece);
@@ -54,12 +67,32 @@ class PieceStore {
   // Blocks of `piece` that are still missing.
   std::vector<int> missing_blocks(int piece) const;
 
+  // Bytes received but not contributing to completion: duplicate/late block
+  // deliveries plus every block thrown away by a corrupt-piece reset.
+  std::int64_t wasted_bytes() const { return wasted_bytes_; }
+  // Completed-then-rejected piece count (each one was fully re-downloaded).
+  std::int64_t corrupt_pieces_detected() const { return corrupt_pieces_detected_; }
+  // Blocks of the most recent kPieceCorrupt piece that arrived damaged —
+  // the attribution set for per-peer corruption strikes (libtorrent's
+  // "smart ban": only the peers that sent bad bytes get blamed).
+  const std::vector<int>& last_corrupt_blocks() const { return last_corrupt_blocks_; }
+
  private:
   const Metainfo* meta_;
   Bitfield have_;
-  // Block state only for pieces in progress; completed pieces drop theirs.
-  std::unordered_map<int, std::vector<bool>> partial_;
+  // Per-piece in-progress state; completed pieces drop theirs. `digest`
+  // starts at the expected hash and is XOR-perturbed per corrupt block, so
+  // digest == expected iff no block arrived damaged.
+  struct Partial {
+    std::vector<bool> blocks;
+    std::vector<bool> corrupt;
+    std::uint64_t digest = 0;
+  };
+  std::unordered_map<int, Partial> partial_;
   std::int64_t bytes_completed_ = 0;
+  std::int64_t wasted_bytes_ = 0;
+  std::int64_t corrupt_pieces_detected_ = 0;
+  std::vector<int> last_corrupt_blocks_;
 };
 
 }  // namespace wp2p::bt

@@ -4,17 +4,24 @@ namespace wp2p::bt {
 
 void Tracker::announce(const AnnounceRequest& request, AnnounceCallback callback) {
   if (!reachable_) {
-    ++dropped_announces_;
+    // The announce is lost server-side, but the announcer still learns of the
+    // failure: its request times out after failure_latency.
+    ++stats_.dropped_announces;
+    if (callback) {
+      sim_.after(config_.failure_latency,
+                 [cb = std::move(callback)] { cb(AnnounceResult{false, {}}); });
+    }
     return;
   }
-  ++announces_;
+  ++stats_.announces;
   Swarm& swarm = swarms_[request.info_hash];
   expire(swarm);
 
   if (request.event == AnnounceEvent::kStopped) {
     swarm.erase(request.peer_id);
     if (callback) {
-      sim_.after(config_.rpc_latency, [cb = std::move(callback)] { cb({}); });
+      sim_.after(config_.rpc_latency,
+                 [cb = std::move(callback)] { cb(AnnounceResult{true, {}}); });
     }
     return;
   }
@@ -28,7 +35,7 @@ void Tracker::announce(const AnnounceRequest& request, AnnounceCallback callback
     auto peers = select_peers(swarm, request.peer_id);
     sim_.after(config_.rpc_latency,
                [cb = std::move(callback), peers = std::move(peers)]() mutable {
-                 cb(std::move(peers));
+                 cb(AnnounceResult{true, std::move(peers)});
                });
   }
 }

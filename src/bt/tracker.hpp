@@ -37,11 +37,28 @@ struct TrackerConfig {
   sim::SimTime rpc_latency = sim::milliseconds(150.0);  // one round trip
   int max_peers_returned = 50;  // the usual tracker response size (Section 3.2)
   sim::SimTime peer_ttl = sim::minutes(45.0);  // entries expire without refresh
+  // How long an announce to an unreachable tracker takes to fail at the
+  // client (connection timeout), so failure is never instantaneous.
+  sim::SimTime failure_latency = sim::seconds(3.0);
+};
+
+// Outcome of one announce, delivered asynchronously to the announcer. `ok`
+// is false when the tracker was unreachable — `peers` is then empty and the
+// client decides whether/when to retry.
+struct AnnounceResult {
+  bool ok = true;
+  std::vector<TrackerPeerInfo> peers;
+};
+
+// Aggregate counters (test/experiment support; not part of the protocol).
+struct TrackerStats {
+  std::uint64_t announces = 0;          // accepted and processed
+  std::uint64_t dropped_announces = 0;  // swallowed while unreachable
 };
 
 class Tracker {
  public:
-  using AnnounceCallback = std::function<void(std::vector<TrackerPeerInfo>)>;
+  using AnnounceCallback = std::function<void(AnnounceResult)>;
 
   explicit Tracker(sim::Simulator& sim, TrackerConfig config = {})
       : sim_{sim}, config_{config}, rng_{sim.rng().fork()} {}
@@ -50,21 +67,24 @@ class Tracker {
   Tracker& operator=(const Tracker&) = delete;
 
   // Register/refresh the announcer and asynchronously return a random subset
-  // of other peers in the swarm (empty for kStopped).
+  // of other peers in the swarm (empty for kStopped). The callback ALWAYS
+  // fires exactly once: with ok=true after rpc_latency on success, or with
+  // ok=false after failure_latency when the tracker is unreachable.
   void announce(const AnnounceRequest& request, AnnounceCallback callback);
 
   // Outage injection (net::FaultInjector's tracker-outage hook): while
-  // unreachable the tracker swallows announces — no state change, no
-  // response — exactly how a dead HTTP tracker looks to a client, which
-  // simply retries on its next announce interval.
+  // unreachable the tracker ignores announces — no state change, no peer
+  // list — exactly how a dead HTTP tracker looks to a client, whose request
+  // errors out after a timeout (failure_latency).
   void set_reachable(bool reachable) { reachable_ = reachable; }
   bool reachable() const { return reachable_; }
 
   // Swarm inspection (test/experiment support; not part of the protocol).
   std::size_t swarm_size(InfoHash hash) const;
   std::size_t seed_count(InfoHash hash) const;
-  std::uint64_t announces() const { return announces_; }
-  std::uint64_t dropped_announces() const { return dropped_announces_; }
+  std::uint64_t announces() const { return stats_.announces; }
+  std::uint64_t dropped_announces() const { return stats_.dropped_announces; }
+  const TrackerStats& stats() const { return stats_; }
 
  private:
   struct Entry {
@@ -81,8 +101,7 @@ class Tracker {
   sim::Rng rng_;
   std::unordered_map<InfoHash, Swarm> swarms_;
   bool reachable_ = true;
-  std::uint64_t announces_ = 0;
-  std::uint64_t dropped_announces_ = 0;
+  TrackerStats stats_;
 };
 
 }  // namespace wp2p::bt

@@ -73,14 +73,17 @@ struct Scenario {
   // Harness self-test switch: propagated to every peer's TcpParams so a
   // deliberately broken cwnd floor is visible to the invariant checker.
   bool unsafe_no_cwnd_floor = false;
+  // Harness self-test switch: disables corruption banning on every peer so
+  // the peer-ban invariant rule has something to catch under corrupt faults.
+  bool unsafe_no_ban = false;
 
   std::string serialize() const {
     char head[192];
     std::snprintf(head, sizeof head,
-                  "scenario seed=%llu duration=%.6f file=%lld piece=%lld unsafe=%d\n",
+                  "scenario seed=%llu duration=%.6f file=%lld piece=%lld unsafe=%d noban=%d\n",
                   static_cast<unsigned long long>(seed), duration_s,
                   static_cast<long long>(file_size), static_cast<long long>(piece_size),
-                  unsafe_no_cwnd_floor ? 1 : 0);
+                  unsafe_no_cwnd_floor ? 1 : 0, unsafe_no_ban ? 1 : 0);
     std::string out = head;
     for (const ScenarioPeer& p : peers) {
       char line[160];
@@ -108,6 +111,10 @@ struct FuzzVerdict {
   std::uint64_t faults_applied = 0;
   std::int64_t bytes_downloaded = 0;
   int completed_leeches = 0;
+  // Recovery-layer aggregates (corruption defense).
+  std::int64_t wasted_bytes = 0;
+  std::uint64_t corrupt_pieces = 0;
+  std::uint64_t peers_banned = 0;
 
   std::string summary() const {
     char buf[224];
@@ -216,6 +223,7 @@ class ScenarioFuzzer {
     for (const ScenarioPeer& p : scenario.peers) {
       bt::ClientConfig config;
       config.announce_interval = sim::seconds(20.0);
+      config.unsafe_no_peer_ban = scenario.unsafe_no_ban;
       config.listen_port = static_cast<std::uint16_t>(6881 + swarm.members.size());
       if (p.wp2p) {
         config.retain_peer_id = true;
@@ -247,6 +255,9 @@ class ScenarioFuzzer {
       uploaded += client.stats().payload_uploaded;
       downloaded += client.stats().payload_downloaded;
       verdict.bytes_downloaded += client.stats().payload_downloaded;
+      verdict.wasted_bytes += client.store().wasted_bytes();
+      verdict.corrupt_pieces += client.stats().corrupt_pieces;
+      verdict.peers_banned += client.stats().peers_banned;
       if (client.store().bytes_completed() > meta.total_size) {
         verdict.property_failures.push_back(scenario.peers[i].name +
                                             ": store exceeds file size");
@@ -418,6 +429,8 @@ inline std::optional<Scenario> Scenario::parse(std::string_view text) {
           s.piece_size = std::strtoll(value.c_str(), nullptr, 10);
         } else if (detail::parse_kv(tokens[i], "unsafe", value)) {
           s.unsafe_no_cwnd_floor = value == "1";
+        } else if (detail::parse_kv(tokens[i], "noban", value)) {
+          s.unsafe_no_ban = value == "1";
         } else {
           return std::nullopt;
         }

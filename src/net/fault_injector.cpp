@@ -116,6 +116,11 @@ void FaultInjector::apply_start(const sim::FaultAction& action) {
       bracket_end(action.duration);
       break;
 
+    case sim::FaultKind::kCorrupt:
+      chaos_for(*target).adjust_corrupt(+1, action.magnitude);
+      bracket_end(action.duration);
+      break;
+
     case sim::FaultKind::kPeerCrash:
       // Link down first: a crashed process gets no farewell announce out.
       target->set_connected(false);
@@ -166,6 +171,10 @@ void FaultInjector::apply_end(const sim::FaultAction& action) {
       if (target != nullptr) chaos_for(*target).adjust_reorder(-1, action.magnitude);
       break;
 
+    case sim::FaultKind::kCorrupt:
+      if (target != nullptr) chaos_for(*target).adjust_corrupt(-1, action.magnitude);
+      break;
+
     case sim::FaultKind::kPeerCrash:
       if (target != nullptr) {
         target->set_connected(true);
@@ -204,6 +213,12 @@ void FaultInjector::ChaosFilter::egress(Packet pkt, std::vector<Packet>& out) {
     out.push_back(pkt);  // payload is shared, the copy is cheap
     ++owner_.stats_.duplicated;
   }
+  if (corrupt_depth_ > 0 && rng_.bernoulli(corrupt_prob_)) {
+    // Mark, don't mutate: the payload is shared with the sender's
+    // retransmission state, which must keep the pristine copy.
+    pkt.corrupted = true;
+    ++owner_.stats_.corrupted;
+  }
   out.push_back(std::move(pkt));
 }
 
@@ -216,6 +231,11 @@ void FaultInjector::ChaosFilter::adjust_reorder(int delta, double probability) {
   reorder_depth_ += delta;
   if (delta > 0) reorder_prob_ = probability;
   if (reorder_depth_ <= 0) flush_stash();
+}
+
+void FaultInjector::ChaosFilter::adjust_corrupt(int delta, double probability) {
+  corrupt_depth_ += delta;
+  if (delta > 0) corrupt_prob_ = probability;
 }
 
 void FaultInjector::ChaosFilter::flush_stash() {

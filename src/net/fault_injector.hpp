@@ -34,6 +34,7 @@ struct FaultInjectorStats {
   std::uint64_t skipped = 0;    // actions with an unresolvable/ineligible target
   std::uint64_t duplicated = 0;  // packets duplicated by chaos filters
   std::uint64_t reordered = 0;   // packet pairs swapped by chaos filters
+  std::uint64_t corrupted = 0;   // packets marked corrupt by chaos filters
 };
 
 class FaultInjector {
@@ -71,6 +72,7 @@ class FaultInjector {
 
     void adjust_duplicate(int delta, double probability);
     void adjust_reorder(int delta, double probability);
+    void adjust_corrupt(int delta, double probability);
     void flush_stash();
 
    private:
@@ -79,8 +81,10 @@ class FaultInjector {
     sim::Rng rng_;
     int duplicate_depth_ = 0;
     int reorder_depth_ = 0;
+    int corrupt_depth_ = 0;
     double duplicate_prob_ = 0;
     double reorder_prob_ = 0;
+    double corrupt_prob_ = 0;
     bool has_stash_ = false;
     Packet stash_;
   };

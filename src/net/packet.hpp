@@ -22,6 +22,9 @@ struct Packet {
   Endpoint src;
   Endpoint dst;
   std::int64_t size = 0;  // total on-wire size in bytes, headers included
+  // Simulation metadata: a fault window damaged the payload bytes in flight.
+  // The packet still routes normally — the transport decides what survives.
+  bool corrupted = false;
   std::shared_ptr<const PacketPayload> payload;
 
   template <typename T>

@@ -33,6 +33,7 @@ enum class FaultKind : std::uint8_t {
   kDuplicate,      // egress packets duplicated with prob `magnitude` for `duration`
   kReorder,        // adjacent egress packets swapped with prob `magnitude`
   kPeerCrash,      // target's P2P process stops at `at`, restarts after `duration`
+  kCorrupt,        // target's egress payload bytes flipped with prob `magnitude`
 };
 
 inline const char* to_string(FaultKind kind) {
@@ -45,6 +46,7 @@ inline const char* to_string(FaultKind kind) {
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kPeerCrash: return "peer-crash";
+    case FaultKind::kCorrupt: return "corrupt";
   }
   return "?";
 }
@@ -53,7 +55,7 @@ inline std::optional<FaultKind> fault_kind_from(std::string_view name) {
   for (FaultKind k :
        {FaultKind::kLinkFlap, FaultKind::kBerEpisode, FaultKind::kHandoff,
         FaultKind::kHandoffStorm, FaultKind::kTrackerOutage, FaultKind::kDuplicate,
-        FaultKind::kReorder, FaultKind::kPeerCrash}) {
+        FaultKind::kReorder, FaultKind::kPeerCrash, FaultKind::kCorrupt}) {
     if (name == to_string(k)) return k;
   }
   return std::nullopt;
@@ -136,7 +138,7 @@ struct FaultPlan {
       FaultAction a;
       // Drawing the full tuple keeps the stream layout fixed per action, so
       // shrinking a plan never changes how an untouched action was generated.
-      const auto kind_roll = rng.below(8);
+      const auto kind_roll = rng.below(9);
       const double at_s = rng.uniform(t_min_s, horizon_s * 0.8);
       const double dur_s = rng.uniform(1.0, std::max(2.0, horizon_s * 0.25));
       const double mag_roll = rng.uniform();
@@ -178,6 +180,10 @@ struct FaultPlan {
           break;
         case 6:
           a.kind = FaultKind::kReorder;
+          a.magnitude = 0.05 + mag_roll * 0.25;
+          break;
+        case 7:
+          a.kind = FaultKind::kCorrupt;
           a.magnitude = 0.05 + mag_roll * 0.25;
           break;
         default:

@@ -146,7 +146,7 @@ void Connection::become_established() {
 
 // --- Segment dispatch ----------------------------------------------------------
 
-void Connection::handle_segment(const Segment& seg) {
+void Connection::handle_segment(const Segment& seg, bool corrupted) {
   if (state_ == ConnState::kDead) return;
   if (seg.rst) {
     fail(CloseReason::kReset);
@@ -182,7 +182,7 @@ void Connection::handle_segment(const Segment& seg) {
 
   if (seg.ack >= 0) process_ack(seg);
   if (state_ == ConnState::kDead) return;  // ack processing may complete a close
-  if (seg.payload > 0 || seg.fin) process_data(seg);
+  if (seg.payload > 0 || seg.fin) process_data(seg, corrupted);
   if (state_ == ConnState::kDead) return;
   output();
 }
@@ -382,10 +382,17 @@ void Connection::emit(std::shared_ptr<Segment> seg) {
 
 // --- Receive side --------------------------------------------------------------------
 
-void Connection::process_data(const Segment& seg) {
+void Connection::process_data(const Segment& seg, bool corrupted) {
   const std::int64_t start = seg.seq;
   const std::int64_t end = seg.seq + seg.logical_len();
   if (seg.ledger) peer_ledger_ = seg.ledger;
+  if (corrupted && seg.payload > 0 && seg.seq + seg.payload > rcv_nxt_) {
+    // The damaged bytes will (now or once the hole fills) be the copy the
+    // receiver keeps, so remember the span. Overlap with data already held
+    // clean over-reports corruption slightly; acceptable for a fault model.
+    note_corrupt_bytes(std::max(start, rcv_nxt_), seg.seq + seg.payload);
+    ++stats_.corrupt_segments;
+  }
   if (seg.fin) {
     remote_fin_seen_ = true;
     remote_fin_seq_ = seg.seq + seg.payload;
@@ -434,6 +441,25 @@ void Connection::process_data(const Segment& seg) {
   ++unacked_arrivals_;  // the post-segment output pass decides pure vs piggyback
 }
 
+void Connection::note_corrupt_bytes(std::int64_t begin, std::int64_t end) {
+  if (begin >= end) return;
+  // Merge into the sorted span list (a handful of entries at most: spans are
+  // pruned as messages deliver).
+  auto it = corrupt_spans_.begin();
+  while (it != corrupt_spans_.end() && it->second < begin) ++it;
+  if (it == corrupt_spans_.end() || it->first > end) {
+    corrupt_spans_.insert(it, {begin, end});
+    return;
+  }
+  it->first = std::min(it->first, begin);
+  it->second = std::max(it->second, end);
+  auto next = std::next(it);
+  while (next != corrupt_spans_.end() && next->first <= it->second) {
+    it->second = std::max(it->second, next->second);
+    next = corrupt_spans_.erase(next);
+  }
+}
+
 void Connection::deliver_ready_messages() {
   if (!peer_ledger_) return;
   auto self = shared_from_this();  // callbacks may close/abort us
@@ -444,10 +470,25 @@ void Connection::deliver_ready_messages() {
     const auto& entry = peer_ledger_->entries[next_message_];
     if (entry.end_offset > rcv_nxt_) break;
     const std::int64_t bytes = entry.end_offset - delivered_offset_;
+    const std::int64_t begin = delivered_offset_;
     delivered_offset_ = entry.end_offset;
     stats_.bytes_delivered += bytes;
     ++next_message_;
+    // Flag the message if any of its bytes came from a damaged segment, then
+    // drop spans wholly behind the delivery frontier — they can never overlap
+    // a future message.
+    last_message_corrupted_ = false;
+    for (const auto& [s, e] : corrupt_spans_) {
+      if (s < entry.end_offset && e > begin) {
+        last_message_corrupted_ = true;
+        break;
+      }
+    }
+    while (!corrupt_spans_.empty() && corrupt_spans_.front().second <= delivered_offset_) {
+      corrupt_spans_.erase(corrupt_spans_.begin());
+    }
     if (handler) handler(entry.handle, bytes);
+    last_message_corrupted_ = false;
     if (state_ == ConnState::kDead) return;
   }
 }

@@ -14,6 +14,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "net/address.hpp"
 #include "sim/simulator.hpp"
@@ -52,6 +54,7 @@ struct ConnStats {
   std::uint64_t dupacks_received = 0;
   std::uint64_t fast_retransmits = 0;
   std::uint64_t timeouts = 0;
+  std::uint64_t corrupt_segments = 0;  // data segments that arrived damaged
 };
 
 class Connection : public std::enable_shared_from_this<Connection> {
@@ -82,6 +85,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::function<void(const MessageHandle&, std::int64_t bytes)> on_message;
   std::function<void(CloseReason)> on_closed;
 
+  // True while the most recent on_message callback is delivering a message
+  // assembled from at least one corrupted segment (see handle_segment). The
+  // simulated analogue of a checksum failure surfacing at the application.
+  bool last_message_corrupted() const { return last_message_corrupted_; }
+
   // --- Introspection ---------------------------------------------------------
   net::Endpoint local() const { return local_; }
   net::Endpoint remote() const { return remote_; }
@@ -91,12 +99,18 @@ class Connection : public std::enable_shared_from_this<Connection> {
   const TcpParams& params() const { return params_; }
   double cwnd_bytes() const { return cwnd_; }
   std::int64_t flight_size() const { return snd_nxt_ - snd_una_; }
+  // Consecutive RTO expiries without forward progress. Nonzero means the
+  // remote has stopped ACKing — the signature of a silently dead peer.
+  int rto_backoff() const { return backoff_; }
   sim::SimTime smoothed_rtt() const { return srtt_; }
 
   // --- Driven by the Stack ---------------------------------------------------
   void start_connect();                       // active open: send SYN
   void start_accept(const Segment& syn);      // passive open: send SYN|ACK
-  void handle_segment(const Segment& seg);    // demultiplexed incoming segment
+  // Demultiplexed incoming segment. `corrupted` marks payload bytes damaged
+  // in flight (net-layer fault window); the bytes still count for sequencing,
+  // but any message overlapping them is flagged to the application.
+  void handle_segment(const Segment& seg, bool corrupted = false);
 
  private:
   // Senders --------------------------------------------------------------------
@@ -114,7 +128,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void enter_fast_retransmit();
 
   // Receive-side logic ----------------------------------------------------------
-  void process_data(const Segment& seg);
+  void process_data(const Segment& seg, bool corrupted);
+  void note_corrupt_bytes(std::int64_t begin, std::int64_t end);
   void deliver_ready_messages();
   void output();       // post-segment transmission + ACK policy pass
   void ack_emitted();  // any outgoing segment carried the current rcv_nxt
@@ -175,6 +190,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::shared_ptr<const MessageLedger> peer_ledger_;
   std::size_t next_message_ = 0;       // index into peer ledger
   std::int64_t delivered_offset_ = 0;  // stream offset delivered to the app
+  // Stream intervals [begin, end) received from corrupted segments, merged
+  // and pruned as messages are delivered. A retransmission of the same range
+  // that arrives clean does NOT heal the interval: the first accepted copy
+  // is the one the receiver kept.
+  std::vector<std::pair<std::int64_t, std::int64_t>> corrupt_spans_;
+  bool last_message_corrupted_ = false;
   bool ack_owed_ = false;
   int unacked_arrivals_ = 0;
   sim::EventId ack_event_ = sim::kInvalidEventId;

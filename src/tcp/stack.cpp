@@ -49,7 +49,7 @@ void Stack::receive(const net::Packet& pkt) {
 
   auto it = connections_.find(ConnKey{pkt.dst.port, pkt.src});
   if (it != connections_.end()) {
-    it->second->handle_segment(*seg);
+    it->second->handle_segment(*seg, pkt.corrupted);
     return;
   }
   if (seg->syn && seg->ack < 0) {

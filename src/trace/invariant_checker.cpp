@@ -34,6 +34,7 @@ void InvariantChecker::reset_scenario() {
   flows_.clear();
   detectors_.clear();
   faults_.clear();
+  recovery_.clear();
 }
 
 void InvariantChecker::check(const TraceEvent& ev) {
@@ -135,6 +136,95 @@ void InvariantChecker::check(const TraceEvent& ev) {
                     num(sim::to_seconds(min_gap)) + " s");
       }
       det.last_detect = ev.time;
+      return;
+    }
+
+    case Kind::kBtAnnounce: {
+      ++matched_;
+      // A successful announce resets the retry chain; the next retry may
+      // legitimately start from the initial base again.
+      if (ev.field("ok") > 0.5) recovery_[ev.node].backoff = BackoffState{};
+      return;
+    }
+
+    case Kind::kBtAnnounceRetry: {
+      ++matched_;
+      BackoffState& backoff = recovery_[ev.node].backoff;
+      const double base = ev.field("base_s");
+      const double delay = ev.field("delay_s");
+      const double cap = ev.field("cap_s");
+      const double jitter = ev.field("jitter");
+      if (backoff.last_base >= 0.0 && base < backoff.last_base - kEps) {
+        violate(ev, "announce-backoff",
+                ev.node + " retry base " + num(base) + " s shrank from " +
+                    num(backoff.last_base) + " s without a successful announce");
+      }
+      if (cap > 0.0 && base > cap + kEps) {
+        violate(ev, "announce-backoff",
+                ev.node + " retry base " + num(base) + " s exceeds cap " + num(cap) + " s");
+      }
+      if (std::abs(delay - base) > jitter * base + kEps) {
+        violate(ev, "announce-backoff",
+                ev.node + " retry delay " + num(delay) + " s outside jitter band " +
+                    num(jitter) + " of base " + num(base) + " s");
+      }
+      backoff.last_base = base;
+      return;
+    }
+
+    case Kind::kBtPieceCorrupt: {
+      ++matched_;
+      RecoveryState& rec = recovery_[ev.node];
+      const int piece = static_cast<int>(ev.field("piece", -1.0));
+      if (rec.corrupt_pending[piece]) {
+        violate(ev, "corrupt-reset",
+                ev.node + " re-detected corrupt piece " + num(piece) +
+                    " before the previous detection was reset");
+      }
+      rec.corrupt_pending[piece] = true;
+      return;
+    }
+
+    case Kind::kBtPieceReset: {
+      ++matched_;
+      RecoveryState& rec = recovery_[ev.node];
+      const int piece = static_cast<int>(ev.field("piece", -1.0));
+      auto it = rec.corrupt_pending.find(piece);
+      if (it == rec.corrupt_pending.end() || !it->second) {
+        violate(ev, "corrupt-reset",
+                ev.node + " reset piece " + num(piece) + " without a pending detection");
+        return;
+      }
+      it->second = false;
+      return;
+    }
+
+    case Kind::kBtPeerStrike: {
+      ++matched_;
+      const double strikes = ev.field("strikes");
+      const double threshold = ev.field("threshold");
+      if (threshold > 0.0 && strikes > threshold + kEps) {
+        violate(ev, "peer-ban",
+                ev.node + " struck peer " + num(ev.field("peer_id")) + " " +
+                    num(strikes) + " times, past the ban threshold of " + num(threshold));
+      }
+      return;
+    }
+
+    case Kind::kBtPeerBan: {
+      ++matched_;
+      recovery_[ev.node].banned.insert(static_cast<std::uint64_t>(ev.field("peer_id")));
+      return;
+    }
+
+    case Kind::kBtRequest: {
+      ++matched_;
+      const auto peer = static_cast<std::uint64_t>(ev.field("peer_id"));
+      const RecoveryState& rec = recovery_[ev.node];
+      if (rec.banned.count(peer) > 0) {
+        violate(ev, "banned-request",
+                ev.node + " requested a block from banned peer " + num(ev.field("peer_id")));
+      }
       return;
     }
 

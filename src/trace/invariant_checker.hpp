@@ -29,6 +29,22 @@
 //                       audits the fault layer itself, so fuzzer verdicts can
 //                       trust that an episode's protocol events really fell
 //                       inside the window the plan prescribed.
+//   announce-backoff    A client's announce-retry base delays are monotone
+//                       nondecreasing and never exceed the cap until a
+//                       successful announce resets the chain, and each
+//                       jittered delay stays within jitter * base of its
+//                       base (the recovery layer's capped exponential
+//                       backoff contract).
+//   corrupt-reset       Every corrupt-piece detection is followed by a reset
+//                       of that piece before the same piece can be detected
+//                       corrupt again, and no reset fires without a pending
+//                       detection (data-integrity bookkeeping is lossless).
+//   banned-request      After a client bans a peer, it never sends that peer
+//                       another block request.
+//   peer-ban            A peer's corruption strike count never exceeds the
+//                       ban threshold — crossing it must trigger the ban.
+//                       (Catches runs with banning disabled: strikes keep
+//                       accumulating past the threshold.)
 //
 // kScenario markers reset per-flow state, so one JSONL file may hold many
 // independently checked scenarios.
@@ -37,6 +53,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "trace/recorder.hpp"
@@ -80,6 +97,14 @@ class InvariantChecker final : public Sink {
   struct FaultState {
     int open = 0;
   };
+  struct BackoffState {
+    double last_base = -1.0;  // previous retry base; reset by a good announce
+  };
+  struct RecoveryState {
+    BackoffState backoff;
+    std::unordered_map<int, bool> corrupt_pending;  // piece -> awaiting reset
+    std::unordered_set<std::uint64_t> banned;       // peer_ids banned so far
+  };
 
   void violate(const TraceEvent& ev, std::string rule, std::string detail);
   void reset_scenario();
@@ -87,6 +112,7 @@ class InvariantChecker final : public Sink {
   std::unordered_map<std::string, FlowState> flows_;
   std::unordered_map<std::string, DetectState> detectors_;
   std::unordered_map<std::string, FaultState> faults_;
+  std::unordered_map<std::string, RecoveryState> recovery_;
   std::vector<Violation> violations_;
   std::uint64_t checked_ = 0;
   std::uint64_t matched_ = 0;

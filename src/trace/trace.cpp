@@ -35,6 +35,14 @@ constexpr KindName kKinds[] = {
     {Kind::kBtPieceComplete, "bt.piece"},
     {Kind::kBtHandoff, "bt.handoff"},
     {Kind::kBtRecover, "bt.recover"},
+    {Kind::kBtAnnounce, "bt.announce"},
+    {Kind::kBtAnnounceRetry, "bt.announce_retry"},
+    {Kind::kBtRequest, "bt.request"},
+    {Kind::kBtPieceCorrupt, "bt.piece_corrupt"},
+    {Kind::kBtPieceReset, "bt.piece_reset"},
+    {Kind::kBtPeerStrike, "bt.strike"},
+    {Kind::kBtPeerBan, "bt.ban"},
+    {Kind::kBtReconnect, "bt.reconnect"},
     {Kind::kMobDetect, "mob.detect"},
     {Kind::kChanLoss, "chan.loss"},
     {Kind::kChanArqRetry, "chan.arq"},

@@ -52,6 +52,15 @@ enum class Kind : std::uint8_t {
   kBtHandoff,        // address-change hand-off handled; aux = strategy
   kBtRecover,        // recovery after silently lost connectivity
 
+  kBtAnnounce,       // announce outcome arrived; ok field = 1/0
+  kBtAnnounceRetry,  // retry scheduled after a failed announce; backoff fields
+  kBtRequest,        // block request sent; peer_id identifies the target
+  kBtPieceCorrupt,   // completed piece failed verification
+  kBtPieceReset,     // corrupt piece discarded, re-enters the selector
+  kBtPeerStrike,     // corruption strike recorded against a peer
+  kBtPeerBan,        // peer banned after exceeding the strike threshold
+  kBtReconnect,      // reconnect dial scheduled after a TCP timeout
+
   kMobDetect,  // live-peer mobility detection fired
 
   kChanLoss,      // frame dropped after exhausting MAC retries

@@ -20,7 +20,7 @@ TEST_F(PieceStoreTest, Geometry) {
 }
 
 TEST_F(PieceStoreTest, MarkBlockAccumulates) {
-  EXPECT_FALSE(store.mark_block(0, 0));
+  EXPECT_EQ(store.mark_block(0, 0), BlockResult::kAccepted);
   EXPECT_TRUE(store.has_block(0, 0));
   EXPECT_FALSE(store.has_block(0, 1));
   EXPECT_FALSE(store.has_piece(0));
@@ -28,16 +28,53 @@ TEST_F(PieceStoreTest, MarkBlockAccumulates) {
 }
 
 TEST_F(PieceStoreTest, CompletingAllBlocksCompletesPiece) {
-  for (int b = 0; b < 15; ++b) EXPECT_FALSE(store.mark_block(0, b));
-  EXPECT_TRUE(store.mark_block(0, 15));
+  for (int b = 0; b < 15; ++b) EXPECT_EQ(store.mark_block(0, b), BlockResult::kAccepted);
+  EXPECT_EQ(store.mark_block(0, 15), BlockResult::kPieceComplete);
   EXPECT_TRUE(store.has_piece(0));
   EXPECT_TRUE(store.bitfield().test(0));
 }
 
 TEST_F(PieceStoreTest, DuplicateBlocksIgnored) {
   store.mark_block(0, 0);
-  EXPECT_FALSE(store.mark_block(0, 0));
+  EXPECT_EQ(store.mark_block(0, 0), BlockResult::kDuplicate);
   EXPECT_EQ(store.bytes_completed(), 16 * 1024);
+}
+
+TEST_F(PieceStoreTest, DuplicateBlocksCountAsWastedBytes) {
+  EXPECT_EQ(store.wasted_bytes(), 0);
+  store.mark_block(0, 0);
+  store.mark_block(0, 0);  // duplicate of an in-progress block
+  EXPECT_EQ(store.wasted_bytes(), 16 * 1024);
+  for (int b = 0; b < store.blocks_in_piece(2); ++b) store.mark_block(2, b);
+  EXPECT_EQ(store.mark_block(2, 5), BlockResult::kDuplicate);  // finished piece
+  EXPECT_EQ(store.wasted_bytes(), 16 * 1024 + store.block_size(2, 5));
+  EXPECT_EQ(store.bytes_completed(), 16 * 1024 + meta.piece_size(2));
+}
+
+TEST_F(PieceStoreTest, CorruptBlockFailsVerificationAndResetsPiece) {
+  for (int b = 0; b < 15; ++b) store.mark_block(0, b);
+  EXPECT_EQ(store.mark_block(0, 15, /*corrupt=*/true), BlockResult::kPieceCorrupt);
+  EXPECT_FALSE(store.has_piece(0));
+  EXPECT_FALSE(store.has_block(0, 0));  // every block discarded
+  EXPECT_EQ(store.bytes_completed(), 0);
+  EXPECT_EQ(store.wasted_bytes(), 256 * 1024);
+  EXPECT_EQ(store.corrupt_pieces_detected(), 1);
+  EXPECT_EQ(store.last_corrupt_blocks(), (std::vector<int>{15}));
+  // The piece is fully re-downloadable and verifies when clean.
+  EXPECT_EQ(store.missing_blocks(0).size(), 16u);
+  for (int b = 0; b < 15; ++b) EXPECT_EQ(store.mark_block(0, b), BlockResult::kAccepted);
+  EXPECT_EQ(store.mark_block(0, 15), BlockResult::kPieceComplete);
+  EXPECT_TRUE(store.has_piece(0));
+  EXPECT_EQ(store.bytes_completed(), 256 * 1024);
+}
+
+TEST_F(PieceStoreTest, CorruptAttributionListsEveryDamagedBlock) {
+  store.mark_block(0, 3, /*corrupt=*/true);
+  store.mark_block(0, 7, /*corrupt=*/true);
+  for (int b = 0; b < 16; ++b) store.mark_block(0, b);
+  // The final clean blocks complete the piece; verification still fails.
+  EXPECT_EQ(store.corrupt_pieces_detected(), 1);
+  EXPECT_EQ(store.last_corrupt_blocks(), (std::vector<int>{3, 7}));
 }
 
 TEST_F(PieceStoreTest, MarkPieceCountsOnlyMissingBytes) {

@@ -24,8 +24,9 @@ struct TrackerTest : ::testing::Test {
 TEST_F(TrackerTest, FirstAnnounceGetsEmptyList) {
   std::vector<TrackerPeerInfo> got;
   bool called = false;
-  tracker.announce(request(1), [&](auto peers) {
-    got = std::move(peers);
+  tracker.announce(request(1), [&](auto res) {
+    EXPECT_TRUE(res.ok);
+    got = std::move(res.peers);
     called = true;
   });
   sim.run();
@@ -38,7 +39,7 @@ TEST_F(TrackerTest, ResponseExcludesRequester) {
   tracker.announce(request(1), nullptr);
   tracker.announce(request(2), nullptr);
   std::vector<TrackerPeerInfo> got;
-  tracker.announce(request(2), [&](auto peers) { got = std::move(peers); });
+  tracker.announce(request(2), [&](auto res) { got = std::move(res.peers); });
   sim.run();
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].peer_id, 1u);
@@ -71,7 +72,7 @@ TEST_F(TrackerTest, ReannounceUpdatesEndpoint) {
   moved.endpoint = {net::IpAddr{999}, 6881};
   tracker.announce(moved, nullptr);
   std::vector<TrackerPeerInfo> got;
-  tracker.announce(request(2), [&](auto peers) { got = std::move(peers); });
+  tracker.announce(request(2), [&](auto res) { got = std::move(res.peers); });
   sim.run();
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].endpoint.addr, net::IpAddr{999});
@@ -84,7 +85,7 @@ TEST_F(TrackerTest, CapsReturnedPeers) {
   Tracker small{sim, config};
   for (PeerId id = 1; id <= 30; ++id) small.announce(request(id), nullptr);
   std::vector<TrackerPeerInfo> got;
-  small.announce(request(99), [&](auto peers) { got = std::move(peers); });
+  small.announce(request(99), [&](auto res) { got = std::move(res.peers); });
   sim.run();
   EXPECT_EQ(got.size(), 10u);
 }
@@ -96,10 +97,45 @@ TEST_F(TrackerTest, StaleEntriesExpire) {
   t.announce(request(1), nullptr);
   sim.run_until(sim::minutes(2.0));
   std::vector<TrackerPeerInfo> got{TrackerPeerInfo{}};
-  t.announce(request(2), [&](auto peers) { got = std::move(peers); });
+  t.announce(request(2), [&](auto res) { got = std::move(res.peers); });
   sim.run();
   EXPECT_TRUE(got.empty());
   EXPECT_EQ(t.swarm_size(0xabc), 1u);  // only the fresh announcer remains
+}
+
+TEST_F(TrackerTest, UnreachableTrackerReportsFailure) {
+  tracker.set_reachable(false);
+  bool called = false;
+  sim::SimTime failed_at = -1;
+  tracker.announce(request(1), [&](auto res) {
+    EXPECT_FALSE(res.ok);
+    EXPECT_TRUE(res.peers.empty());
+    failed_at = sim.now();
+    called = true;
+  });
+  sim.run();
+  // The callback fires exactly once, after the failure timeout — the announce
+  // is never silently swallowed.
+  EXPECT_TRUE(called);
+  EXPECT_EQ(failed_at, sim::seconds(3.0));
+  EXPECT_EQ(tracker.swarm_size(0xabc), 0u);  // no state registered
+  EXPECT_EQ(tracker.dropped_announces(), 1u);
+  EXPECT_EQ(tracker.stats().dropped_announces, 1u);
+  EXPECT_EQ(tracker.stats().announces, 0u);
+}
+
+TEST_F(TrackerTest, AnnounceSucceedsOnceReachableAgain) {
+  tracker.set_reachable(false);
+  tracker.announce(request(1), nullptr);  // dropped; nullptr callback is fine
+  sim.run();
+  tracker.set_reachable(true);
+  bool ok = false;
+  tracker.announce(request(1), [&](auto res) { ok = res.ok; });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(tracker.swarm_size(0xabc), 1u);
+  EXPECT_EQ(tracker.stats().dropped_announces, 1u);
+  EXPECT_EQ(tracker.stats().announces, 1u);
 }
 
 TEST_F(TrackerTest, SwarmsAreIndependent) {
@@ -111,7 +147,7 @@ TEST_F(TrackerTest, SwarmsAreIndependent) {
   EXPECT_EQ(tracker.swarm_size(0xabc), 1u);
   EXPECT_EQ(tracker.swarm_size(0xdef), 1u);
   std::vector<TrackerPeerInfo> got{TrackerPeerInfo{}};
-  tracker.announce(request(3), [&](auto peers) { got = std::move(peers); });
+  tracker.announce(request(3), [&](auto res) { got = std::move(res.peers); });
   sim.run();
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].peer_id, 1u);

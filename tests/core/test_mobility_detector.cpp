@@ -108,6 +108,10 @@ TEST(MobilityDetectorRoamTest, SilentRoamDrainsPeersThenFiresExactlyOnce) {
   // keep that probe (and the retry budget below) short so the connection
   // dies within the test window instead of the default ~100 s + minutes.
   mc.keepalive_interval = sim::seconds(5.0);
+  // The transport-level reconnect policy would also heal a silent roam (the
+  // re-dial leaves from the NEW address and succeeds); disable it so this
+  // test isolates the detector -> role-reversal path.
+  mc.reconnect = false;
   tcp::TcpParams fast_fail;
   fast_fail.init_rto = sim::milliseconds(300.0);
   fast_fail.max_rto = sim::milliseconds(500.0);

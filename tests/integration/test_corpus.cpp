@@ -72,6 +72,28 @@ TEST(Corpus, CwndFloorEntriesStillBiteWithFloorDisabled) {
   EXPECT_GE(checked, 1) << "no cwnd-floor-*.scenario entries in the corpus";
 }
 
+// Likewise the corruption entries: with banning disabled, the same scenario
+// must trip the peer-ban invariant — the poisoner really is poisoning, and
+// only the defense layer makes the clean replay above possible.
+TEST(Corpus, CorruptEntriesStillBiteWithBanDisabled) {
+  exp::ScenarioFuzzer fuzzer;
+  int checked = 0;
+  for (const auto& entry : fs::directory_iterator(corpus_dir())) {
+    if (entry.path().extension() != ".scenario") continue;
+    if (entry.path().filename().string().rfind("corrupt-", 0) != 0) continue;
+    auto scenario = exp::Scenario::parse(slurp(entry.path()));
+    ASSERT_TRUE(scenario.has_value()) << entry.path();
+    scenario->unsafe_no_ban = true;
+    const exp::FuzzVerdict verdict = fuzzer.run(*scenario);
+    EXPECT_FALSE(verdict.passed) << entry.path().filename();
+    bool peer_ban_rule = false;
+    for (const auto& v : verdict.violations) peer_ban_rule |= v.rule == "peer-ban";
+    EXPECT_TRUE(peer_ban_rule) << entry.path().filename();
+    ++checked;
+  }
+  EXPECT_GE(checked, 1) << "no corrupt-*.scenario entries in the corpus";
+}
+
 // --- Golden trace -------------------------------------------------------------
 
 class LineSink final : public trace::Sink {

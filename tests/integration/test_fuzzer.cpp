@@ -123,6 +123,90 @@ TEST(ScenarioFuzzer, BrokenCwndFloorIsCaughtAndShrunk) {
   EXPECT_FALSE(fuzzer.run(*replayed).passed);
 }
 
+// A hand-built poisoning scenario: a clean seed, a seed whose egress payload
+// is corrupted in flight, and one leech. The corruption-defense layer must
+// hold the invariants with banning on — and visibly fail with it off.
+exp::Scenario poison_scenario() {
+  exp::Scenario s;
+  s.seed = 90;
+  s.duration_s = 90.0;
+  s.file_size = 1 << 20;
+  s.piece_size = 256 * 1024;
+  exp::ScenarioPeer clean, venom, leech;
+  clean.name = "p0";
+  clean.is_seed = true;
+  venom.name = "venom";
+  venom.is_seed = true;
+  leech.name = "leech";
+  s.peers = {clean, venom, leech};
+  sim::FaultAction corrupt;
+  corrupt.kind = sim::FaultKind::kCorrupt;
+  corrupt.at = sim::seconds(0.5);
+  corrupt.duration = sim::seconds(85.0);
+  corrupt.magnitude = 0.5;
+  corrupt.target = "venom";
+  s.faults.actions.push_back(corrupt);
+  return s;
+}
+
+TEST(ScenarioFuzzer, CorruptionDefenseHoldsInvariantsAndNoBanTripsThem) {
+  ScenarioFuzzer fuzzer{quick_limits()};
+  exp::Scenario s = poison_scenario();
+
+  // Corrupt faults and the noban switch survive the text round-trip.
+  const auto parsed = Scenario::parse(s.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->serialize(), s.serialize());
+
+  const exp::FuzzVerdict defended = fuzzer.run(s);
+  EXPECT_TRUE(defended.passed) << defended.summary();
+  EXPECT_GT(defended.corrupt_pieces, 0u);
+  EXPECT_GE(defended.peers_banned, 1u);
+  EXPECT_GT(defended.wasted_bytes, 0);
+
+  s.unsafe_no_ban = true;
+  const exp::FuzzVerdict exposed = fuzzer.run(s);
+  EXPECT_FALSE(exposed.passed);
+  EXPECT_EQ(exposed.peers_banned, 0u);
+  bool peer_ban_rule = false;
+  for (const auto& v : exposed.violations) peer_ban_rule |= v.rule == "peer-ban";
+  EXPECT_TRUE(peer_ban_rule) << exposed.summary();
+  // More bytes are wasted without the defense than with it.
+  EXPECT_GT(exposed.wasted_bytes, defended.wasted_bytes);
+}
+
+TEST(ScenarioFuzzer, CorruptFaultRunsAreDeterministicAcrossJobs) {
+  ScenarioFuzzer fuzzer{quick_limits()};
+
+  // Find a generated scenario whose fault plan includes payload corruption:
+  // the new fault kind must not disturb seed-determinism or job-independence.
+  std::optional<std::uint64_t> corrupt_seed;
+  for (std::uint64_t seed = 200; seed < 260 && !corrupt_seed; ++seed) {
+    for (const auto& a : fuzzer.generate(seed).faults.actions) {
+      if (a.kind == sim::FaultKind::kCorrupt) corrupt_seed = seed;
+    }
+  }
+  ASSERT_TRUE(corrupt_seed.has_value()) << "no generated plan contained kCorrupt";
+
+  const Scenario scenario = fuzzer.generate(*corrupt_seed);
+  const exp::FuzzVerdict v1 = fuzzer.run(scenario);
+  const exp::FuzzVerdict v2 = fuzzer.run(scenario);
+  EXPECT_EQ(v1.trace_hash, v2.trace_hash);
+  EXPECT_EQ(v1.wasted_bytes, v2.wasted_bytes);
+  EXPECT_EQ(v1.corrupt_pieces, v2.corrupt_pieces);
+  EXPECT_EQ(v1.peers_banned, v2.peers_banned);
+
+  // The sweep covering this seed agrees verdict-for-verdict across --jobs.
+  exp::ParallelRunner serial{1}, parallel{4};
+  const auto r1 = fuzzer.sweep(*corrupt_seed - 1, 3, serial);
+  const auto r4 = fuzzer.sweep(*corrupt_seed - 1, 3, parallel);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].passed, r4[i].passed) << "seed " << r1[i].seed;
+    EXPECT_EQ(r1[i].trace_hash, r4[i].trace_hash) << "seed " << r1[i].seed;
+  }
+}
+
 TEST(ScenarioFuzzer, ShrinkKeepsPassingScenarioIntact) {
   // shrink() on a passing scenario has nothing to chase: every candidate
   // passes, so the "minimized" result is the input itself.

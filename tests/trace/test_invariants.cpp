@@ -145,6 +145,100 @@ TEST(Invariants, ScenarioMarkerResetsFlowState) {
   EXPECT_TRUE(v.empty());  // the pending loss episode died with the scenario
 }
 
+// --- Recovery-layer rules ----------------------------------------------------
+
+TraceEvent retry(double base, double delay, double cap = 30.0, double jitter = 0.25) {
+  return event(Component::kBt, Kind::kBtAnnounceRetry)
+      .at("leech")
+      .with("attempt", 0.0)
+      .with("base_s", base)
+      .with("delay_s", delay)
+      .with("cap_s", cap)
+      .with("jitter", jitter);
+}
+
+TraceEvent announce(bool ok) {
+  return event(Component::kBt, Kind::kBtAnnounce).at("leech").with("ok", ok ? 1.0 : 0.0);
+}
+
+TraceEvent piece_event(Kind kind, double piece) {
+  return event(Component::kBt, kind).at("leech").with("piece", piece);
+}
+
+TraceEvent strike(double peer, double strikes, double threshold = 3.0) {
+  return event(Component::kBt, Kind::kBtPeerStrike)
+      .at("leech")
+      .with("peer_id", peer)
+      .with("strikes", strikes)
+      .with("threshold", threshold);
+}
+
+TraceEvent peer_event(Kind kind, double peer) {
+  return event(Component::kBt, kind).at("leech").with("peer_id", peer);
+}
+
+TEST(Invariants, AnnounceBackoffCleanChainPasses) {
+  auto v = run({announce(false), retry(2, 2), retry(4, 4.8), retry(8, 6.2), retry(16, 16),
+                retry(30, 30), retry(30, 24.5), announce(true)});
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Invariants, AnnounceBackoffShrinkingBaseFires) {
+  auto v = run({retry(8, 8), retry(4, 4)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "announce-backoff");
+}
+
+TEST(Invariants, AnnounceBackoffResetBySuccessfulAnnounce) {
+  // A good announce legitimately restarts the chain from the initial base.
+  EXPECT_TRUE(run({retry(8, 8), announce(true), retry(2, 2)}).empty());
+  // A FAILED announce must not reset it.
+  auto v = run({retry(8, 8), announce(false), retry(2, 2)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "announce-backoff");
+}
+
+TEST(Invariants, AnnounceBackoffCapAndJitterBandsFire) {
+  auto over_cap = run({retry(40, 40, /*cap=*/30.0)});
+  ASSERT_EQ(over_cap.size(), 1u);
+  EXPECT_EQ(over_cap[0].rule, "announce-backoff");
+  auto off_band = run({retry(8, 12, 30.0, /*jitter=*/0.25)});  // 12 > 8 * 1.25
+  ASSERT_EQ(off_band.size(), 1u);
+  EXPECT_EQ(off_band[0].rule, "announce-backoff");
+}
+
+TEST(Invariants, CorruptDetectionsMustBeReset) {
+  EXPECT_TRUE(run({piece_event(Kind::kBtPieceCorrupt, 3), piece_event(Kind::kBtPieceReset, 3),
+                   piece_event(Kind::kBtPieceCorrupt, 3), piece_event(Kind::kBtPieceReset, 3)})
+                  .empty());
+  // Re-detecting the same piece without a reset in between loses bytes.
+  auto unreset = run({piece_event(Kind::kBtPieceCorrupt, 3), piece_event(Kind::kBtPieceCorrupt, 3)});
+  ASSERT_EQ(unreset.size(), 1u);
+  EXPECT_EQ(unreset[0].rule, "corrupt-reset");
+  // A reset with no pending detection resets healthy data.
+  auto phantom = run({piece_event(Kind::kBtPieceReset, 5)});
+  ASSERT_EQ(phantom.size(), 1u);
+  EXPECT_EQ(phantom[0].rule, "corrupt-reset");
+}
+
+TEST(Invariants, NoRequestsToBannedPeers) {
+  // Requests before the ban are fine; one after it is a violation.
+  EXPECT_TRUE(run({peer_event(Kind::kBtRequest, 7), peer_event(Kind::kBtPeerBan, 7)}).empty());
+  auto v = run({peer_event(Kind::kBtPeerBan, 7), peer_event(Kind::kBtRequest, 7)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "banned-request");
+  // Other peers remain requestable.
+  EXPECT_TRUE(run({peer_event(Kind::kBtPeerBan, 7), peer_event(Kind::kBtRequest, 8)}).empty());
+}
+
+TEST(Invariants, StrikesPastThresholdFirePeerBanRule) {
+  EXPECT_TRUE(run({strike(7, 1), strike(7, 2), strike(7, 3)}).empty());
+  // A fourth strike means the ban at 3 never happened (unsafe_no_peer_ban).
+  auto v = run({strike(7, 4)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "peer-ban");
+}
+
 TEST(Invariants, CountsCheckedAndMatchedEvents) {
   InvariantChecker checker;
   checker.check(event(Component::kBt, Kind::kBtChoke));  // no rule attached
