@@ -17,6 +17,13 @@
 //   --no-ban            disable corruption banning (ClientConfig
 //                       unsafe_no_peer_ban) in fuzzed/replayed scenarios;
 //                       the peer-ban invariant rule must catch this.
+//   --blackout          run only the tracker-blackout survivability table:
+//                       completion under a total tracker blackout with each
+//                       of {naive, failover, failover+PEX, +bootstrap-cache}.
+//                       The full stack completes during the blackout; the
+//                       naive swarm stalls until the primary returns. Exit 1
+//                       if that contract breaks. (Also part of the default
+//                       table run.)
 //   --poison            recovery-layer self-test: a swarm with a poisoning
 //                       seed (whole-run kCorrupt fault) is run twice. With
 //                       banning disabled the leeches keep accepting damaged
@@ -41,6 +48,7 @@ struct FaultBenchOptions {
   bool break_cwnd_floor = false;
   bool no_ban = false;
   bool poison = false;
+  bool blackout_only = false;
 };
 
 FaultBenchOptions& fault_options() {
@@ -246,6 +254,127 @@ int fault_table() {
   return total_violations > 0.0 ? 1 : 0;
 }
 
+// --- Tracker-blackout survivability -------------------------------------------
+
+struct SurvivalConfig {
+  const char* label;
+  bool failover = false;
+  bool pex = false;
+  bool cache = false;
+};
+
+// The survivability testbed: one wired seed, three wired leeches, and a
+// mobile wireless leech. The primary tracker dies almost immediately (2-242 s)
+// and the backup tier dies at 10 s for 140 s, so the swarm is totally dark
+// from 10 s to 150 s. Inside that window the mobile host crashes, restarts,
+// and hands off to a new address — the worst case the paper's Section 5
+// testbeds gesture at: nobody can learn its new endpoint from any tracker.
+// Tracker announces are also sparse (1 peer per response), so gossip is what
+// densifies the mesh.
+exp::Scenario blackout_scenario(std::uint64_t seed, const SurvivalConfig& cfg) {
+  exp::Scenario s;
+  s.seed = seed;
+  s.duration_s = 300.0;
+  s.file_size = 8 << 20;
+  s.piece_size = 256 * 1024;
+  s.trackers = 2;       // primary + one backup tier (same list for every config)
+  s.tracker_peers = 1;  // sparse responses: discovery must come from the swarm
+  s.failover = cfg.failover;
+  s.pex = cfg.pex;
+  s.bootstrap = cfg.cache;
+  s.peers = {
+      {.name = "seed0", .wireless = false, .is_seed = true, .wp2p = false, .preload = 0.0},
+      {.name = "l0", .wireless = false, .is_seed = false, .wp2p = false, .preload = 0.0},
+      {.name = "l1", .wireless = false, .is_seed = false, .wp2p = false, .preload = 0.0},
+      {.name = "l2", .wireless = false, .is_seed = false, .wp2p = false, .preload = 0.0},
+      {.name = "mob", .wireless = true, .is_seed = false, .wp2p = true, .preload = 0.0},
+  };
+  s.faults.actions = {
+      make_action(sim::FaultKind::kTrackerOutage, 2, 240, 0, ""),     // primary
+      make_action(sim::FaultKind::kTrackerOutage, 10, 140, 0, "tr1"), // backup tier
+      make_action(sim::FaultKind::kPeerCrash, 25, 10, 0, "mob"),
+      make_action(sim::FaultKind::kHandoff, 35.5, 0, 0, "mob"),
+  };
+  return s;
+}
+
+struct SurvivalOutcome {
+  double completed = 0.0;  // leeches complete at end of run
+  double mean_s = -1.0;    // mean leech completion time
+  double last_s = -1.0;    // slowest leech (the mobile host's rejoin proxy)
+  double violations = 0.0;
+  bool full_by_150 = false;   // whole swarm done inside the blackout window
+  bool dark_until_240 = false;  // nobody finished the swarm before the primary returned
+};
+
+SurvivalOutcome run_blackout(std::uint64_t seed, const SurvivalConfig& cfg) {
+  exp::ScenarioFuzzer fuzzer;
+  const exp::Scenario scenario = blackout_scenario(seed, cfg);
+  const exp::FuzzVerdict verdict = fuzzer.run(scenario);
+  int leeches = 0;
+  for (const auto& p : scenario.peers) leeches += p.is_seed ? 0 : 1;
+  SurvivalOutcome out;
+  out.completed = static_cast<double>(verdict.completed_leeches);
+  out.mean_s = verdict.mean_leech_completion_s;
+  out.last_s = verdict.last_leech_completion_s;
+  out.violations = static_cast<double>(verdict.violations.size()) +
+                   static_cast<double>(verdict.property_failures.size());
+  out.full_by_150 = verdict.completed_leeches == leeches && verdict.last_leech_completion_s >= 0 &&
+                    verdict.last_leech_completion_s < 150.0;
+  out.dark_until_240 =
+      verdict.completed_leeches < leeches || verdict.last_leech_completion_s >= 240.0;
+  return out;
+}
+
+int blackout_table() {
+  const SurvivalConfig configs[] = {
+      {.label = "naive (primary announce only)"},
+      {.label = "failover", .failover = true},
+      {.label = "failover+PEX", .failover = true, .pex = true},
+      {.label = "failover+PEX+cache", .failover = true, .pex = true, .cache = true},
+  };
+  metrics::Table table{"Swarm survivability under total tracker blackout "
+                       "(dark 10-150 s; mobile host crashes + hands off inside it; "
+                       "1 seed + 4 leeches, 8 MB, 300 s)"};
+  table.columns({"discovery stack", "leeches complete", "mean completion (s)",
+                 "slowest leech (s)", "violations"});
+  bool full_ok = true, naive_ok = true;
+  double total_violations = 0.0;
+  for (const SurvivalConfig& cfg : configs) {
+    metrics::RunStats completed, mean_s, last_s, violations;
+    for (const SurvivalOutcome& out : bench::over_seeds_map<SurvivalOutcome>(
+             3, 5150, [&](std::uint64_t s) { return run_blackout(s, cfg); })) {
+      completed.add(out.completed);
+      if (out.mean_s >= 0) mean_s.add(out.mean_s);
+      if (out.last_s >= 0) last_s.add(out.last_s);
+      violations.add(out.violations);
+      if (cfg.cache && !out.full_by_150) full_ok = false;
+      if (!cfg.failover && !out.dark_until_240) naive_ok = false;
+    }
+    const double config_violations =
+        violations.mean() * static_cast<double>(violations.count());
+    total_violations += config_violations;
+    table.row({cfg.label, metrics::Table::num(completed.mean()),
+               mean_s.count() > 0 ? metrics::Table::num(mean_s.mean()) : "-",
+               last_s.count() > 0 ? metrics::Table::num(last_s.mean()) : "-",
+               metrics::Table::num(config_violations, 0)});
+  }
+  bench::show(table);
+  bench::print_shape_note(
+      "the full discovery stack re-knits the mobile host and finishes the "
+      "whole swarm while every tracker is still dark; the naive swarm cannot "
+      "finish until the primary tracker returns");
+  int rc = 0;
+  auto expect = [&](bool ok, const char* what) {
+    std::printf("  %s: %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) rc = 1;
+  };
+  expect(full_ok, "failover+PEX+cache: every leech completes inside the blackout");
+  expect(naive_ok, "naive: swarm not complete before the primary tracker returns");
+  expect(total_violations == 0.0, "no invariant violations in any configuration");
+  return rc;
+}
+
 // --- Poison self-test ---------------------------------------------------------
 
 exp::Scenario poison_scenario(bool no_ban) {
@@ -437,6 +566,8 @@ int main(int argc, char** argv) {
       fopts.no_ban = true;
     } else if (arg == "--poison") {
       fopts.poison = true;
+    } else if (arg == "--blackout") {
+      fopts.blackout_only = true;
     } else {
       shared_args.push_back(argv[i]);
     }
@@ -450,10 +581,14 @@ int main(int argc, char** argv) {
     rc = wp2p::fuzz_mode();
   } else if (fopts.poison) {
     rc = wp2p::poison_mode();
+  } else if (fopts.blackout_only) {
+    rc = wp2p::blackout_table();
   } else {
     rc = wp2p::fault_table();
     const int recovery_rc = wp2p::announce_recovery_table();
     if (rc == 0) rc = recovery_rc;
+    const int blackout_rc = wp2p::blackout_table();
+    if (rc == 0) rc = blackout_rc;
   }
   wp2p::bench::print_runner_summary();
   const int trace_rc = wp2p::bench::trace_report();

@@ -235,7 +235,11 @@ inline std::unique_ptr<net::FaultInjector> apply_bench_faults(exp::World& world,
       sim::FaultPlan::random(rng, targets, wireless, horizon_s, /*max_actions=*/4);
   auto injector = std::make_unique<net::FaultInjector>(world.net, std::move(plan));
   if (tracker != nullptr) {
-    injector->on_tracker_outage = [tracker](bool down) { tracker->set_reachable(!down); };
+    // This path has a single tracker, so every named outage (and a blackout's
+    // "*") lands on it.
+    injector->on_tracker_outage = [tracker](const std::string&, bool down) {
+      tracker->set_reachable(!down);
+    };
   }
   return injector;
 }

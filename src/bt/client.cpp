@@ -15,6 +15,12 @@ constexpr const char* kLog = "bt";
   return trace::event(trace::Component::kBt, kind).at(node.name());
 }
 
+// Endpoints packed into a trace field: addr * 2^16 + port fits a double
+// exactly (48 bits < 2^53), so the invariant checker can compare them.
+[[maybe_unused]] double pack_endpoint(net::Endpoint ep) {
+  return static_cast<double>(ep.addr.value) * 65536.0 + static_cast<double>(ep.port);
+}
+
 std::unique_ptr<PieceSelector> make_selector(SelectorKind kind) {
   switch (kind) {
     case SelectorKind::kRarestFirst: return std::make_unique<RarestFirstSelector>();
@@ -29,7 +35,7 @@ Client::Client(net::Node& node, tcp::Stack& stack, Tracker& tracker, const Metai
                ClientConfig config, bool start_as_seed)
     : node_{node},
       stack_{stack},
-      tracker_{tracker},
+      trackers_{tracker},
       meta_{meta},
       store_{meta_},
       config_{config},
@@ -45,6 +51,9 @@ Client::Client(net::Node& node, tcp::Stack& stack, Tracker& tracker, const Metai
                      [this] { initiate_task(AnnounceEvent::kInterval); }},
       timeout_task_{sim_, sim::seconds(10.0), [this] { periodic_maintenance(); }},
       upload_pump_task_{sim_, config.upload_pump_interval, [this] { pump_uploads(); }},
+      pex_task_{sim_, config.pex_interval, [this] { send_pex_round(); }},
+      probe_task_{sim_, config.tracker_probe_interval, [this] { probe_primary(); }},
+      bootstrap_{static_cast<std::size_t>(std::max(0, config.bootstrap_cache_size))},
       down_rate_{config.rate_window},
       up_rate_{config.rate_window} {
   peer_id_ = rng_.next_u64() | 1;  // nonzero
@@ -91,6 +100,11 @@ void Client::preload_pieces(const std::vector<int>& pieces) {
   for (int p : pieces) store_.mark_piece(p);
 }
 
+void Client::add_tracker(Tracker& tracker, int tier) {
+  WP2P_ASSERT(!running_);
+  trackers_.add(tracker, tier);
+}
+
 void Client::start() {
   WP2P_ASSERT(!running_);
   running_ = true;
@@ -117,6 +131,13 @@ void Client::start() {
       rng_.uniform(0.25, 1.0) * static_cast<double>(config_.announce_interval)));
   timeout_task_.start();
   upload_pump_task_.start();
+  if (config_.pex) {
+    // Desynchronized PEX phase derived from the peer-id rather than a fresh
+    // RNG draw, so enabling PEX does not shift the client's random stream.
+    const double frac = static_cast<double>((peer_id_ >> 16) & 0xffff) / 65535.0;
+    pex_task_.start_after(static_cast<sim::SimTime>(
+        (0.25 + 0.75 * frac) * static_cast<double>(config_.pex_interval)));
+  }
   initiate_task(AnnounceEvent::kStarted);
 }
 
@@ -128,16 +149,25 @@ void Client::stop() {
   announce_task_.stop();
   timeout_task_.stop();
   upload_pump_task_.stop();
-  reset_announce_backoff();
+  pex_task_.stop();
+  stop_probe();
+  // Cancel the pending retry but keep the chain's base/attempt: a crash during
+  // an outage must not shrink the backoff on restart (the outage is still on,
+  // and the announce-backoff invariant holds across the process boundary just
+  // like the piece store does).
+  if (announce_retry_event_ != sim::kInvalidEventId) {
+    sim_.cancel(announce_retry_event_);
+    announce_retry_event_ = sim::kInvalidEventId;
+  }
   cancel_reconnects();
   stack_.stop_listening(config_.listen_port);
   if (node_.connected()) {
-    tracker_.announce(AnnounceRequest{meta_.info_hash,
-                                      {node_.address(), config_.listen_port},
-                                      peer_id_,
-                                      store_.complete(),
-                                      AnnounceEvent::kStopped},
-                      nullptr);
+    trackers_.current().announce(AnnounceRequest{meta_.info_hash,
+                                                 {node_.address(), config_.listen_port},
+                                                 peer_id_,
+                                                 store_.complete(),
+                                                 AnnounceEvent::kStopped},
+                                 nullptr);
   }
   // Tear peers down in a fresh event: stop() may be called from inside a
   // peer-connection callback.
@@ -158,21 +188,55 @@ void Client::do_announce(AnnounceEvent event) {
                       peer_id_,
                       store_.complete(),
                       event};
-  tracker_.announce(req, [this, alive = alive_](AnnounceResult result) {
-    if (*alive && running_) on_announce_result(std::move(result));
+  // The slot travels into the async result so a response races correctly
+  // against failovers that happen while the RPC is in flight.
+  const std::size_t slot = trackers_.cursor();
+  trackers_.current().announce(req, [this, alive = alive_, slot](AnnounceResult result) {
+    if (*alive && running_) on_announce_result(std::move(result), slot);
   });
 }
 
-void Client::on_announce_result(AnnounceResult result) {
+void Client::on_announce_result(AnnounceResult result, std::size_t slot) {
   WP2P_TRACE(sim_, bt_event(trace::Kind::kBtAnnounce, node_)
                        .with("ok", result.ok ? 1.0 : 0.0)
-                       .with("peers", static_cast<double>(result.peers.size())));
+                       .with("peers", static_cast<double>(result.peers.size()))
+                       .with("tracker", static_cast<double>(slot)));
   if (result.ok) {
+    announce_fail_streak_ = 0;
     reset_announce_backoff();
+    if (slot != 0 && slot == trackers_.cursor()) {
+      // First responsive backup: promote it to the head of its tier so later
+      // failover cycles try it sooner, and start probing the primary.
+      const std::size_t from = slot;
+      trackers_.promote_current();
+      if (trackers_.cursor() != from) {
+        WP2P_TRACE(sim_, bt_event(trace::Kind::kBtTrackerFailover, node_)
+                             .why("promote")
+                             .with("from", static_cast<double>(from))
+                             .with("to", static_cast<double>(trackers_.cursor()))
+                             .with("trackers", static_cast<double>(trackers_.size())));
+      }
+      start_probe();
+    }
     handle_announce(std::move(result.peers));
     return;
   }
   ++stats_.announce_failures;
+  ++announce_fail_streak_;
+  if (config_.tracker_failover && trackers_.size() > 1 && slot == trackers_.cursor()) {
+    const std::size_t from = trackers_.cursor();
+    const int from_tier = trackers_.tier_of(from);
+    const std::size_t to = trackers_.advance();
+    ++stats_.tracker_failovers;
+    WP2P_TRACE(sim_, bt_event(trace::Kind::kBtTrackerFailover, node_)
+                         .why("failover")
+                         .with("from", static_cast<double>(from))
+                         .with("to", static_cast<double>(to))
+                         .with("trackers", static_cast<double>(trackers_.size()))
+                         .with("from_tier", static_cast<double>(from_tier))
+                         .with("to_tier", static_cast<double>(trackers_.tier_of(to))));
+  }
+  maybe_bootstrap();
   if (config_.announce_retry) schedule_announce_retry();
 }
 
@@ -227,6 +291,182 @@ void Client::handle_announce(std::vector<TrackerPeerInfo> peers) {
   }
 }
 
+// --- Discovery resilience -----------------------------------------------------------
+
+void Client::start_probe() {
+  if (probe_active_ || !config_.tracker_failover) return;
+  probe_active_ = true;
+  probe_task_.start();
+}
+
+void Client::stop_probe() {
+  if (!probe_active_) return;
+  probe_active_ = false;
+  probe_task_.stop();
+}
+
+void Client::probe_primary() {
+  if (!running_ || !node_.connected()) return;
+  if (trackers_.cursor() == 0) {
+    stop_probe();
+    return;
+  }
+  AnnounceRequest req{meta_.info_hash,
+                      {node_.address(), config_.listen_port},
+                      peer_id_,
+                      store_.complete(),
+                      AnnounceEvent::kStarted};
+  trackers_.primary().announce(req, [this, alive = alive_](AnnounceResult result) {
+    if (!*alive || !running_ || !result.ok) return;  // still dark: keep probing
+    if (trackers_.cursor() == 0) return;             // already home
+    const std::size_t from = trackers_.cursor();
+    trackers_.failback();
+    ++stats_.tracker_failbacks;
+    announce_fail_streak_ = 0;
+    reset_announce_backoff();
+    WP2P_TRACE(sim_, bt_event(trace::Kind::kBtAnnounce, node_)
+                         .with("ok", 1.0)
+                         .with("peers", static_cast<double>(result.peers.size()))
+                         .with("tracker", 0.0));
+    WP2P_TRACE(sim_, bt_event(trace::Kind::kBtTrackerFailover, node_)
+                         .why("failback")
+                         .with("from", static_cast<double>(from))
+                         .with("to", 0.0)
+                         .with("trackers", static_cast<double>(trackers_.size())));
+    stop_probe();
+    handle_announce(std::move(result.peers));  // the probe was a real announce
+  });
+}
+
+void Client::send_pex_round() {
+  if (!config_.pex || !running_ || !node_.connected()) return;
+  const net::Endpoint self{node_.address(), config_.listen_port};
+  // The live advert set: listen endpoints of established, unbanned peers.
+  std::map<net::Endpoint, PeerId> current;
+  for (const auto& peer : peers_) {
+    if (!peer->app_established() || peer->remote_id == 0) continue;
+    if (is_banned(peer->remote_id)) continue;
+    auto it = known_listen_endpoints_.find(peer->remote_id);
+    if (it == known_listen_endpoints_.end()) continue;
+    if (it->second == self) continue;
+    current[it->second] = peer->remote_id;
+  }
+  for (const auto& peer : peers_) {
+    if (!peer->app_established() || is_banned(peer->remote_id)) continue;
+    // Rate limit per recipient endpoint: survives reconnects and restarts
+    // (the delta baseline on the connection does not).
+    net::Endpoint to = peer->remote_endpoint();
+    if (auto it = known_listen_endpoints_.find(peer->remote_id);
+        it != known_listen_endpoints_.end()) {
+      to = it->second;
+    }
+    if (auto it = pex_last_sent_.find(to);
+        it != pex_last_sent_.end() && sim_.now() - it->second < config_.pex_interval) {
+      continue;
+    }
+    std::vector<PexPeer> added;
+    for (const auto& [endpoint, id] : current) {
+      if (endpoint == to || id == peer->remote_id) continue;  // not itself
+      auto it = peer->pex_sent.find(endpoint);
+      if (it != peer->pex_sent.end() && it->second == id) continue;  // known
+      added.push_back({endpoint, id});
+    }
+    std::vector<net::Endpoint> dropped;
+    for (const auto& [endpoint, id] : peer->pex_sent) {
+      if (current.count(endpoint) == 0) dropped.push_back(endpoint);
+    }
+    if (added.empty() && dropped.empty()) continue;
+    for (const net::Endpoint& endpoint : dropped) peer->pex_sent.erase(endpoint);
+    for (const PexPeer& entry : added) peer->pex_sent[entry.endpoint] = entry.peer_id;
+    pex_last_sent_[to] = sim_.now();
+    ++stats_.pex_sent;
+    WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPexSend, node_)
+                         .on(net::to_string(to))
+                         .with("peer_id", static_cast<double>(peer->remote_id & 0xffffffffu))
+                         .with("added", static_cast<double>(added.size()))
+                         .with("dropped", static_cast<double>(dropped.size()))
+                         .with("interval_s", sim::to_seconds(config_.pex_interval)));
+    for ([[maybe_unused]] const PexPeer& entry : added) {
+      WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPexEntry, node_)
+                           .on(net::to_string(to))
+                           .with("ep", pack_endpoint(entry.endpoint))
+                           .with("peer_id", static_cast<double>(entry.peer_id & 0xffffffffu))
+                           .with("self_ep", pack_endpoint(self)));
+    }
+    peer->send(WireMessage::pex(std::move(added), std::move(dropped)));
+  }
+}
+
+void Client::handle_pex(PeerConnection& peer, const WireMessage& msg) {
+  if (!config_.pex) return;
+  if (is_banned(peer.remote_id)) {
+    // Defense in depth: a ban aborts the connection, but gossip already in
+    // flight (or racing the ban decision) must still be discarded whole.
+    ++stats_.pex_discarded;
+    return;
+  }
+  ++stats_.pex_received;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPexRecv, node_)
+                       .with("peer_id", static_cast<double>(peer.remote_id & 0xffffffffu))
+                       .with("added", static_cast<double>(msg.pex_added.size()))
+                       .with("dropped", static_cast<double>(msg.pex_dropped.size())));
+  const net::Endpoint self{node_.address(), config_.listen_port};
+  for (const PexPeer& entry : msg.pex_added) {
+    if (!entry.endpoint.valid() || entry.peer_id == 0) continue;
+    if (entry.endpoint == self || entry.peer_id == peer_id_) continue;
+    if (is_banned(entry.peer_id)) {
+      ++stats_.pex_banned_skipped;  // never learn (or dial) a banned identity
+      continue;
+    }
+    auto it = known_listen_endpoints_.find(entry.peer_id);
+    const bool fresh = it == known_listen_endpoints_.end() || it->second != entry.endpoint;
+    known_listen_endpoints_[entry.peer_id] = entry.endpoint;
+    if (fresh) ++stats_.pex_peers_learned;
+    if (static_cast<int>(peers_.size()) >= config_.max_peers) continue;
+    if (connected_to(entry.endpoint)) continue;
+    connect_to(entry.endpoint);
+  }
+  // Dropped entries are advisory (the sender lost them); we keep our own
+  // connections and knowledge — real PEX treats them the same way.
+}
+
+void Client::maybe_bootstrap() {
+  if (!config_.bootstrap_cache || !running_ || !node_.connected()) return;
+  // Dark means one full failed cycle through every tracker tier.
+  if (announce_fail_streak_ < static_cast<int>(trackers_.size())) return;
+  if (last_bootstrap_at_ >= 0 &&
+      sim_.now() - last_bootstrap_at_ < config_.bootstrap_min_interval) {
+    return;
+  }
+  last_bootstrap_at_ = sim_.now();
+  const net::Endpoint self{node_.address(), config_.listen_port};
+  int dialed = 0;
+  const auto& entries = bootstrap_.entries();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {  // newest first
+    if (static_cast<int>(peers_.size()) >= config_.max_peers) break;
+    if (is_banned(it->peer_id) || it->peer_id == peer_id_) continue;
+    if (it->endpoint == self || connected_to(it->endpoint)) continue;
+    connect_to(it->endpoint);
+    ++dialed;
+  }
+  stats_.bootstrap_dials += static_cast<std::uint64_t>(dialed);
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtBootstrap, node_)
+                       .with("failures", static_cast<double>(announce_fail_streak_))
+                       .with("trackers", static_cast<double>(trackers_.size()))
+                       .with("dialed", static_cast<double>(dialed))
+                       .with("cached", static_cast<double>(bootstrap_.size())));
+  WP2P_LOG(util::LogLevel::kInfo, sim::to_seconds(sim_.now()), kLog,
+           "%s trackers dark (%d failures), bootstrap cache dialed %d of %zu",
+           node_.name().c_str(), announce_fail_streak_, dialed, bootstrap_.size());
+}
+
+void Client::record_good_peer(PeerConnection& peer) {
+  if (!config_.bootstrap_cache || peer.remote_id == 0) return;
+  auto it = known_listen_endpoints_.find(peer.remote_id);
+  if (it == known_listen_endpoints_.end()) return;
+  bootstrap_.touch(it->second, peer.remote_id, sim_.now());
+}
+
 bool Client::connected_to(net::Endpoint remote) const {
   for (const auto& peer : peers_) {
     if (peer->remote_endpoint() == remote) return true;
@@ -262,7 +502,7 @@ void Client::setup_peer(const std::shared_ptr<PeerConnection>& peer) {
     conn.on_connected = [this, p] {
       // We initiated: open with handshake + bitfield. The responder replies
       // only after validating our info hash (handle_handshake).
-      p->send(WireMessage::handshake(meta_.info_hash, peer_id_));
+      p->send(WireMessage::handshake(meta_.info_hash, peer_id_, config_.listen_port));
       p->send(WireMessage::bitfield_msg(store_.bitfield()));
       p->handshake_sent = true;
     };
@@ -333,6 +573,7 @@ void Client::on_peer_message(PeerConnection& peer, const WireMessage& msg) {
     case MsgType::kRequest: handle_request(peer, msg); break;
     case MsgType::kPiece: handle_piece(peer, msg); break;
     case MsgType::kCancel: handle_cancel(peer, msg); break;
+    case MsgType::kPex: handle_pex(peer, msg); break;
     case MsgType::kHandshake:
     case MsgType::kKeepAlive: break;
   }
@@ -360,12 +601,21 @@ void Client::handle_handshake(PeerConnection& peer, const WireMessage& msg) {
     }
     if (other->remote_endpoint().addr == peer.remote_endpoint().addr) {
       // Same peer-id, same address. Two ways to get here: a simultaneous
-      // open (both sides dialled; the old conn is healthy — the newcomer
-      // loses), or the peer died silently and reconnected (our old conn is
-      // a zombie stuck in retransmission — it yields to the newcomer).
+      // open (both sides dialled, e.g. a PEX round introduced them to each
+      // other both ways), or the peer died silently and reconnected (our
+      // old conn is a zombie stuck in retransmission — it yields to the
+      // newcomer). In the simultaneous case "newcomer loses" deadlocks:
+      // each side keeps its inbound and aborts its outbound, and my
+      // outbound IS your inbound — both connections die. Break the tie on
+      // something both ends compute identically: the connection dialled by
+      // the lower peer-id survives.
       if (other->tcp().rto_backoff() == 0) {
-        peer.tcp().abort();
-        return;
+        const bool keep_newcomer =
+            peer.initiator() ? peer_id_ < msg.peer_id : msg.peer_id < peer_id_;
+        if (!keep_newcomer) {
+          peer.tcp().abort();
+          return;
+        }
       }
     }
     stale.push_back(other.get());
@@ -375,14 +625,22 @@ void Client::handle_handshake(PeerConnection& peer, const WireMessage& msg) {
   peer.handshake_received = true;
   if (!peer.handshake_sent) {
     // We are the responder: reply with our handshake + bitfield.
-    peer.send(WireMessage::handshake(meta_.info_hash, peer_id_));
+    peer.send(WireMessage::handshake(meta_.info_hash, peer_id_, config_.listen_port));
     peer.send(WireMessage::bitfield_msg(store_.bitfield()));
     peer.handshake_sent = true;
+  }
+  if (msg.listen_port != 0) {
+    // The handshake conveys the sender's listen port (reserved bytes): even a
+    // responder learns the dialer's listen endpoint, so a moved host's new
+    // address enters PEX and the bootstrap cache as soon as it dials anyone.
+    known_listen_endpoints_[peer.remote_id] =
+        net::Endpoint{peer.remote_endpoint().addr, msg.listen_port};
   }
   if (peer.initiator()) {
     // For dialed peers the remote endpoint is their listen endpoint.
     known_listen_endpoints_[peer.remote_id] = peer.remote_endpoint();
   }
+  record_good_peer(peer);
   // The peer is demonstrably back: forget any reconnect backoff against it.
   clear_reconnect(peer.remote_endpoint());
 }
@@ -473,6 +731,7 @@ void Client::handle_piece(PeerConnection& peer, const WireMessage& msg) {
     it->second[static_cast<std::size_t>(block)] = BlockState::kReceived;
   }
   record_contributor(peer, msg.piece, block);
+  record_good_peer(peer);  // delivering payload refreshes the bootstrap cache
   cancel_duplicates(peer, msg.piece, block);  // end-game duplicate requests
   if (result == BlockResult::kPieceComplete) {
     on_piece_completed(msg.piece);
@@ -743,6 +1002,7 @@ void Client::strike_peer(PeerId id, int piece) {
   if (auto it = known_listen_endpoints_.find(id); it != known_listen_endpoints_.end()) {
     clear_reconnect(it->second);
   }
+  bootstrap_.remove(id);  // a banned peer is never a bootstrap candidate
   // Cut every connection to the peer loose (collect first: aborting mutates
   // peers_ through on_closed).
   std::vector<PeerConnection*> victims;

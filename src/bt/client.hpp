@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bt/bootstrap_cache.hpp"
 #include "bt/client_config.hpp"
 #include "bt/credit_ledger.hpp"
 #include "bt/metainfo.hpp"
@@ -28,6 +29,7 @@
 #include "bt/piece_store.hpp"
 #include "bt/selector.hpp"
 #include "bt/tracker.hpp"
+#include "bt/tracker_list.hpp"
 #include "net/node.hpp"
 #include "tcp/stack.hpp"
 #include "util/token_bucket.hpp"
@@ -49,6 +51,16 @@ struct ClientStats {
   std::uint64_t peer_strikes = 0;        // corruption strikes handed out
   std::uint64_t peers_banned = 0;
   std::uint64_t reconnect_attempts = 0;  // backoff re-dials after TCP timeouts
+
+  // Discovery resilience (multi-tracker failover / PEX / bootstrap cache).
+  std::uint64_t tracker_failovers = 0;   // announce cursor advanced one slot
+  std::uint64_t tracker_failbacks = 0;   // probe returned announces to primary
+  std::uint64_t pex_sent = 0;            // PEX delta messages sent
+  std::uint64_t pex_received = 0;        // PEX messages accepted
+  std::uint64_t pex_discarded = 0;       // PEX from banned senders dropped whole
+  std::uint64_t pex_peers_learned = 0;   // fresh endpoints learned via gossip
+  std::uint64_t pex_banned_skipped = 0;  // gossiped entries with a banned id
+  std::uint64_t bootstrap_dials = 0;     // cache re-dials while trackers dark
 };
 
 class Client {
@@ -71,6 +83,11 @@ class Client {
   // Pre-populate specific pieces (e.g. complementary halves). Call before
   // start().
   void preload_pieces(const std::vector<int>& pieces);
+
+  // Register a backup tracker (BEP 12 tier semantics: the primary passed to
+  // the constructor is tier 0; backups join at `tier`, ordered within it by
+  // registration). Call before start().
+  void add_tracker(Tracker& tracker, int tier = 1);
 
   // --- Introspection ----------------------------------------------------------
   const PieceStore& store() const { return store_; }
@@ -111,6 +128,22 @@ class Client {
     for (const auto& peer : peers_) n += peer->outstanding.size();
     return n;
   }
+  // Visible for tests: discovery-resilience internals.
+  std::size_t tracker_count() const { return trackers_.size(); }
+  std::size_t tracker_cursor() const { return trackers_.cursor(); }
+  const BootstrapCache& bootstrap_cache() const { return bootstrap_; }
+  PeerConnection* peer_by_id(PeerId id) {
+    for (const auto& peer : peers_) {
+      if (peer->remote_id == id) return peer.get();
+    }
+    return nullptr;
+  }
+  // Visible for tests: feed a wire message through the dispatch path as if
+  // `peer` had delivered it (deterministic stand-in for in-flight races the
+  // async stack cannot stage, e.g. gossip arriving from a just-banned peer).
+  void inject_peer_message(PeerConnection& peer, const WireMessage& msg) {
+    on_peer_message(peer, msg);
+  }
 
  private:
   struct BlockRef {
@@ -122,10 +155,19 @@ class Client {
   // Lifecycle / tracker.
   void initiate_task(AnnounceEvent event);
   void do_announce(AnnounceEvent event);
-  void on_announce_result(AnnounceResult result);
+  void on_announce_result(AnnounceResult result, std::size_t slot);
   void schedule_announce_retry();
   void reset_announce_backoff();
   void handle_announce(std::vector<TrackerPeerInfo> peers);
+
+  // Discovery resilience.
+  void start_probe();
+  void stop_probe();
+  void probe_primary();
+  void send_pex_round();
+  void handle_pex(PeerConnection& peer, const WireMessage& msg);
+  void maybe_bootstrap();
+  void record_good_peer(PeerConnection& peer);
   void connect_to(net::Endpoint remote);
   bool connected_to(net::Endpoint remote) const;
   void accept_connection(std::shared_ptr<tcp::Connection> conn);
@@ -178,7 +220,7 @@ class Client {
 
   net::Node& node_;
   tcp::Stack& stack_;
-  Tracker& tracker_;
+  TrackerList trackers_;
   Metainfo meta_;
   PieceStore store_;
   ClientConfig config_;
@@ -210,6 +252,9 @@ class Client {
   sim::PeriodicTask announce_task_;
   sim::PeriodicTask timeout_task_;
   sim::PeriodicTask upload_pump_task_;
+  sim::PeriodicTask pex_task_;
+  sim::PeriodicTask probe_task_;
+  bool probe_active_ = false;
   sim::EventId reinit_event_ = sim::kInvalidEventId;
 
   // Announce retry chain: one pending retry at a time, base delay doubling
@@ -226,6 +271,19 @@ class Client {
     sim::EventId event = sim::kInvalidEventId;
   };
   std::map<net::Endpoint, ReconnectState> reconnects_;
+
+  // Discovery resilience. The fail streak counts consecutive failed announces
+  // (any tracker); one full failed cycle through the tier list means
+  // discovery is dark and the bootstrap cache may act. Both the streak and
+  // the cache are member data on purpose — like the piece store they survive
+  // stop()/start(), i.e. crash/restart.
+  int announce_fail_streak_ = 0;
+  BootstrapCache bootstrap_;
+  sim::SimTime last_bootstrap_at_ = -1;
+  // Last PEX send per recipient listen endpoint; enforces the rate limit
+  // across reconnects and crash/restart (the per-connection delta state on
+  // PeerConnection dies with the connection, this map does not).
+  std::map<net::Endpoint, sim::SimTime> pex_last_sent_;
 
   ClientStats stats_;
   metrics::ThroughputMeter down_rate_;

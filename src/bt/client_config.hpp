@@ -78,6 +78,30 @@ struct ClientConfig {
   sim::SimTime reconnect_cap = sim::seconds(60.0);
   int reconnect_max_attempts = 4;
 
+  // --- Discovery resilience -------------------------------------------------
+  // Multi-tracker failover (BEP 12): backup trackers registered via
+  // Client::add_tracker form ordered tiers; a failed announce advances to the
+  // next tracker (the announce-retry chain then dials it), the first
+  // responsive backup is promoted to the head of its tier, and a periodic
+  // probe fails back to the primary once it answers again.
+  bool tracker_failover = true;
+  sim::SimTime tracker_probe_interval = sim::seconds(60.0);
+
+  // PEX gossip (BEP 11): on a rate-limited interval, send each connected peer
+  // the delta of established listen endpoints since the last exchange. Never
+  // gossips the recipient itself, our own address, or banned identities, and
+  // never dials a gossiped endpoint whose peer-id is banned.
+  bool pex = true;
+  sim::SimTime pex_interval = sim::seconds(30.0);
+
+  // Bootstrap cache: remember the last-known-good peer listen endpoints
+  // across crash/restart (like the piece store) and re-dial them only after a
+  // full failed cycle through every tracker tier — i.e. when discovery is
+  // completely dark.
+  bool bootstrap_cache = true;
+  int bootstrap_cache_size = 16;
+  sim::SimTime bootstrap_min_interval = sim::seconds(30.0);
+
   // --- Mobility behaviour ---------------------------------------------------
   // Default clients regenerate their peer-id on task re-initiation; the wP2P
   // Incentive-Aware component retains it within the swarm (Section 4.2).

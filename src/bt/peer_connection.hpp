@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -95,6 +96,11 @@ class PeerConnection {
   bool snubbed = false;
   metrics::ThroughputMeter down_meter;
   metrics::ThroughputMeter up_meter;
+
+  // PEX delta baseline: the endpoints (and their identities) this peer has
+  // already been told about. Client::send_pex_round diffs the live set
+  // against this to build added/dropped lists.
+  std::map<net::Endpoint, PeerId> pex_sent;
 
  private:
   sim::Simulator* sim_;

@@ -1,0 +1,69 @@
+// Ordered multi-tracker list with a failover cursor (BEP 12 semantics).
+//
+// Trackers live in tiers: the primary is tier 0, backups register at higher
+// tiers, and slots of equal tier keep registration order. The client
+// announces to current(); on failure it advances the cursor down the tier
+// list (wrapping), on the first success at a backup it promotes that tracker
+// to the head of its tier, and a probe of the primary moves the cursor home
+// via failback(). The list only reorders within a tier — a tier never
+// outranks a lower one.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace wp2p::bt {
+
+class Tracker;
+
+class TrackerList {
+ public:
+  struct Slot {
+    Tracker* tracker;
+    int tier;
+  };
+
+  explicit TrackerList(Tracker& primary) { slots_.push_back({&primary, 0}); }
+
+  // Registers `tracker` after the existing members of its tier.
+  void add(Tracker& tracker, int tier) {
+    auto it = slots_.end();
+    while (it != slots_.begin() && (it - 1)->tier > tier) --it;
+    slots_.insert(it, Slot{&tracker, tier});
+  }
+
+  std::size_t size() const { return slots_.size(); }
+  std::size_t cursor() const { return cursor_; }
+  int tier_of(std::size_t index) const { return slots_[index].tier; }
+  Tracker& current() const { return *slots_[cursor_].tracker; }
+  Tracker& primary() const { return *slots_.front().tracker; }
+
+  // Moves the cursor to the next tracker (wrapping); returns the new cursor.
+  std::size_t advance() {
+    cursor_ = (cursor_ + 1) % slots_.size();
+    return cursor_;
+  }
+
+  // Moves the current tracker to the head of its tier segment; the cursor
+  // follows it. No-op when it already leads its tier.
+  void promote_current() {
+    const int tier = slots_[cursor_].tier;
+    std::size_t head = 0;
+    while (head < cursor_ && slots_[head].tier < tier) ++head;
+    if (head == cursor_) return;
+    std::rotate(slots_.begin() + static_cast<std::ptrdiff_t>(head),
+                slots_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                slots_.begin() + static_cast<std::ptrdiff_t>(cursor_) + 1);
+    cursor_ = head;
+  }
+
+  // Returns the announce cursor to the primary.
+  void failback() { cursor_ = 0; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace wp2p::bt

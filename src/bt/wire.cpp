@@ -17,6 +17,7 @@ const char* to_string(MsgType type) {
     case MsgType::kRequest: return "request";
     case MsgType::kPiece: return "piece";
     case MsgType::kCancel: return "cancel";
+    case MsgType::kPex: return "pex";
   }
   return "?";
 }
@@ -35,12 +36,32 @@ constexpr std::uint8_t kIdBitfield = 5;
 constexpr std::uint8_t kIdRequest = 6;
 constexpr std::uint8_t kIdPiece = 7;
 constexpr std::uint8_t kIdCancel = 8;
+// BEP 10 extension-protocol envelope; PEX rides inside it (BEP 11).
+constexpr std::uint8_t kIdExtended = 20;
+constexpr std::uint8_t kExtPex = 1;
+// Reserved-byte layout in the handshake: real clients set bit 0x10 of
+// reserved[5] to advertise BEP 10 support; we reuse the last two reserved
+// bytes to carry the sender's listen port (the model's stand-in for the
+// extension-handshake dictionary's "p" key).
+constexpr std::size_t kReservedAt = 1 + kProtocol.size();
+constexpr std::uint8_t kExtensionBit = 0x10;
 
 void put_u32(std::string& out, std::uint32_t v) {
   out.push_back(static_cast<char>(v >> 24));
   out.push_back(static_cast<char>(v >> 16));
   out.push_back(static_cast<char>(v >> 8));
   out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>(v >> shift));
+  }
 }
 
 // The simulated 64-bit identity in the last 8 bytes of a 20-byte field.
@@ -56,6 +77,20 @@ std::uint32_t get_u32(std::string_view b, std::size_t at) {
          (static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[at + 1])) << 16) |
          (static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[at + 2])) << 8) |
          static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[at + 3]));
+}
+
+std::uint16_t get_u16(std::string_view b, std::size_t at) {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(static_cast<std::uint8_t>(b[at])) << 8) |
+      static_cast<std::uint16_t>(static_cast<std::uint8_t>(b[at + 1])));
+}
+
+std::uint64_t get_u64(std::string_view b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<std::uint8_t>(b[at + i]);
+  }
+  return v;
 }
 
 std::optional<std::uint64_t> get_id20(std::string_view b, std::size_t at) {
@@ -81,6 +116,38 @@ std::optional<WireMessage> decode_handshake(std::string_view bytes) {
   msg.type = MsgType::kHandshake;
   msg.info_hash = *hash;
   msg.peer_id = *id;
+  // The listen port rides in the last two reserved bytes iff the extension
+  // bit is set; all-zero reserved bytes (pre-extension peers) stay valid.
+  if (static_cast<std::uint8_t>(bytes[kReservedAt + 5]) & kExtensionBit) {
+    msg.listen_port = get_u16(bytes, kReservedAt + 6);
+  }
+  return msg;
+}
+
+std::optional<WireMessage> decode_pex(std::string_view body) {
+  // body: ext-id, u16 added count, u16 dropped count, then the entries.
+  if (body.size() < 5 || static_cast<std::uint8_t>(body[0]) != kExtPex) {
+    return std::nullopt;
+  }
+  const std::size_t added = get_u16(body, 1);
+  const std::size_t dropped = get_u16(body, 3);
+  if (body.size() != 5 + 14 * added + 6 * dropped) return std::nullopt;
+  WireMessage msg;
+  msg.type = MsgType::kPex;
+  std::size_t at = 5;
+  for (std::size_t i = 0; i < added; ++i, at += 14) {
+    PexPeer entry;
+    entry.endpoint.addr.value = get_u32(body, at);
+    entry.endpoint.port = get_u16(body, at + 4);
+    entry.peer_id = get_u64(body, at + 6);
+    msg.pex_added.push_back(entry);
+  }
+  for (std::size_t i = 0; i < dropped; ++i, at += 6) {
+    net::Endpoint ep;
+    ep.addr.value = get_u32(body, at);
+    ep.port = get_u16(body, at + 4);
+    msg.pex_dropped.push_back(ep);
+  }
   return msg;
 }
 
@@ -111,7 +178,13 @@ std::string encode(const WireMessage& msg) {
     case MsgType::kHandshake:
       out.push_back(static_cast<char>(kProtocol.size()));
       out += kProtocol;
-      out.append(8, '\0');  // reserved/extension bits
+      out.append(5, '\0');  // reserved/extension bits
+      if (msg.listen_port != 0) {
+        out.push_back(static_cast<char>(kExtensionBit));
+        put_u16(out, msg.listen_port);
+      } else {
+        out.append(3, '\0');
+      }
       put_id20(out, msg.info_hash);
       put_id20(out, msg.peer_id);
       break;
@@ -167,6 +240,23 @@ std::string encode(const WireMessage& msg) {
       put_u32(out, static_cast<std::uint32_t>(msg.offset));
       out.append(static_cast<std::size_t>(msg.length), '\0');  // simulated payload
       break;
+    case MsgType::kPex:
+      put_u32(out, static_cast<std::uint32_t>(6 + 14 * msg.pex_added.size() +
+                                              6 * msg.pex_dropped.size()));
+      out.push_back(static_cast<char>(kIdExtended));
+      out.push_back(static_cast<char>(kExtPex));
+      put_u16(out, static_cast<std::uint16_t>(msg.pex_added.size()));
+      put_u16(out, static_cast<std::uint16_t>(msg.pex_dropped.size()));
+      for (const PexPeer& entry : msg.pex_added) {
+        put_u32(out, entry.endpoint.addr.value);
+        put_u16(out, entry.endpoint.port);
+        put_u64(out, entry.peer_id);
+      }
+      for (const net::Endpoint& ep : msg.pex_dropped) {
+        put_u32(out, ep.addr.value);
+        put_u16(out, ep.port);
+      }
+      break;
   }
   return out;
 }
@@ -220,6 +310,8 @@ std::optional<WireMessage> decode(std::string_view bytes, int bitfield_bits) {
       msg.offset = get_u32(bytes, 9);
       msg.length = static_cast<std::int64_t>(body.size()) - 8;
       return msg;
+    case kIdExtended:
+      return decode_pex(body);
   }
   return std::nullopt;
 }

@@ -10,9 +10,12 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "bt/bitfield.hpp"
 #include "bt/metainfo.hpp"
+#include "net/address.hpp"
 
 namespace wp2p::bt {
 
@@ -28,6 +31,17 @@ enum class MsgType {
   kRequest,
   kPiece,
   kCancel,
+  kPex,  // extension message (BEP 10 id 20): added/dropped peer-endpoint deltas
+};
+
+// One gossiped peer in a PEX added-list: where it listens and who it is. The
+// peer-id rides along (real ut_pex carries flags instead) so receivers can
+// refuse endpoints belonging to banned identities before ever dialing them.
+struct PexPeer {
+  net::Endpoint endpoint;
+  PeerId peer_id = 0;
+
+  bool operator==(const PexPeer&) const = default;
 };
 
 const char* to_string(MsgType type);
@@ -37,12 +51,19 @@ struct WireMessage {
   // kHandshake
   InfoHash info_hash = 0;
   PeerId peer_id = 0;
+  // kHandshake: the sender's listen port, stashed in the reserved bytes the
+  // way real clients advertise extension support there (BEP 10). Zero means
+  // "not conveyed" — receivers then fall back to tracker/PEX knowledge.
+  std::uint16_t listen_port = 0;
   // kHave / kRequest / kPiece / kCancel
   int piece = -1;
   std::int64_t offset = 0;
   std::int64_t length = 0;
   // kBitfield
   Bitfield bitfield;
+  // kPex
+  std::vector<PexPeer> pex_added;
+  std::vector<net::Endpoint> pex_dropped;
 
   // Encoded size in bytes, per BEP 3's framing.
   std::int64_t wire_size() const {
@@ -58,15 +79,22 @@ struct WireMessage {
       case MsgType::kRequest:
       case MsgType::kCancel: return 17;
       case MsgType::kPiece: return 13 + length;
+      case MsgType::kPex:
+        // len + id + ext-id + two u16 counts, then 4+2+8 per added entry
+        // (addr, port, peer-id) and 4+2 per dropped endpoint.
+        return 10 + 14 * static_cast<std::int64_t>(pex_added.size()) +
+               6 * static_cast<std::int64_t>(pex_dropped.size());
     }
     return 4;
   }
 
-  static std::shared_ptr<const WireMessage> handshake(InfoHash hash, PeerId id) {
+  static std::shared_ptr<const WireMessage> handshake(InfoHash hash, PeerId id,
+                                                      std::uint16_t listen_port = 0) {
     auto m = std::make_shared<WireMessage>();
     m->type = MsgType::kHandshake;
     m->info_hash = hash;
     m->peer_id = id;
+    m->listen_port = listen_port;
     return m;
   }
   static std::shared_ptr<const WireMessage> simple(MsgType type) {
@@ -111,6 +139,14 @@ struct WireMessage {
     m->piece = piece;
     m->offset = offset;
     m->length = length;
+    return m;
+  }
+  static std::shared_ptr<const WireMessage> pex(std::vector<PexPeer> added,
+                                                std::vector<net::Endpoint> dropped) {
+    auto m = std::make_shared<WireMessage>();
+    m->type = MsgType::kPex;
+    m->pex_added = std::move(added);
+    m->pex_dropped = std::move(dropped);
     return m;
   }
 };

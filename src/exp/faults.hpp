@@ -1,34 +1,48 @@
 // Wires a net::FaultInjector into a Swarm's application layer.
 //
 // The injector itself only knows the network; the hooks bound here realize
-// the swarm-level faults: tracker outages flip the tracker's reachability,
-// and peer-crash windows stop/restart the bt::Client living on the target
-// node (its piece store survives, as a real client's disk would — the crash
-// kills the process, not the download state).
+// the swarm-level faults: tracker outages flip the named tracker tier's
+// reachability (or every tier at once for a blackout), and peer-crash windows
+// stop/restart the bt::Client living on the target node (its piece store
+// survives, as a real client's disk would — the crash kills the process, not
+// the download state).
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 
 #include "exp/swarm.hpp"
 #include "net/fault_injector.hpp"
 #include "sim/fault_plan.hpp"
+#include "trace/recorder.hpp"
 
 namespace wp2p::exp {
 
 inline std::unique_ptr<net::FaultInjector> bind_faults(Swarm& swarm, sim::FaultPlan plan) {
   auto injector = std::make_unique<net::FaultInjector>(swarm.world.net, std::move(plan));
-  injector->on_tracker_outage = [tracker = &swarm.tracker](bool down) {
-    tracker->set_reachable(!down);
+  injector->on_tracker_outage = [swarm_ptr = &swarm](const std::string& target, bool down) {
+    swarm_ptr->set_tracker_reachable(target, !down);
   };
-  injector->on_peer_process = [members = &swarm.members](net::Node& node, bool up) {
-    for (auto& member : *members) {
-      if (member.host->node != &node) continue;
-      if (up && !member.client->running()) {
-        member.client->start();
-      } else if (!up && member.client->running()) {
-        member.client->stop();
-      }
+  // Resolve node -> member once up front: plans can carry hundreds of
+  // crash/restart events and the membership is fixed by the time faults bind.
+  auto by_node = std::make_shared<std::unordered_map<const net::Node*, Swarm::Member*>>();
+  for (auto& member : swarm.members) (*by_node)[member.host->node] = &member;
+  injector->on_peer_process = [by_node, sim = &swarm.world.sim](net::Node& node, bool up) {
+    const auto it = by_node->find(&node);
+    if (it == by_node->end()) {
+      // A process fault aimed at a node that runs no client (e.g. a plan
+      // replayed against a smaller swarm) would otherwise vanish silently.
+      WP2P_TRACE(*sim, trace::event(trace::Component::kFault, trace::Kind::kFaultSkipped)
+                           .at(node.name())
+                           .why("no-client")
+                           .with("up", up ? 1 : 0));
       return;
+    }
+    Swarm::Member& member = *it->second;
+    if (up && !member.client->running()) {
+      member.client->start();
+    } else if (!up && member.client->running()) {
+      member.client->stop();
     }
   };
   return injector;

@@ -68,6 +68,14 @@ struct Scenario {
   double duration_s = 180.0;
   std::int64_t file_size = 2 << 20;
   std::int64_t piece_size = 256 * 1024;
+  // Discovery-resilience shape: total tracker tier-list size (1 = primary
+  // only), how many peers each tracker returns per announce, and the client
+  // discovery features in force for every peer.
+  int trackers = 1;
+  int tracker_peers = 50;
+  bool pex = true;
+  bool bootstrap = true;
+  bool failover = true;
   std::vector<ScenarioPeer> peers;
   sim::FaultPlan faults;
   // Harness self-test switch: propagated to every peer's TcpParams so a
@@ -78,12 +86,14 @@ struct Scenario {
   bool unsafe_no_ban = false;
 
   std::string serialize() const {
-    char head[192];
+    char head[256];
     std::snprintf(head, sizeof head,
-                  "scenario seed=%llu duration=%.6f file=%lld piece=%lld unsafe=%d noban=%d\n",
+                  "scenario seed=%llu duration=%.6f file=%lld piece=%lld unsafe=%d noban=%d "
+                  "trackers=%d trpeers=%d pex=%d boot=%d failover=%d\n",
                   static_cast<unsigned long long>(seed), duration_s,
                   static_cast<long long>(file_size), static_cast<long long>(piece_size),
-                  unsafe_no_cwnd_floor ? 1 : 0, unsafe_no_ban ? 1 : 0);
+                  unsafe_no_cwnd_floor ? 1 : 0, unsafe_no_ban ? 1 : 0, trackers,
+                  tracker_peers, pex ? 1 : 0, bootstrap ? 1 : 0, failover ? 1 : 0);
     std::string out = head;
     for (const ScenarioPeer& p : peers) {
       char line[160];
@@ -115,6 +125,11 @@ struct FuzzVerdict {
   std::int64_t wasted_bytes = 0;
   std::uint64_t corrupt_pieces = 0;
   std::uint64_t peers_banned = 0;
+  // Survivability: when each leech finished (seconds, in peer order; only
+  // leeches that completed inside the run appear). -1 means no leech finished.
+  std::vector<double> leech_completion_s;
+  double mean_leech_completion_s = -1.0;
+  double last_leech_completion_s = -1.0;
 
   std::string summary() const {
     char buf[224];
@@ -197,7 +212,11 @@ class ScenarioFuzzer {
       if (p.wireless) wireless.push_back(p.name);
       s.peers.push_back(std::move(p));
     }
-    s.faults = sim::FaultPlan::random(rng, names, wireless, s.duration_s, limits_.max_faults);
+    // Some scenarios get backup tracker tiers, so the fault generator can
+    // target individual tiers and mix total blackouts into the schedule.
+    if (rng.bernoulli(0.3)) s.trackers = 2 + static_cast<int>(rng.below(2));
+    s.faults = sim::FaultPlan::random(rng, names, wireless, s.duration_s, limits_.max_faults,
+                                      /*t_min_s=*/5.0, s.trackers);
     return s;
   }
 
@@ -212,7 +231,12 @@ class ScenarioFuzzer {
 
     auto meta = bt::Metainfo::create("fuzz", scenario.file_size, scenario.piece_size, "tr",
                                      scenario.seed ^ 0xa076bd5f3017c1d3ULL);
-    Swarm swarm{scenario.seed, meta};
+    bt::TrackerConfig tracker_config;
+    tracker_config.max_peers_returned = scenario.tracker_peers;
+    Swarm swarm{scenario.seed, meta, tracker_config};
+    for (int t = 1; t < scenario.trackers; ++t) {
+      swarm.add_backup_tracker(/*tier=*/t, tracker_config);
+    }
     swarm.world.sim.set_tracer(&recorder);
     recorder.emit(trace::event(trace::Component::kSim, trace::Kind::kScenario)
                       .on("fuzz/seed=" + std::to_string(scenario.seed)));
@@ -224,6 +248,9 @@ class ScenarioFuzzer {
       bt::ClientConfig config;
       config.announce_interval = sim::seconds(20.0);
       config.unsafe_no_peer_ban = scenario.unsafe_no_ban;
+      config.pex = scenario.pex;
+      config.bootstrap_cache = scenario.bootstrap;
+      config.tracker_failover = scenario.failover;
       config.listen_port = static_cast<std::uint16_t>(6881 + swarm.members.size());
       if (p.wp2p) {
         config.retain_peer_id = true;
@@ -241,11 +268,19 @@ class ScenarioFuzzer {
       if (!p.is_seed && p.preload > 0.0) member.client->preload(p.preload);
     }
 
+    FuzzVerdict verdict;
+    for (std::size_t i = 0; i < swarm.members.size(); ++i) {
+      if (scenario.peers[i].is_seed) continue;
+      bt::Client& client = *swarm.members[i].client;
+      client.on_complete = [&verdict, &sim = swarm.world.sim] {
+        verdict.leech_completion_s.push_back(sim::to_seconds(sim.now()));
+      };
+    }
+
     auto injector = bind_faults(swarm, scenario.faults);
     swarm.start_all();
     swarm.run_for(scenario.duration_s);
 
-    FuzzVerdict verdict;
     verdict.faults_applied = injector->stats().applied;
 
     // End-to-end properties that must hold under ANY fault schedule.
@@ -272,6 +307,15 @@ class ScenarioFuzzer {
       verdict.property_failures.push_back(
           "conservation: downloaded " + std::to_string(downloaded) + " > uploaded " +
           std::to_string(uploaded));
+    }
+    if (!verdict.leech_completion_s.empty()) {
+      double sum = 0.0;
+      for (double t : verdict.leech_completion_s) {
+        sum += t;
+        verdict.last_leech_completion_s = std::max(verdict.last_leech_completion_s, t);
+      }
+      verdict.mean_leech_completion_s =
+          sum / static_cast<double>(verdict.leech_completion_s.size());
     }
 
     // Detach before the swarm (and its emitting components) is destroyed.
@@ -431,6 +475,16 @@ inline std::optional<Scenario> Scenario::parse(std::string_view text) {
           s.unsafe_no_cwnd_floor = value == "1";
         } else if (detail::parse_kv(tokens[i], "noban", value)) {
           s.unsafe_no_ban = value == "1";
+        } else if (detail::parse_kv(tokens[i], "trackers", value)) {
+          s.trackers = std::atoi(value.c_str());
+        } else if (detail::parse_kv(tokens[i], "trpeers", value)) {
+          s.tracker_peers = std::atoi(value.c_str());
+        } else if (detail::parse_kv(tokens[i], "pex", value)) {
+          s.pex = value == "1";
+        } else if (detail::parse_kv(tokens[i], "boot", value)) {
+          s.bootstrap = value == "1";
+        } else if (detail::parse_kv(tokens[i], "failover", value)) {
+          s.failover = value == "1";
         } else {
           return std::nullopt;
         }

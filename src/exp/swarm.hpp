@@ -5,9 +5,11 @@
 // plus fixed BitTorrent peers).
 #pragma once
 
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bt/client.hpp"
 #include "bt/tracker.hpp"
@@ -39,6 +41,38 @@ class Swarm {
     return add_member(host, is_seed, config);
   }
 
+  // Add a backup tracker at the given failover tier (BEP 12 style: clients
+  // exhaust tier 0 before moving to tier 1, and so on). Registers the new
+  // tracker with every existing member and every member added later; call
+  // before start_all() — bt::Client rejects tier changes while running.
+  bt::Tracker& add_backup_tracker(int tier = 1, bt::TrackerConfig config = {}) {
+    backup_trackers.emplace_back(world.sim, config);
+    backup_tiers.push_back(tier);
+    for (auto& member : members) member.client->add_tracker(backup_trackers.back(), tier);
+    return backup_trackers.back();
+  }
+
+  // Flip reachability of the tracker named by a FaultPlan target: "" or "tr0"
+  // is the primary, "trK" the K-th backup (1-based over the add order), "*"
+  // every tracker at once (total blackout). Unknown names are ignored.
+  void set_tracker_reachable(const std::string& target, bool reachable) {
+    if (target == "*") {
+      tracker.set_reachable(reachable);
+      for (auto& backup : backup_trackers) backup.set_reachable(reachable);
+      return;
+    }
+    if (target.empty() || target == "tr0") {
+      tracker.set_reachable(reachable);
+      return;
+    }
+    if (target.size() > 2 && target.compare(0, 2, "tr") == 0) {
+      const std::size_t idx = static_cast<std::size_t>(std::atoi(target.c_str() + 2));
+      if (idx >= 1 && idx <= backup_trackers.size()) {
+        backup_trackers[idx - 1].set_reachable(reachable);
+      }
+    }
+  }
+
   void start_all() {
     for (auto& member : members) member.client->start();
   }
@@ -60,6 +94,8 @@ class Swarm {
   World world;
   bt::Metainfo meta;
   bt::Tracker tracker;
+  std::deque<bt::Tracker> backup_trackers;  // deque: Tracker& stays valid as tiers grow
+  std::vector<int> backup_tiers;            // tier of each backup, in add order
   std::deque<Member> members;  // deque: Member& stays valid as members grow
 
  private:
@@ -67,6 +103,9 @@ class Swarm {
     members.push_back(Member{
         &host, std::make_unique<bt::Client>(*host.node, *host.stack, tracker, meta,
                                             config, is_seed)});
+    for (std::size_t i = 0; i < backup_trackers.size(); ++i) {
+      members.back().client->add_tracker(backup_trackers[i], backup_tiers[i]);
+    }
     return members.back();
   }
 };

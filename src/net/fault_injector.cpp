@@ -49,7 +49,8 @@ FaultInjector::ChaosFilter& FaultInjector::chaos_for(Node& node) {
 void FaultInjector::apply_start(const sim::FaultAction& action) {
   sim::Simulator& sim = network_.sim();
   Node* target = action.target.empty() ? nullptr : network_.find_by_name(action.target);
-  const bool needs_node = action.kind != sim::FaultKind::kTrackerOutage;
+  const bool needs_node = action.kind != sim::FaultKind::kTrackerOutage &&
+                          action.kind != sim::FaultKind::kTrackerBlackout;
   if (needs_node && target == nullptr) {
     ++stats_.skipped;
     return;
@@ -102,7 +103,12 @@ void FaultInjector::apply_start(const sim::FaultAction& action) {
     }
 
     case sim::FaultKind::kTrackerOutage:
-      if (on_tracker_outage) on_tracker_outage(true);
+      if (on_tracker_outage) on_tracker_outage(action.target, true);
+      bracket_end(action.duration);
+      break;
+
+    case sim::FaultKind::kTrackerBlackout:
+      if (on_tracker_outage) on_tracker_outage("*", true);
       bracket_end(action.duration);
       break;
 
@@ -160,7 +166,11 @@ void FaultInjector::apply_end(const sim::FaultAction& action) {
     }
 
     case sim::FaultKind::kTrackerOutage:
-      if (on_tracker_outage) on_tracker_outage(false);
+      if (on_tracker_outage) on_tracker_outage(action.target, false);
+      break;
+
+    case sim::FaultKind::kTrackerBlackout:
+      if (on_tracker_outage) on_tracker_outage("*", false);
       break;
 
     case sim::FaultKind::kDuplicate:

@@ -48,10 +48,12 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  // Application-layer fault hooks (optional). `tracker_outage(true)` begins an
-  // outage, `(false)` ends it; `peer_process(node, false)` crashes the P2P
-  // process on `node`, `(node, true)` restarts it.
-  std::function<void(bool down)> on_tracker_outage;
+  // Application-layer fault hooks (optional). `tracker_outage(target, true)`
+  // begins an outage and `(target, false)` ends it — `target` is the plan's
+  // tracker name ("" or "tr0" = primary, "trK" = K-th tracker, "*" = every
+  // tier at once, i.e. a total blackout); `peer_process(node, false)` crashes
+  // the P2P process on `node`, `(node, true)` restarts it.
+  std::function<void(const std::string& target, bool down)> on_tracker_outage;
   std::function<void(Node& node, bool up)> on_peer_process;
 
   const sim::FaultPlan& plan() const { return plan_; }

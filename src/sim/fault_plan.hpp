@@ -29,11 +29,13 @@ enum class FaultKind : std::uint8_t {
   kBerEpisode,     // target's wireless BER raised to `magnitude` for `duration`
   kHandoff,        // one address change at `at` (duration ignored)
   kHandoffStorm,   // `magnitude` address changes spread over `duration`
-  kTrackerOutage,  // tracker drops announces for `duration` (target ignored)
+  kTrackerOutage,  // one tracker drops announces for `duration`; target names
+                   // it ("" or "tr0" = primary, "trK" = K-th tracker)
   kDuplicate,      // egress packets duplicated with prob `magnitude` for `duration`
   kReorder,        // adjacent egress packets swapped with prob `magnitude`
   kPeerCrash,      // target's P2P process stops at `at`, restarts after `duration`
   kCorrupt,        // target's egress payload bytes flipped with prob `magnitude`
+  kTrackerBlackout,  // EVERY tracker tier drops announces for `duration`
 };
 
 inline const char* to_string(FaultKind kind) {
@@ -47,6 +49,7 @@ inline const char* to_string(FaultKind kind) {
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kPeerCrash: return "peer-crash";
     case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kTrackerBlackout: return "tracker-blackout";
   }
   return "?";
 }
@@ -55,7 +58,8 @@ inline std::optional<FaultKind> fault_kind_from(std::string_view name) {
   for (FaultKind k :
        {FaultKind::kLinkFlap, FaultKind::kBerEpisode, FaultKind::kHandoff,
         FaultKind::kHandoffStorm, FaultKind::kTrackerOutage, FaultKind::kDuplicate,
-        FaultKind::kReorder, FaultKind::kPeerCrash, FaultKind::kCorrupt}) {
+        FaultKind::kReorder, FaultKind::kPeerCrash, FaultKind::kCorrupt,
+        FaultKind::kTrackerBlackout}) {
     if (name == to_string(k)) return k;
   }
   return std::nullopt;
@@ -127,10 +131,12 @@ struct FaultPlan {
   // Seed-deterministic random schedule over the given targets. `wireless`
   // lists the targets that can take BER episodes; every entry of `wireless`
   // must also appear in `targets`. Action times land in [t_min, 0.8*horizon]
-  // so every episode has room to end inside the run.
+  // so every episode has room to end inside the run. `trackers` is the size
+  // of the tier list: with more than one, outages pick a tracker ("tr1"...)
+  // via the magnitude roll and total blackouts enter the kind mix.
   static FaultPlan random(Rng& rng, const std::vector<std::string>& targets,
                           const std::vector<std::string>& wireless, double horizon_s,
-                          int max_actions, double t_min_s = 5.0) {
+                          int max_actions, double t_min_s = 5.0, int trackers = 1) {
     FaultPlan plan;
     if (targets.empty() || max_actions <= 0 || horizon_s <= t_min_s) return plan;
     const auto n = static_cast<int>(rng.range(1, max_actions));
@@ -138,7 +144,7 @@ struct FaultPlan {
       FaultAction a;
       // Drawing the full tuple keeps the stream layout fixed per action, so
       // shrinking a plan never changes how an untouched action was generated.
-      const auto kind_roll = rng.below(9);
+      const auto kind_roll = rng.below(10);
       const double at_s = rng.uniform(t_min_s, horizon_s * 0.8);
       const double dur_s = rng.uniform(1.0, std::max(2.0, horizon_s * 0.25));
       const double mag_roll = rng.uniform();
@@ -173,6 +179,11 @@ struct FaultPlan {
         case 4:
           a.kind = FaultKind::kTrackerOutage;
           a.target.clear();
+          if (trackers > 1) {
+            // Reuse the magnitude roll (no extra draw): which tracker dies.
+            const int idx = static_cast<int>(mag_roll * trackers);
+            if (idx > 0) a.target = "tr" + std::to_string(idx);
+          }
           break;
         case 5:
           a.kind = FaultKind::kDuplicate;
@@ -185,6 +196,10 @@ struct FaultPlan {
         case 7:
           a.kind = FaultKind::kCorrupt;
           a.magnitude = 0.05 + mag_roll * 0.25;
+          break;
+        case 8:
+          a.kind = FaultKind::kTrackerBlackout;
+          a.target.clear();
           break;
         default:
           a.kind = FaultKind::kPeerCrash;

@@ -35,6 +35,7 @@ void InvariantChecker::reset_scenario() {
   detectors_.clear();
   faults_.clear();
   recovery_.clear();
+  pex_.clear();
 }
 
 void InvariantChecker::check(const TraceEvent& ev) {
@@ -142,8 +143,15 @@ void InvariantChecker::check(const TraceEvent& ev) {
     case Kind::kBtAnnounce: {
       ++matched_;
       // A successful announce resets the retry chain; the next retry may
-      // legitimately start from the initial base again.
-      if (ev.field("ok") > 0.5) recovery_[ev.node].backoff = BackoffState{};
+      // legitimately start from the initial base again. The failure streak
+      // mirrors the client's own darkness counter for the bootstrap rule.
+      RecoveryState& rec = recovery_[ev.node];
+      if (ev.field("ok") > 0.5) {
+        rec.backoff = BackoffState{};
+        rec.announce_streak = 0;
+      } else {
+        ++rec.announce_streak;
+      }
       return;
     }
 
@@ -224,6 +232,75 @@ void InvariantChecker::check(const TraceEvent& ev) {
       if (rec.banned.count(peer) > 0) {
         violate(ev, "banned-request",
                 ev.node + " requested a block from banned peer " + num(ev.field("peer_id")));
+      }
+      return;
+    }
+
+    case Kind::kBtPexSend: {
+      ++matched_;
+      PexState& pex = pex_[flow_id(ev)];
+      const double interval_s = ev.field("interval_s");
+      const auto min_gap = sim::seconds(std::max(0.0, interval_s - kEps));
+      if (pex.last_send >= 0 && min_gap > 0 && ev.time - pex.last_send < min_gap) {
+        violate(ev, "pex-rate-limit",
+                ev.node + " gossiped to " + ev.key + " after " +
+                    num(sim::to_seconds(ev.time - pex.last_send)) +
+                    " s, inside the advertised interval of " + num(interval_s) + " s");
+      }
+      pex.last_send = ev.time;
+      return;
+    }
+
+    case Kind::kBtPexEntry: {
+      ++matched_;
+      const double ep = ev.field("ep");
+      const double self_ep = ev.field("self_ep");
+      if (std::abs(ep - self_ep) < 0.5) {  // packed endpoints are exact integers
+        violate(ev, "pex-no-self",
+                ev.node + " advertised its own listen endpoint to " + ev.key);
+      }
+      const auto peer = static_cast<std::uint64_t>(ev.field("peer_id"));
+      if (recovery_[ev.node].banned.count(peer) > 0) {
+        violate(ev, "pex-no-banned",
+                ev.node + " advertised banned peer " + num(ev.field("peer_id")) +
+                    " to " + ev.key);
+      }
+      return;
+    }
+
+    case Kind::kBtTrackerFailover: {
+      ++matched_;
+      const auto from = static_cast<int>(ev.field("from", -1.0));
+      const auto to = static_cast<int>(ev.field("to", -1.0));
+      const auto trackers = static_cast<int>(ev.field("trackers"));
+      if (ev.aux == "failover") {
+        if (trackers > 0 && to != (from + 1) % trackers) {
+          violate(ev, "failover-tier-order",
+                  ev.node + " failed over from slot " + num(from) + " to slot " +
+                      num(to) + ", skipping the tier-list order (size " +
+                      num(trackers) + ")");
+        } else if (to != 0 && ev.field("to_tier") < ev.field("from_tier") - kEps) {
+          violate(ev, "failover-tier-order",
+                  ev.node + " failed over from tier " + num(ev.field("from_tier")) +
+                      " down to tier " + num(ev.field("to_tier")) +
+                      " without wrapping to the primary");
+        }
+      } else if (ev.aux == "failback" && to != 0) {
+        violate(ev, "failover-tier-order",
+                ev.node + " failed back to slot " + num(to) + " instead of the primary");
+      }
+      return;
+    }
+
+    case Kind::kBtBootstrap: {
+      ++matched_;
+      const auto trackers = static_cast<int>(ev.field("trackers"));
+      const int streak = recovery_[ev.node].announce_streak;
+      if (streak < trackers) {
+        violate(ev, "bootstrap-only-when-dark",
+                ev.node + " dialed the bootstrap cache after only " + num(streak) +
+                    " consecutive announce failures across " + num(trackers) +
+                    " tracker tiers");
       }
       return;
     }

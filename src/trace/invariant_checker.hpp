@@ -45,6 +45,25 @@
 //                       ban threshold — crossing it must trigger the ban.
 //                       (Catches runs with banning disabled: strikes keep
 //                       accumulating past the threshold.)
+//   pex-no-self         A PEX gossip entry never advertises the sender's own
+//                       listen endpoint back at the swarm (the recipient
+//                       already has the sender; self-adverts would loop).
+//   pex-no-banned       A PEX gossip entry never advertises a peer the sender
+//                       has banned — gossip must not launder a corrupter's
+//                       address back into circulation.
+//   pex-rate-limit      Consecutive PEX messages from one client to one
+//                       recipient endpoint are at least the advertised
+//                       interval apart (the gossip rate limiter holds even
+//                       across the sender's crash/restart).
+//   failover-tier-order A tracker failover step moves the announce cursor to
+//                       the next slot of the tier list (wrapping to the
+//                       primary), never skipping ahead or stepping down a
+//                       tier; a failback always lands on the primary.
+//   bootstrap-only-when-dark
+//                       The bootstrap cache is only dialed while every
+//                       tracker tier is dark: the client's consecutive
+//                       announce-failure streak at the dial must be at least
+//                       the size of its tier list.
 //
 // kScenario markers reset per-flow state, so one JSONL file may hold many
 // independently checked scenarios.
@@ -104,6 +123,10 @@ class InvariantChecker final : public Sink {
     BackoffState backoff;
     std::unordered_map<int, bool> corrupt_pending;  // piece -> awaiting reset
     std::unordered_set<std::uint64_t> banned;       // peer_ids banned so far
+    int announce_streak = 0;  // consecutive failed announces (any tracker)
+  };
+  struct PexState {
+    sim::SimTime last_send = -1;
   };
 
   void violate(const TraceEvent& ev, std::string rule, std::string detail);
@@ -113,6 +136,7 @@ class InvariantChecker final : public Sink {
   std::unordered_map<std::string, DetectState> detectors_;
   std::unordered_map<std::string, FaultState> faults_;
   std::unordered_map<std::string, RecoveryState> recovery_;
+  std::unordered_map<std::string, PexState> pex_;  // node|recipient endpoint
   std::vector<Violation> violations_;
   std::uint64_t checked_ = 0;
   std::uint64_t matched_ = 0;

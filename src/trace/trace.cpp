@@ -43,12 +43,18 @@ constexpr KindName kKinds[] = {
     {Kind::kBtPeerStrike, "bt.strike"},
     {Kind::kBtPeerBan, "bt.ban"},
     {Kind::kBtReconnect, "bt.reconnect"},
+    {Kind::kBtTrackerFailover, "bt.tracker_failover"},
+    {Kind::kBtPexSend, "bt.pex_send"},
+    {Kind::kBtPexEntry, "bt.pex_entry"},
+    {Kind::kBtPexRecv, "bt.pex_recv"},
+    {Kind::kBtBootstrap, "bt.bootstrap"},
     {Kind::kMobDetect, "mob.detect"},
     {Kind::kChanLoss, "chan.loss"},
     {Kind::kChanArqRetry, "chan.arq"},
     {Kind::kChanQueueDrop, "chan.queue_drop"},
     {Kind::kFaultStart, "fault.start"},
     {Kind::kFaultEnd, "fault.end"},
+    {Kind::kFaultSkipped, "fault.skipped"},
 };
 
 }  // namespace

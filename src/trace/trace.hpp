@@ -61,6 +61,12 @@ enum class Kind : std::uint8_t {
   kBtPeerBan,        // peer banned after exceeding the strike threshold
   kBtReconnect,      // reconnect dial scheduled after a TCP timeout
 
+  kBtTrackerFailover,  // announce cursor moved; aux = failover/promote/failback
+  kBtPexSend,          // PEX delta sent to a peer; key = recipient endpoint
+  kBtPexEntry,         // one gossiped added-entry; ep/self_ep packed addr*2^16+port
+  kBtPexRecv,          // PEX delta accepted from a peer
+  kBtBootstrap,        // cache re-dial while every tracker tier is dark
+
   kMobDetect,  // live-peer mobility detection fired
 
   kChanLoss,      // frame dropped after exhausting MAC retries
@@ -69,6 +75,7 @@ enum class Kind : std::uint8_t {
 
   kFaultStart,  // injected fault episode begins; aux = fault kind, node = target
   kFaultEnd,    // injected fault episode ends (same aux/node as its start)
+  kFaultSkipped,  // fault addressed a node the binder has no client for
 };
 
 const char* to_string(Component c);

@@ -58,6 +58,62 @@ TEST(Recovery, WithoutRetryClientStaysDarkUntilPeriodicAnnounce) {
   EXPECT_EQ(client->stats().announce_failures, 1u);
 }
 
+TEST(Recovery, TrackerRecoveryMidChainSucceedsOnNextRetryAndResetsBackoff) {
+  // Regression for the flapping tracker: recovery *between* two retries of a
+  // grown backoff chain must let the very next retry register the client, and
+  // a later outage must start a fresh chain from the initial base — the chain
+  // state may not leak across an intervening success.
+  trace::Recorder recorder{/*ring_capacity=*/256};
+  trace::InvariantChecker checker;
+  recorder.add_sink(&checker);
+  Swarm swarm{79, small_file()};
+  swarm.world.sim.set_tracer(&recorder);
+  auto config = quiet_config();
+  config.announce_interval = sim::seconds(15.0);  // the second outage is noticed
+  auto& client = swarm.add_wired("solo", true, config);
+  swarm.tracker.set_reachable(false);
+  swarm.start_all();
+  swarm.run_for(22.0);  // several retries in: base has doubled past the initial
+  ASSERT_EQ(swarm.tracker.swarm_size(swarm.meta.info_hash), 0u);
+  ASSERT_GE(client->stats().announce_retries, 2u);
+
+  // The tracker flaps back up mid-chain: the pending retry (at most one grown
+  // base away) succeeds without waiting for the periodic announce.
+  swarm.tracker.set_reachable(true);
+  swarm.run_for(17.0);
+  ASSERT_EQ(swarm.tracker.swarm_size(swarm.meta.info_hash), 1u);
+
+  // A second outage: the next failure must open a chain at the initial base.
+  swarm.tracker.set_reachable(false);
+  swarm.run_for(20.0);
+  swarm.world.sim.set_tracer(nullptr);
+
+  double grown_base = 0.0;      // largest base before the success
+  bool saw_success = false;
+  bool checked_fresh = false;   // first retry after the success
+  for (const auto& ev : recorder.ring().events()) {
+    if (ev.kind == trace::Kind::kBtAnnounce && ev.field("ok") > 0.5) {
+      saw_success = true;
+      continue;
+    }
+    if (ev.kind != trace::Kind::kBtAnnounceRetry) continue;
+    if (!saw_success) {
+      grown_base = std::max(grown_base, ev.field("base_s"));
+    } else if (!checked_fresh) {
+      checked_fresh = true;
+      EXPECT_EQ(ev.field("attempt"), 1.0);
+      EXPECT_EQ(ev.field("base_s"), 2.0);  // default announce_retry_initial
+    }
+  }
+  EXPECT_GE(grown_base, 8.0);
+  EXPECT_TRUE(saw_success);
+  EXPECT_TRUE(checked_fresh);
+  // The shrink back to the initial base is legal exactly because a successful
+  // announce separated the chains — the backoff invariant stays clean.
+  EXPECT_TRUE(checker.violations().empty())
+      << trace::to_string(checker.violations().front());
+}
+
 TEST(Recovery, AnnounceBackoffDelaysAreCappedAndMonotone) {
   trace::Recorder recorder{/*ring_capacity=*/256};
   trace::InvariantChecker checker;

@@ -43,6 +43,63 @@ TEST(Wire, HandshakeWireFormat) {
   EXPECT_EQ(bytes[67], 9);  // peer-id likewise
 }
 
+TEST(Wire, HandshakeCarriesListenPortBehindExtensionBit) {
+  const std::string bytes = bt::encode(*WireMessage::handshake(7, 9, /*listen_port=*/6881));
+  ASSERT_EQ(bytes.size(), 68u);
+  EXPECT_NE(bytes[25], 0);  // extension bit set in reserved[5]
+  const auto decoded = bt::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->listen_port, 6881);
+  EXPECT_EQ(decoded->peer_id, 9u);
+
+  // Without a listen port the reserved bytes stay all-zero (plain BEP 3) and
+  // decode to port 0.
+  const std::string plain = bt::encode(*WireMessage::handshake(7, 9));
+  for (int i = 20; i < 28; ++i) EXPECT_EQ(plain[static_cast<std::size_t>(i)], 0) << i;
+  const auto plain_decoded = bt::decode(plain);
+  ASSERT_TRUE(plain_decoded.has_value());
+  EXPECT_EQ(plain_decoded->listen_port, 0);
+}
+
+TEST(Wire, PexRoundTripsAddedAndDropped) {
+  std::vector<bt::PexPeer> added{
+      {net::Endpoint{net::IpAddr{0x0a000001}, 6881}, 0x1122334455667788ULL},
+      {net::Endpoint{net::IpAddr{0x0a000002}, 6882}, 1},
+  };
+  std::vector<net::Endpoint> dropped{
+      net::Endpoint{net::IpAddr{0x0a000003}, 6883},
+  };
+  const auto msg = WireMessage::pex(added, dropped);
+  const std::string bytes = bt::encode(*msg);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), msg->wire_size());
+  const auto decoded = bt::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::kPex);
+  EXPECT_EQ(decoded->pex_added, added);
+  EXPECT_EQ(decoded->pex_dropped, dropped);
+
+  // Empty deltas are legal (heartbeat-less: the client just skips sending).
+  const auto empty = bt::decode(bt::encode(*WireMessage::pex({}, {})));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->pex_added.empty());
+  EXPECT_TRUE(empty->pex_dropped.empty());
+}
+
+TEST(Wire, PexDecodeRejectsMalformedBodies) {
+  const std::string good = bt::encode(*WireMessage::pex(
+      {{net::Endpoint{net::IpAddr{0x0a000001}, 6881}, 42}}, {}));
+  // Truncated entry payload.
+  EXPECT_FALSE(bt::decode(good.substr(0, good.size() - 1)));
+  // Counts inflated past the actual body.
+  std::string inflated = good;
+  inflated[7] = 2;  // added count low byte (body: ext-id, u16 added, u16 dropped)
+  EXPECT_FALSE(bt::decode(inflated));
+  // Unknown extension id inside the extended envelope.
+  std::string bad_ext = good;
+  bad_ext[5] = 7;
+  EXPECT_FALSE(bt::decode(bad_ext));
+}
+
 TEST(Wire, ControlMessagesRoundTrip) {
   for (MsgType type : {MsgType::kKeepAlive, MsgType::kChoke, MsgType::kUnchoke,
                        MsgType::kInterested, MsgType::kNotInterested}) {

@@ -31,9 +31,11 @@ TEST(FaultPlan, SerializeParseRoundTrip) {
       action(sim::FaultKind::kHandoff, 25, 0, 0, "a"),
       action(sim::FaultKind::kHandoffStorm, 30, 10, 4, "b"),
       action(sim::FaultKind::kTrackerOutage, 40, 60, 0, ""),
+      action(sim::FaultKind::kTrackerOutage, 42, 60, 0, "tr1"),
       action(sim::FaultKind::kDuplicate, 50, 25, 0.125, "a"),
       action(sim::FaultKind::kReorder, 60, 25, 0.25, "b"),
       action(sim::FaultKind::kPeerCrash, 70, 15, 0, "a"),
+      action(sim::FaultKind::kTrackerBlackout, 80, 30, 0, ""),
   };
   const sim::FaultPlan parsed = sim::FaultPlan::parse(plan.serialize());
   ASSERT_EQ(parsed.actions.size(), plan.actions.size());
@@ -66,7 +68,31 @@ TEST(FaultPlan, RandomIsDeterministicAndWellFormed) {
     EXPECT_LE(sim::to_seconds(a.at), 200.0 * 0.8);
     if (a.kind == sim::FaultKind::kBerEpisode) EXPECT_EQ(a.target, "c");
     if (a.kind == sim::FaultKind::kTrackerOutage) EXPECT_TRUE(a.target.empty());
+    if (a.kind == sim::FaultKind::kTrackerBlackout) EXPECT_TRUE(a.target.empty());
   }
+}
+
+TEST(FaultPlan, RandomWithTiersTargetsIndividualTrackers) {
+  const std::vector<std::string> targets{"a", "b"};
+  bool saw_named_tracker = false, saw_blackout = false;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    sim::Rng rng{seed};
+    const auto plan =
+        sim::FaultPlan::random(rng, targets, {}, 300.0, 40, /*t_min_s=*/5.0, /*trackers=*/3);
+    for (const auto& a : plan.actions) {
+      if (a.kind == sim::FaultKind::kTrackerOutage && !a.target.empty()) {
+        saw_named_tracker = true;
+        // Only real tiers may be named: tr1..tr2 for a three-tracker list.
+        EXPECT_TRUE(a.target == "tr1" || a.target == "tr2") << a.target;
+      }
+      if (a.kind == sim::FaultKind::kTrackerBlackout) {
+        saw_blackout = true;
+        EXPECT_TRUE(a.target.empty());
+      }
+    }
+  }
+  EXPECT_TRUE(saw_named_tracker);
+  EXPECT_TRUE(saw_blackout);
 }
 
 // --- Network-layer application ----------------------------------------------
@@ -178,12 +204,39 @@ TEST(FaultInjector, TrackerOutageFiresHookBracketed) {
   sim::FaultPlan plan;
   plan.actions = {action(sim::FaultKind::kTrackerOutage, 5, 10, 0, "")};
   net::FaultInjector injector{world.net, plan};
-  std::vector<bool> transitions;
-  injector.on_tracker_outage = [&](bool down) { transitions.push_back(down); };
+  std::vector<std::pair<std::string, bool>> transitions;
+  injector.on_tracker_outage = [&](const std::string& target, bool down) {
+    transitions.emplace_back(target, down);
+  };
   world.sim.run_until(sim::seconds(30.0));
   ASSERT_EQ(transitions.size(), 2u);
-  EXPECT_TRUE(transitions[0]);
-  EXPECT_FALSE(transitions[1]);
+  EXPECT_EQ(transitions[0], (std::pair<std::string, bool>{"", true}));
+  EXPECT_EQ(transitions[1], (std::pair<std::string, bool>{"", false}));
+}
+
+TEST(FaultInjector, BlackoutTargetsEveryTrackerWithoutANode) {
+  exp::World world{12};
+  world.add_wired_host("a");
+  sim::FaultPlan plan;
+  plan.actions = {
+      action(sim::FaultKind::kTrackerOutage, 3, 4, 0, "tr1"),
+      action(sim::FaultKind::kTrackerBlackout, 5, 10, 0, ""),
+  };
+  net::FaultInjector injector{world.net, plan};
+  std::vector<std::pair<std::string, bool>> transitions;
+  injector.on_tracker_outage = [&](const std::string& target, bool down) {
+    transitions.emplace_back(target, down);
+  };
+  world.sim.run_until(sim::seconds(30.0));
+  // Neither action names a network node; both must still apply via the hook:
+  // the tiered outage passes its tracker name through, the blackout "*".
+  EXPECT_EQ(injector.stats().applied, 2u);
+  EXPECT_EQ(injector.stats().skipped, 0u);
+  ASSERT_EQ(transitions.size(), 4u);
+  EXPECT_EQ(transitions[0], (std::pair<std::string, bool>{"tr1", true}));
+  EXPECT_EQ(transitions[1], (std::pair<std::string, bool>{"*", true}));
+  EXPECT_EQ(transitions[2], (std::pair<std::string, bool>{"tr1", false}));
+  EXPECT_EQ(transitions[3], (std::pair<std::string, bool>{"*", false}));
 }
 
 // --- Chaos filters -----------------------------------------------------------

@@ -239,6 +239,109 @@ TEST(Invariants, StrikesPastThresholdFirePeerBanRule) {
   EXPECT_EQ(v[0].rule, "peer-ban");
 }
 
+// --- Discovery-resilience rules ----------------------------------------------
+
+TraceEvent pex_send(const char* to, double interval_s, double seconds) {
+  return at_time(event(Component::kBt, Kind::kBtPexSend)
+                     .at("leech")
+                     .on(to)
+                     .with("peer_id", 9.0)
+                     .with("added", 1.0)
+                     .with("dropped", 0.0)
+                     .with("interval_s", interval_s),
+                 seconds);
+}
+
+TraceEvent pex_entry(double ep, double self_ep, double peer) {
+  return event(Component::kBt, Kind::kBtPexEntry)
+      .at("leech")
+      .on("10.0.0.9:6881")
+      .with("ep", ep)
+      .with("peer_id", peer)
+      .with("self_ep", self_ep);
+}
+
+TraceEvent failover(const char* why, double from, double to, double trackers,
+                    double from_tier = 0.0, double to_tier = 1.0) {
+  return event(Component::kBt, Kind::kBtTrackerFailover)
+      .at("leech")
+      .why(why)
+      .with("from", from)
+      .with("to", to)
+      .with("trackers", trackers)
+      .with("from_tier", from_tier)
+      .with("to_tier", to_tier);
+}
+
+TraceEvent bootstrap(double trackers) {
+  return event(Component::kBt, Kind::kBtBootstrap)
+      .at("leech")
+      .with("failures", trackers)
+      .with("trackers", trackers)
+      .with("dialed", 1.0)
+      .with("cached", 2.0);
+}
+
+TEST(Invariants, PexRateLimitFiresInsideTheAdvertisedInterval) {
+  // Sends a full interval apart are clean; per-recipient state is independent.
+  EXPECT_TRUE(run({pex_send("a:1", 30.0, 0.0), pex_send("b:2", 30.0, 1.0),
+                   pex_send("a:1", 30.0, 30.0)})
+                  .empty());
+  auto v = run({pex_send("a:1", 30.0, 0.0), pex_send("a:1", 30.0, 10.0)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "pex-rate-limit");
+}
+
+TEST(Invariants, PexNoSelfFiresWhenAClientGossipsItsOwnEndpoint) {
+  EXPECT_TRUE(run({pex_entry(1000.0, 2000.0, 7.0)}).empty());
+  auto v = run({pex_entry(2000.0, 2000.0, 7.0)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "pex-no-self");
+}
+
+TEST(Invariants, PexNoBannedFiresWhenABannedIdentityIsGossiped) {
+  // Banning is per-node state: the ban on peer 7 poisons only 7's entries.
+  EXPECT_TRUE(run({peer_event(Kind::kBtPeerBan, 7), pex_entry(1000.0, 2000.0, 8.0)}).empty());
+  auto v = run({peer_event(Kind::kBtPeerBan, 7), pex_entry(1000.0, 2000.0, 7.0)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "pex-no-banned");
+}
+
+TEST(Invariants, FailoverMustWalkTheTierListInOrder) {
+  // A clean cycle: one slot at a time, wrapping back to the primary.
+  EXPECT_TRUE(run({failover("failover", 0, 1, 3, 0, 1), failover("failover", 1, 2, 3, 1, 1),
+                   failover("failover", 2, 0, 3, 1, 0)})
+                  .empty());
+  // Promotions reorder within a tier and are not failovers.
+  EXPECT_TRUE(run({failover("promote", 2, 1, 3, 1, 1)}).empty());
+  auto skipped = run({failover("failover", 0, 2, 3, 0, 1)});
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0].rule, "failover-tier-order");
+  // Advancing into a LOWER tier without wrapping means the list was missorted.
+  auto regressed = run({failover("failover", 1, 2, 3, /*from_tier=*/2, /*to_tier=*/1)});
+  ASSERT_EQ(regressed.size(), 1u);
+  EXPECT_EQ(regressed[0].rule, "failover-tier-order");
+}
+
+TEST(Invariants, FailbackMustLandOnThePrimary) {
+  EXPECT_TRUE(run({failover("failback", 2, 0, 3)}).empty());
+  auto v = run({failover("failback", 2, 1, 3)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "failover-tier-order");
+}
+
+TEST(Invariants, BootstrapOnlyWhenEveryTrackerTierFailed) {
+  // Two tiers, two consecutive failures: discovery is dark, the cache may act.
+  EXPECT_TRUE(run({announce(false), announce(false), bootstrap(2)}).empty());
+  auto early = run({announce(false), bootstrap(2)});
+  ASSERT_EQ(early.size(), 1u);
+  EXPECT_EQ(early[0].rule, "bootstrap-only-when-dark");
+  // A successful announce in between resets the streak.
+  auto reset = run({announce(false), announce(true), announce(false), bootstrap(2)});
+  ASSERT_EQ(reset.size(), 1u);
+  EXPECT_EQ(reset[0].rule, "bootstrap-only-when-dark");
+}
+
 TEST(Invariants, CountsCheckedAndMatchedEvents) {
   InvariantChecker checker;
   checker.check(event(Component::kBt, Kind::kBtChoke));  // no rule attached
