@@ -1,6 +1,12 @@
 // Piece-presence bitfield (the BitTorrent "bitfield" message body).
+//
+// Backed by 64-bit words so piece bookkeeping scales: interest tests,
+// candidate collection, and prefix scans run word-at-a-time instead of
+// bit-at-a-time. The wire encoding (byte_size, MSB-first bytes) is unchanged —
+// serialization goes through test(), not the storage layout.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -11,7 +17,8 @@ namespace wp2p::bt {
 class Bitfield {
  public:
   Bitfield() = default;
-  explicit Bitfield(int size) : size_{size}, bits_(static_cast<std::size_t>((size + 7) / 8), 0) {
+  explicit Bitfield(int size)
+      : size_{size}, words_(static_cast<std::size_t>((size + 63) / 64), 0) {
     WP2P_ASSERT(size >= 0);
   }
 
@@ -23,64 +30,76 @@ class Bitfield {
 
   bool test(int i) const {
     check(i);
-    return (bits_[static_cast<std::size_t>(i >> 3)] >> (i & 7)) & 1;
+    return (words_[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1;
   }
 
   void set(int i) {
     check(i);
-    std::uint8_t& byte = bits_[static_cast<std::size_t>(i >> 3)];
-    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (i & 7));
-    if (!(byte & mask)) {
-      byte |= mask;
+    std::uint64_t& word = words_[static_cast<std::size_t>(i >> 6)];
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (!(word & mask)) {
+      word |= mask;
       ++count_;
     }
   }
 
   void reset(int i) {
     check(i);
-    std::uint8_t& byte = bits_[static_cast<std::size_t>(i >> 3)];
-    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (i & 7));
-    if (byte & mask) {
-      byte &= static_cast<std::uint8_t>(~mask);
+    std::uint64_t& word = words_[static_cast<std::size_t>(i >> 6)];
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (word & mask) {
+      word &= ~mask;
       --count_;
     }
   }
 
   void set_all() {
-    for (int i = 0; i < size_; ++i) set(i);
+    if (size_ == 0) return;
+    std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+    const int tail = size_ & 63;
+    if (tail != 0) words_.back() = (std::uint64_t{1} << tail) - 1;
+    count_ = size_;
   }
 
   void clear() {
-    std::fill(bits_.begin(), bits_.end(), 0);
+    std::fill(words_.begin(), words_.end(), 0);
     count_ = 0;
   }
 
+  // Word-level access for bulk set operations (candidate collection computes
+  // peer & ~mine & ~active one word at a time). Bits past size() are zero.
+  int word_count() const { return static_cast<int>(words_.size()); }
+  std::uint64_t word(int w) const { return words_[static_cast<std::size_t>(w)]; }
+
   // First index not set, or -1 when complete.
   int first_missing() const {
-    for (int i = 0; i < size_; ++i) {
-      if (!test(i)) return i;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t missing = ~words_[w];
+      if (missing != 0) {
+        const int i = static_cast<int>(w) * 64 + std::countr_zero(missing);
+        return i < size_ ? i : -1;
+      }
     }
     return -1;
   }
 
   // Length of the contiguous set prefix (the playability-relevant quantity).
   int prefix_length() const {
-    int n = 0;
-    while (n < size_ && test(n)) ++n;
-    return n;
+    const int missing = first_missing();
+    return missing < 0 ? size_ : missing;
   }
 
   // True if `peer` has at least one piece that `mine` lacks (interest test).
   static bool has_missing_piece(const Bitfield& peer, const Bitfield& mine) {
     WP2P_ASSERT(peer.size() == mine.size());
-    for (std::size_t i = 0; i < peer.bits_.size(); ++i) {
-      if (peer.bits_[i] & ~mine.bits_[i]) return true;
+    for (std::size_t i = 0; i < peer.words_.size(); ++i) {
+      if (peer.words_[i] & ~mine.words_[i]) return true;
     }
     return false;
   }
 
   // Serialized length of the wire message body.
-  std::int64_t byte_size() const { return static_cast<std::int64_t>(bits_.size()); }
+  std::int64_t byte_size() const { return (size_ + 7) / 8; }
 
   bool operator==(const Bitfield&) const = default;
 
@@ -89,7 +108,7 @@ class Bitfield {
 
   int size_ = 0;
   int count_ = 0;
-  std::vector<std::uint8_t> bits_;
+  std::vector<std::uint64_t> words_;
 };
 
 }  // namespace wp2p::bt

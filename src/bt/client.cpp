@@ -1,6 +1,7 @@
 #include "bt/client.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "trace/recorder.hpp"
 #include "util/assert.hpp"
@@ -43,6 +44,7 @@ Client::Client(net::Node& node, tcp::Stack& stack, Tracker& tracker, const Metai
       sim_{node.sim()},
       rng_{node.sim().rng().fork()},
       availability_(static_cast<std::size_t>(meta_.piece_count()), 0),
+      active_pieces_{meta_.piece_count()},
       credit_{config.credit_half_life},
       upload_bucket_{config.upload_limit, /*burst=*/64 * 1024},
       choke_task_{sim_, config.choke_interval, [this] { run_choke_round(); }},
@@ -494,6 +496,7 @@ void Client::accept_connection(std::shared_ptr<tcp::Connection> conn) {
 }
 
 void Client::setup_peer(const std::shared_ptr<PeerConnection>& peer) {
+  peer->seq = ++next_peer_seq_;
   peers_.push_back(peer);
   ++stats_.peers_connected_total;
   PeerConnection* p = peer.get();
@@ -544,8 +547,43 @@ void Client::drop_peer(PeerConnection* peer) {
   }
   return_outstanding(*peer);
   if (optimistic_peer_ == peer) optimistic_peer_ = nullptr;
+  if (peer->upload_pending_counted) {
+    peer->upload_pending_counted = false;
+    --pending_upload_peers_;
+  }
+  std::erase(interested_peers_, peer);
+  std::erase(unchoked_peers_, peer);
   peer->detach();
   peers_.erase(it);
+}
+
+void Client::set_peer_interested(PeerConnection& peer, bool interested) {
+  if (peer.peer_interested == interested) return;
+  peer.peer_interested = interested;
+  if (interested) {
+    interested_peers_.push_back(&peer);
+  } else {
+    std::erase(interested_peers_, &peer);
+  }
+}
+
+void Client::update_pending_upload(PeerConnection& peer) {
+  const bool pending = !peer.upload_queue.empty();
+  if (pending == peer.upload_pending_counted) return;
+  peer.upload_pending_counted = pending;
+  if (pending) {
+    ++pending_upload_peers_;
+  } else {
+    --pending_upload_peers_;
+  }
+}
+
+std::vector<PeerConnection*> Client::snapshot_by_seq(
+    const std::vector<PeerConnection*>& set) const {
+  std::vector<PeerConnection*> snapshot = set;
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const PeerConnection* a, const PeerConnection* b) { return a->seq < b->seq; });
+  return snapshot;
 }
 
 // --- Message handling -------------------------------------------------------------
@@ -568,8 +606,8 @@ void Client::on_peer_message(PeerConnection& peer, const WireMessage& msg) {
       peer.peer_choking = false;
       fill_requests(peer);
       break;
-    case MsgType::kInterested: peer.peer_interested = true; break;
-    case MsgType::kNotInterested: peer.peer_interested = false; break;
+    case MsgType::kInterested: set_peer_interested(peer, true); break;
+    case MsgType::kNotInterested: set_peer_interested(peer, false); break;
     case MsgType::kRequest: handle_request(peer, msg); break;
     case MsgType::kPiece: handle_piece(peer, msg); break;
     case MsgType::kCancel: handle_cancel(peer, msg); break;
@@ -691,6 +729,7 @@ void Client::handle_request(PeerConnection& peer, const WireMessage& msg) {
   const int block = static_cast<int>(msg.offset / kBlockSize);
   if (!store_.has_block(msg.piece, block)) return;  // we don't hold it
   peer.upload_queue.push_back({msg.piece, msg.offset, msg.length});
+  update_pending_upload(peer);
   pump_uploads();
 }
 
@@ -701,6 +740,7 @@ void Client::handle_cancel(PeerConnection& peer, const WireMessage& msg) {
                            return u.piece == msg.piece && u.offset == msg.offset;
                          }),
           q.end());
+  update_pending_upload(peer);
 }
 
 void Client::handle_piece(PeerConnection& peer, const WireMessage& msg) {
@@ -775,6 +815,7 @@ void Client::evaluate_interest(PeerConnection& peer) {
 Client::BlockState& Client::block_state(int piece, int block) {
   auto [it, inserted] = active_.try_emplace(
       piece, static_cast<std::size_t>(store_.blocks_in_piece(piece)), BlockState::kUnrequested);
+  if (inserted) active_pieces_.set(piece);
   return it->second[static_cast<std::size_t>(block)];
 }
 
@@ -789,11 +830,18 @@ std::optional<Client::BlockRef> Client::next_block_for(PeerConnection& peer) {
       }
     }
   }
-  // 2) Start a new piece chosen by the selection policy.
+  // 2) Start a new piece chosen by the selection policy. Candidates are
+  // peer & ~have & ~active, collected a word at a time: per-candidate cost no
+  // longer pays a map lookup per piece of the torrent.
   std::vector<int> candidates;
-  for (int p = 0; p < meta_.piece_count(); ++p) {
-    if (store_.has_piece(p) || active_.count(p) != 0) continue;
-    if (peer.peer_bitfield.test(p)) candidates.push_back(p);
+  const Bitfield& have = store_.bitfield();
+  for (int w = 0; w < peer.peer_bitfield.word_count(); ++w) {
+    std::uint64_t cand =
+        peer.peer_bitfield.word(w) & ~have.word(w) & ~active_pieces_.word(w);
+    while (cand != 0) {
+      candidates.push_back(w * 64 + std::countr_zero(cand));
+      cand &= cand - 1;
+    }
   }
   if (candidates.empty()) return endgame_block_for(peer);
   SelectionContext ctx{candidates, availability_, store_.completed_fraction(),
@@ -909,6 +957,7 @@ void Client::periodic_maintenance() {
 
 void Client::on_piece_completed(int piece) {
   active_.erase(piece);
+  active_pieces_.reset(piece);
   contributors_.erase(piece);
   ++stats_.pieces_completed;
   WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPieceComplete, node_)
@@ -932,6 +981,7 @@ void Client::on_piece_completed(int piece) {
 void Client::on_download_finished() {
   completed_notified_ = true;
   active_.clear();
+  active_pieces_.clear();
   for (auto& peer : peers_) {
     return_outstanding(*peer);
     evaluate_interest(*peer);  // sends NotInterested
@@ -974,6 +1024,7 @@ void Client::handle_corrupt_piece(int piece) {
   // The store already discarded the blocks; dropping the request state makes
   // the piece a fresh candidate for the selector again.
   active_.erase(piece);
+  active_pieces_.reset(piece);
   WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPieceReset, node_)
                        .with("piece", static_cast<double>(piece)));
 }
@@ -1079,9 +1130,13 @@ double Client::unchoke_score(PeerConnection& peer) {
 }
 
 void Client::run_choke_round() {
+  // Work from the incremental interested set instead of rescanning peers_:
+  // a choke round costs O(interested) rather than O(all peers). The seq sort
+  // reproduces peers_ insertion order exactly, so the stable_sort below sees
+  // the same input order (and emits the same messages) as a full scan would.
   std::vector<PeerConnection*> interested;
-  for (auto& peer : peers_) {
-    if (peer->app_established() && peer->peer_interested) interested.push_back(peer.get());
+  for (PeerConnection* peer : snapshot_by_seq(interested_peers_)) {
+    if (peer->app_established()) interested.push_back(peer);
   }
   std::stable_sort(interested.begin(), interested.end(), [this](auto* a, auto* b) {
     const double sa = unchoke_score(*a), sb = unchoke_score(*b);
@@ -1094,9 +1149,11 @@ void Client::run_choke_round() {
     if (peer == optimistic_peer_) continue;  // the optimistic slot is separate
     set_choke(*peer, i >= slots);
   }
-  // Peers that stopped being interested get choked to free slots.
-  for (auto& peer : peers_) {
-    if (peer->app_established() && !peer->peer_interested && peer.get() != optimistic_peer_) {
+  // Peers that stopped being interested get choked to free slots. Only
+  // currently-unchoked peers can produce a state change, so the incremental
+  // unchoked set covers every peer the old full scan would have touched.
+  for (PeerConnection* peer : snapshot_by_seq(unchoked_peers_)) {
+    if (peer->app_established() && !peer->peer_interested && peer != optimistic_peer_) {
       set_choke(*peer, true);
     }
   }
@@ -1105,10 +1162,9 @@ void Client::run_choke_round() {
 
 void Client::rotate_optimistic() {
   std::vector<PeerConnection*> candidates;
-  for (auto& peer : peers_) {
-    if (peer->app_established() && peer->peer_interested && peer->am_choking &&
-        peer.get() != optimistic_peer_) {
-      candidates.push_back(peer.get());
+  for (PeerConnection* peer : snapshot_by_seq(interested_peers_)) {
+    if (peer->app_established() && peer->am_choking && peer != optimistic_peer_) {
+      candidates.push_back(peer);
     }
   }
   PeerConnection* previous = optimistic_peer_;
@@ -1128,13 +1184,21 @@ void Client::rotate_optimistic() {
 void Client::set_choke(PeerConnection& peer, bool choke) {
   if (peer.am_choking == choke) return;
   peer.am_choking = choke;
-  if (!choke) peer.last_unchoked_at = sim_.now();
+  if (!choke) {
+    peer.last_unchoked_at = sim_.now();
+    unchoked_peers_.push_back(&peer);
+  } else {
+    std::erase(unchoked_peers_, &peer);
+  }
   WP2P_TRACE(sim_, bt_event(choke ? trace::Kind::kBtChoke : trace::Kind::kBtUnchoke, node_)
                        .on(net::to_string(peer.tcp().remote()))
                        .why(&peer == optimistic_peer_ ? "optimistic" : "tit-for-tat")
                        .with("peer_id", static_cast<double>(peer.remote_id & 0xffffffffu)));
   peer.send(WireMessage::simple(choke ? MsgType::kChoke : MsgType::kUnchoke));
-  if (choke) peer.upload_queue.clear();
+  if (choke) {
+    peer.upload_queue.clear();
+    update_pending_upload(peer);
+  }
 }
 
 // --- Upload side --------------------------------------------------------------------
@@ -1142,6 +1206,10 @@ void Client::set_choke(PeerConnection& peer, bool choke) {
 void Client::pump_uploads() {
   const sim::SimTime now = sim_.now();
   if (peers_.empty()) return;
+  // With nothing queued anywhere, a full idle cycle would advance the cursor
+  // by exactly peers_.size() — a no-op mod size — so skipping it entirely is
+  // behavior-identical and keeps idle pump ticks O(1) in swarm size.
+  if (pending_upload_peers_ == 0) return;
   // Persistent round-robin cursor: with a tight token budget, starting from
   // index 0 every pump would starve later peers of upload service.
   std::size_t idle_streak = 0;
@@ -1154,6 +1222,7 @@ void Client::pump_uploads() {
       const PeerConnection::PendingUpload job = peer.upload_queue.front();
       if (!upload_bucket_.try_consume(now, job.length)) return;  // pump tick retries
       peer.upload_queue.pop_front();
+      update_pending_upload(peer);
       peer.send(WireMessage::piece_msg(job.piece, job.offset, job.length));
       peer.uploaded_payload += job.length;
       peer.up_meter.add(now, job.length);

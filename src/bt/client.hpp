@@ -202,6 +202,14 @@ class Client {
 
   // Upload side.
   void pump_uploads();
+  // Keep pending_upload_peers_ in sync after any upload_queue mutation.
+  void update_pending_upload(PeerConnection& peer);
+
+  // Incremental peer-set maintenance (choker rounds are O(interested), not
+  // O(peers)). Snapshots are sorted by admission seq, which equals peers_
+  // order, so message emission order is byte-identical to a full scan.
+  void set_peer_interested(PeerConnection& peer, bool interested);
+  std::vector<PeerConnection*> snapshot_by_seq(const std::vector<PeerConnection*>& set) const;
 
   // Integrity / banning.
   void record_contributor(PeerConnection& peer, int piece, int block);
@@ -234,8 +242,14 @@ class Client {
   bool node_hooks_installed_ = false;
 
   std::vector<std::shared_ptr<PeerConnection>> peers_;
+  std::uint64_t next_peer_seq_ = 0;  // admission counter backing PeerConnection::seq
+  // Incrementally maintained membership sets (unordered; sort by seq at use).
+  std::vector<PeerConnection*> interested_peers_;  // peer_interested == true
+  std::vector<PeerConnection*> unchoked_peers_;    // am_choking == false
+  std::size_t pending_upload_peers_ = 0;  // peers with a non-empty upload_queue
   std::vector<int> availability_;                       // remote copies per piece
   std::map<int, std::vector<BlockState>> active_;       // pieces in progress
+  Bitfield active_pieces_;  // mirror of active_ keys for word-wise candidate scans
   // Which peer supplied each block of a piece in progress — the attribution
   // map consulted when a completed piece fails verification (smart ban).
   std::map<int, std::vector<PeerId>> contributors_;

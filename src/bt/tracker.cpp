@@ -1,5 +1,7 @@
 #include "bt/tracker.hpp"
 
+#include <algorithm>
+
 namespace wp2p::bt {
 
 void Tracker::announce(const AnnounceRequest& request, AnnounceCallback callback) {
@@ -18,7 +20,7 @@ void Tracker::announce(const AnnounceRequest& request, AnnounceCallback callback
   expire(swarm);
 
   if (request.event == AnnounceEvent::kStopped) {
-    swarm.erase(request.peer_id);
+    swarm.entries.erase(request.peer_id);
     if (callback) {
       sim_.after(config_.rpc_latency,
                  [cb = std::move(callback)] { cb(AnnounceResult{true, {}}); });
@@ -26,7 +28,7 @@ void Tracker::announce(const AnnounceRequest& request, AnnounceCallback callback
     return;
   }
 
-  Entry& entry = swarm[request.peer_id];
+  Entry& entry = swarm.entries[request.peer_id];
   entry.info = TrackerPeerInfo{request.endpoint, request.peer_id, request.seed};
   if (request.event == AnnounceEvent::kCompleted) entry.info.seed = true;
   entry.refreshed = sim_.now();
@@ -41,10 +43,21 @@ void Tracker::announce(const AnnounceRequest& request, AnnounceCallback callback
 }
 
 void Tracker::expire(Swarm& swarm) {
-  const sim::SimTime cutoff = sim_.now() - config_.peer_ttl;
-  for (auto it = swarm.begin(); it != swarm.end();) {
+  const sim::SimTime now = sim_.now();
+  // Small swarms sweep eagerly on every announce — the legacy behavior, kept
+  // exact so pinned traces don't move. Large swarms amortize: a full O(N)
+  // sweep per announce makes one announce interval cost O(N^2) swarm-wide,
+  // so they sweep at most every ttl/8 and readers skip stale entries lazily
+  // in the meantime (select_peers and the inspection helpers filter by TTL).
+  if (swarm.entries.size() >= kAmortizedSweepThreshold && swarm.last_sweep >= 0 &&
+      now - swarm.last_sweep < config_.peer_ttl / 8) {
+    return;
+  }
+  swarm.last_sweep = now;
+  const sim::SimTime cutoff = now - config_.peer_ttl;
+  for (auto it = swarm.entries.begin(); it != swarm.entries.end();) {
     if (it->second.refreshed < cutoff) {
-      it = swarm.erase(it);
+      it = swarm.entries.erase(it);
     } else {
       ++it;
     }
@@ -52,28 +65,45 @@ void Tracker::expire(Swarm& swarm) {
 }
 
 std::vector<TrackerPeerInfo> Tracker::select_peers(const Swarm& swarm, PeerId requester) {
+  // refreshed >= cutoff is a no-op right after an eager sweep (the sweep just
+  // erased everything below it), so small swarms see the exact legacy list.
+  const sim::SimTime cutoff = sim_.now() - config_.peer_ttl;
   std::vector<TrackerPeerInfo> all;
-  all.reserve(swarm.size());
-  for (const auto& [id, entry] : swarm) {
-    if (id != requester) all.push_back(entry.info);
+  all.reserve(swarm.entries.size());
+  for (const auto& [id, entry] : swarm.entries) {
+    if (id != requester && entry.refreshed >= cutoff) all.push_back(entry.info);
   }
-  if (static_cast<int>(all.size()) > config_.max_peers_returned) {
-    rng_.shuffle(all);
-    all.resize(static_cast<std::size_t>(config_.max_peers_returned));
+  const auto k = static_cast<std::size_t>(config_.max_peers_returned);
+  if (all.size() > k) {
+    // Partial Fisher-Yates: k draws pick a uniform k-sample, versus the full
+    // shuffle's N-1 draws. At 50k peers an announce now costs O(N) copy +
+    // O(k) draws instead of O(N) rng work.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng_.below(all.size() - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
   }
   return all;
 }
 
 std::size_t Tracker::swarm_size(InfoHash hash) const {
   auto it = swarms_.find(hash);
-  return it == swarms_.end() ? 0 : it->second.size();
+  if (it == swarms_.end()) return 0;
+  const sim::SimTime cutoff = sim_.now() - config_.peer_ttl;
+  return static_cast<std::size_t>(
+      std::count_if(it->second.entries.begin(), it->second.entries.end(),
+                    [&](const auto& kv) { return kv.second.refreshed >= cutoff; }));
 }
 
 std::size_t Tracker::seed_count(InfoHash hash) const {
   auto it = swarms_.find(hash);
   if (it == swarms_.end()) return 0;
+  const sim::SimTime cutoff = sim_.now() - config_.peer_ttl;
   std::size_t n = 0;
-  for (const auto& [id, entry] : it->second) n += entry.info.seed ? 1 : 0;
+  for (const auto& [id, entry] : it->second.entries) {
+    n += (entry.info.seed && entry.refreshed >= cutoff) ? 1 : 0;
+  }
   return n;
 }
 

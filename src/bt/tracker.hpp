@@ -91,7 +91,15 @@ class Tracker {
     TrackerPeerInfo info;
     sim::SimTime refreshed = 0;
   };
-  using Swarm = std::unordered_map<PeerId, Entry>;
+  struct Swarm {
+    std::unordered_map<PeerId, Entry> entries;
+    sim::SimTime last_sweep = -1;  // amortized-expiry bookkeeping (large swarms)
+  };
+
+  // Swarm size at which per-announce expiry sweeps switch from eager (legacy,
+  // trace-exact) to amortized. Well above every pinned scenario so small
+  // swarms keep byte-identical behavior.
+  static constexpr std::size_t kAmortizedSweepThreshold = 256;
 
   void expire(Swarm& swarm);
   std::vector<TrackerPeerInfo> select_peers(const Swarm& swarm, PeerId requester);

@@ -16,6 +16,7 @@
 #include "bt/bitfield.hpp"
 #include "bt/metainfo.hpp"
 #include "net/address.hpp"
+#include "util/pool.hpp"
 
 namespace wp2p::bt {
 
@@ -88,9 +89,16 @@ struct WireMessage {
     return 4;
   }
 
+  // All factories allocate through a pooled allocator: message churn dominates
+  // simulator allocations at scale, and allocate_shared puts the control block
+  // and payload in a single recycled block (see util/pool.hpp).
+  static std::shared_ptr<WireMessage> alloc() {
+    return std::allocate_shared<WireMessage>(util::PoolAllocator<WireMessage>{});
+  }
+
   static std::shared_ptr<const WireMessage> handshake(InfoHash hash, PeerId id,
                                                       std::uint16_t listen_port = 0) {
-    auto m = std::make_shared<WireMessage>();
+    auto m = alloc();
     m->type = MsgType::kHandshake;
     m->info_hash = hash;
     m->peer_id = id;
@@ -98,25 +106,25 @@ struct WireMessage {
     return m;
   }
   static std::shared_ptr<const WireMessage> simple(MsgType type) {
-    auto m = std::make_shared<WireMessage>();
+    auto m = alloc();
     m->type = type;
     return m;
   }
   static std::shared_ptr<const WireMessage> have(int piece) {
-    auto m = std::make_shared<WireMessage>();
+    auto m = alloc();
     m->type = MsgType::kHave;
     m->piece = piece;
     return m;
   }
   static std::shared_ptr<const WireMessage> bitfield_msg(Bitfield bf) {
-    auto m = std::make_shared<WireMessage>();
+    auto m = alloc();
     m->type = MsgType::kBitfield;
     m->bitfield = std::move(bf);
     return m;
   }
   static std::shared_ptr<const WireMessage> request(int piece, std::int64_t offset,
                                                     std::int64_t length) {
-    auto m = std::make_shared<WireMessage>();
+    auto m = alloc();
     m->type = MsgType::kRequest;
     m->piece = piece;
     m->offset = offset;
@@ -125,7 +133,7 @@ struct WireMessage {
   }
   static std::shared_ptr<const WireMessage> cancel(int piece, std::int64_t offset,
                                                    std::int64_t length) {
-    auto m = std::make_shared<WireMessage>();
+    auto m = alloc();
     m->type = MsgType::kCancel;
     m->piece = piece;
     m->offset = offset;
@@ -134,7 +142,7 @@ struct WireMessage {
   }
   static std::shared_ptr<const WireMessage> piece_msg(int piece, std::int64_t offset,
                                                       std::int64_t length) {
-    auto m = std::make_shared<WireMessage>();
+    auto m = alloc();
     m->type = MsgType::kPiece;
     m->piece = piece;
     m->offset = offset;
@@ -143,7 +151,7 @@ struct WireMessage {
   }
   static std::shared_ptr<const WireMessage> pex(std::vector<PexPeer> added,
                                                 std::vector<net::Endpoint> dropped) {
-    auto m = std::make_shared<WireMessage>();
+    auto m = alloc();
     m->type = MsgType::kPex;
     m->pex_added = std::move(added);
     m->pex_dropped = std::move(dropped);

@@ -32,7 +32,9 @@ class World {
     net::WiredLink* wired() { return dynamic_cast<net::WiredLink*>(node->access()); }
   };
 
-  explicit World(std::uint64_t seed = 1) : sim{seed}, net{sim} {}
+  explicit World(std::uint64_t seed = 1,
+                 sim::EventQueueKind queue_kind = sim::EventQueueKind::kCalendar)
+      : sim{seed, queue_kind}, net{sim} {}
 
   Host& add_wired_host(std::string name, net::WiredParams params = {},
                        tcp::TcpParams tcp_params = {}) {

@@ -1,0 +1,267 @@
+// Pending-event queues for the simulator kernel.
+//
+// Two interchangeable implementations behind one contract: pop order is
+// exactly ascending (time, id) — unique ids make the order total, so both
+// queues replay any schedule/cancel sequence into the identical event stream
+// and identical trace hashes.
+//
+//   BinaryHeapQueue  — the classic O(log n) heap; reference implementation
+//                      and differential-testing oracle.
+//   CalendarQueue    — Brown's calendar queue (CACM 1988): a hash of time
+//                      buckets with amortised O(1) enqueue/dequeue, which is
+//                      what keeps 10k–100k-peer swarms from spending their
+//                      wall clock inside heap sift-downs.
+//
+// Both store cancellation tombstones (the Simulator filters by its live set)
+// and support compact() so cancelled entries can be swept in bulk.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+#include "util/small_fn.hpp"
+
+namespace wp2p::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+// Which pending-event queue a Simulator uses. Calendar is the default at any
+// scale; the binary heap remains selectable for differential tests and as a
+// fallback while the calendar implementation earns trust.
+enum class EventQueueKind { kCalendar, kBinaryHeap };
+
+struct EventKey {
+  SimTime time = 0;
+  EventId id = kInvalidEventId;
+
+  friend bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.id < b.id;
+  }
+};
+
+struct Event {
+  // 56 bytes of inline closure storage covers every handler the protocol
+  // stack schedules ([this, alive, endpoint, message]-sized captures) without
+  // touching the heap.
+  using Handler = util::SmallFn<56>;
+
+  SimTime time = 0;
+  EventId id = kInvalidEventId;
+  Handler handler;
+
+  EventKey key() const { return {time, id}; }
+};
+
+// --- Binary heap --------------------------------------------------------------
+
+class BinaryHeapQueue {
+ public:
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  void push(Event e) {
+    entries_.push_back(std::move(e));
+    std::push_heap(entries_.begin(), entries_.end(), Later{});
+  }
+
+  EventKey min_key() const {
+    WP2P_ASSERT(!entries_.empty());
+    return entries_.front().key();
+  }
+
+  Event pop_min() {
+    WP2P_ASSERT(!entries_.empty());
+    std::pop_heap(entries_.begin(), entries_.end(), Later{});
+    Event e = std::move(entries_.back());
+    entries_.pop_back();
+    return e;
+  }
+
+  // Drop every entry for which keep() is false (cancel tombstones).
+  template <typename Keep>
+  void compact(const Keep& keep) {
+    std::erase_if(entries_, [&](const Event& e) { return !keep(e.id); });
+    std::make_heap(entries_.begin(), entries_.end(), Later{});
+  }
+
+ private:
+  struct Later {  // min-heap: "a sorts after b"
+    bool operator()(const Event& a, const Event& b) const { return b.key() < a.key(); }
+  };
+
+  std::vector<Event> entries_;
+};
+
+// --- Calendar queue -----------------------------------------------------------
+
+class CalendarQueue {
+ public:
+  CalendarQueue() { reset_buckets(kMinBuckets, /*width=*/milliseconds(1.0)); }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  void push(Event e) {
+    const EventKey k = e.key();
+    insert_sorted(bucket_of(e.time), std::move(e));
+    ++count_;
+    if (count_ == 1 || k.time < cursor_top_ - width_) {
+      // First entry, or an entry scheduled before the dequeue cursor's current
+      // window: rewind the cursor so the next min-search cannot skip it.
+      set_cursor(k.time);
+    }
+    if (count_ > (mask_ + 1) * 2) resize((mask_ + 1) * 2);
+  }
+
+  EventKey min_key() {
+    locate_min();
+    return buckets_[cursor_bucket_].front().key();
+  }
+
+  Event pop_min() {
+    locate_min();
+    std::vector<Event>& bucket = buckets_[cursor_bucket_];
+    Event e = std::move(bucket.front());
+    bucket.erase(bucket.begin());
+    --count_;
+    if (count_ >= kMinBuckets && count_ * 2 < mask_ + 1) resize((mask_ + 1) / 2);
+    return e;
+  }
+
+  template <typename Keep>
+  void compact(const Keep& keep) {
+    for (std::vector<Event>& bucket : buckets_) {
+      std::erase_if(bucket, [&](const Event& e) { return !keep(e.id); });
+    }
+    count_ = 0;
+    for (const std::vector<Event>& bucket : buckets_) count_ += bucket.size();
+    if (count_ == 0) return;
+    // Entries are gone but the cursor may now sit past the new minimum (its
+    // bucket's earlier entries were the survivors' predecessors). Rewind to
+    // the global minimum to restore the cursor invariant.
+    set_cursor(scan_min_time());
+    if (count_ >= kMinBuckets && count_ * 2 < mask_ + 1) resize(bucket_count_for(count_));
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;  // power of two
+  static constexpr std::size_t kWidthSample = 64;
+
+  std::size_t bucket_of(SimTime t) const {
+    return static_cast<std::size_t>(t / width_) & mask_;
+  }
+
+  static std::size_t bucket_count_for(std::size_t count) {
+    std::size_t n = kMinBuckets;
+    while (n < count) n *= 2;
+    return n;
+  }
+
+  void insert_sorted(std::size_t b, Event e) {
+    std::vector<Event>& bucket = buckets_[b];
+    auto pos = std::upper_bound(bucket.begin(), bucket.end(), e.key(),
+                                [](const EventKey& k, const Event& other) {
+                                  return k < other.key();
+                                });
+    bucket.insert(pos, std::move(e));
+  }
+
+  // Point the dequeue cursor at the year-window containing time `t`.
+  void set_cursor(SimTime t) {
+    cursor_bucket_ = bucket_of(t);
+    cursor_top_ = (t / width_ + 1) * width_;
+  }
+
+  // Advance the cursor to the bucket holding the minimum entry. Invariant on
+  // entry: no pending event precedes the cursor's current window (push()
+  // rewinds when violated), so the first bucket whose front falls inside the
+  // running window holds the global minimum — same-time ties always share a
+  // bucket and are id-sorted within it.
+  void locate_min() {
+    WP2P_ASSERT_MSG(count_ > 0, "min of an empty calendar queue");
+    std::size_t b = cursor_bucket_;
+    SimTime top = cursor_top_;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      const std::vector<Event>& bucket = buckets_[b];
+      if (!bucket.empty() && bucket.front().time < top) {
+        cursor_bucket_ = b;
+        cursor_top_ = top;
+        return;
+      }
+      b = (b + 1) & mask_;
+      top += width_;
+    }
+    // Sparse year: nothing within a full rotation. Jump straight to the
+    // global minimum front (every bucket's front is its local minimum).
+    set_cursor(scan_min_time());
+    WP2P_ASSERT(!buckets_[cursor_bucket_].empty());
+  }
+
+  SimTime scan_min_time() const {
+    EventKey best{kSimTimeMax, ~EventId{0}};
+    for (const std::vector<Event>& bucket : buckets_) {
+      if (!bucket.empty() && bucket.front().key() < best) best = bucket.front().key();
+    }
+    return best.time;
+  }
+
+  void reset_buckets(std::size_t nbuckets, SimTime width) {
+    buckets_.clear();
+    buckets_.resize(nbuckets);  // default-construct: Event is move-only
+    mask_ = nbuckets - 1;
+    width_ = std::max<SimTime>(width, 1);
+    cursor_bucket_ = 0;
+    cursor_top_ = width_;
+  }
+
+  // Rebuild with `nbuckets` buckets and a width fitted to the current event
+  // spacing. Deterministic: depends only on queue contents.
+  void resize(std::size_t nbuckets) {
+    std::vector<Event> all;
+    all.reserve(count_);
+    for (std::vector<Event>& bucket : buckets_) {
+      for (Event& e : bucket) all.push_back(std::move(e));
+    }
+    reset_buckets(nbuckets, fitted_width(all));
+    for (Event& e : all) insert_sorted(bucket_of(e.time), std::move(e));
+    if (count_ > 0) set_cursor(scan_min_time());
+  }
+
+  // Median inter-event gap over a strided sample — robust against one
+  // far-future keep-alive stretching the mean and collapsing every near-term
+  // event into a single bucket.
+  SimTime fitted_width(const std::vector<Event>& all) const {
+    if (all.size() < 2) return std::max<SimTime>(width_, 1);
+    std::vector<SimTime> times;
+    times.reserve(kWidthSample);
+    const std::size_t stride = std::max<std::size_t>(1, all.size() / kWidthSample);
+    for (std::size_t i = 0; i < all.size(); i += stride) times.push_back(all[i].time);
+    std::sort(times.begin(), times.end());
+    std::vector<SimTime> gaps;
+    gaps.reserve(times.size());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (times[i] != times[i - 1]) gaps.push_back(times[i] - times[i - 1]);
+    }
+    if (gaps.empty()) return 1;  // all sampled events simultaneous
+    std::nth_element(gaps.begin(), gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2),
+                     gaps.end());
+    // Aim for ~3 events per bucket-year so sorted inserts stay tiny.
+    return std::max<SimTime>(1, gaps[gaps.size() / 2] * 3);
+  }
+
+  std::vector<std::vector<Event>> buckets_;
+  std::size_t mask_ = 0;       // bucket count - 1 (power of two)
+  SimTime width_ = 1;          // virtual-time span of one bucket-year slot
+  std::size_t count_ = 0;      // entries stored, tombstones included
+  std::size_t cursor_bucket_ = 0;
+  SimTime cursor_top_ = 1;     // exclusive upper bound of the cursor window
+};
+
+}  // namespace wp2p::sim

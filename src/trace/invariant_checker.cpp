@@ -26,6 +26,58 @@ std::string to_string(const Violation& v) {
   return head + v.rule + ": " + v.detail;
 }
 
+InvariantChecker::InvariantChecker() {
+  add_rule({Kind::kTcpCwnd}, &InvariantChecker::rule_tcp_cwnd, true);
+  add_rule({Kind::kTcpFastRetransmit}, &InvariantChecker::rule_tcp_fast_retransmit, true);
+  // A timeout abandons fast recovery; the exit-recovery sample never comes,
+  // and the cwnd-floor rule covers the collapse to 1 MSS. Bookkeeping only —
+  // it does not count as a matched event.
+  add_rule({Kind::kTcpRto}, &InvariantChecker::rule_tcp_rto, false);
+  add_rule({Kind::kAmDecouple}, &InvariantChecker::rule_am_decouple, true);
+  add_rule({Kind::kAmDupackDrop, Kind::kAmDupackPass}, &InvariantChecker::rule_am_dupack,
+           true);
+  add_rule({Kind::kLihdStep}, &InvariantChecker::rule_lihd, true);
+  add_rule({Kind::kMobDetect}, &InvariantChecker::rule_mob_detect, true);
+  add_rule({Kind::kBtAnnounce}, &InvariantChecker::rule_announce, true);
+  add_rule({Kind::kBtAnnounceRetry}, &InvariantChecker::rule_announce_retry, true);
+  add_rule({Kind::kBtPieceCorrupt}, &InvariantChecker::rule_piece_corrupt, true);
+  add_rule({Kind::kBtPieceReset}, &InvariantChecker::rule_piece_reset, true);
+  add_rule({Kind::kBtPeerStrike}, &InvariantChecker::rule_peer_strike, true);
+  add_rule({Kind::kBtPeerBan}, &InvariantChecker::rule_peer_ban, true);
+  add_rule({Kind::kBtRequest}, &InvariantChecker::rule_request, true);
+  add_rule({Kind::kBtPexSend}, &InvariantChecker::rule_pex_send, true);
+  add_rule({Kind::kBtPexEntry}, &InvariantChecker::rule_pex_entry, true);
+  add_rule({Kind::kBtTrackerFailover}, &InvariantChecker::rule_failover, true);
+  add_rule({Kind::kBtBootstrap}, &InvariantChecker::rule_bootstrap, true);
+  add_rule({Kind::kFaultStart}, &InvariantChecker::rule_fault_start, true);
+  add_rule({Kind::kFaultEnd}, &InvariantChecker::rule_fault_end, true);
+}
+
+void InvariantChecker::add_rule(std::initializer_list<Kind> kinds, MemberRule member,
+                                bool counts_match) {
+  Rule rule;
+  rule.member = member;
+  rule.counts_match = counts_match;
+  rules_.push_back(std::move(rule));
+  index_rule(kinds, rules_.size() - 1);
+}
+
+void InvariantChecker::register_rule(std::initializer_list<Kind> kinds,
+                                     std::function<void(const TraceEvent&)> fn,
+                                     bool counts_match) {
+  Rule rule;
+  rule.external = std::move(fn);
+  rule.counts_match = counts_match;
+  rules_.push_back(std::move(rule));
+  index_rule(kinds, rules_.size() - 1);
+}
+
+void InvariantChecker::index_rule(std::initializer_list<Kind> kinds, std::size_t rule_idx) {
+  for (Kind kind : kinds) {
+    index_[static_cast<std::size_t>(kind)].push_back(static_cast<std::uint16_t>(rule_idx));
+  }
+}
+
 void InvariantChecker::violate(const TraceEvent& ev, std::string rule, std::string detail) {
   violations_.push_back(Violation{ev.time, std::move(rule), std::move(detail)});
 }
@@ -40,293 +92,256 @@ void InvariantChecker::reset_scenario() {
 
 void InvariantChecker::check(const TraceEvent& ev) {
   ++checked_;
-  switch (ev.kind) {
-    case Kind::kScenario:
-      reset_scenario();
-      return;
-
-    case Kind::kTcpCwnd: {
-      ++matched_;
-      FlowState& flow = flows_[flow_id(ev)];
-      const double cwnd = ev.field("cwnd");
-      const double mss = ev.field("mss");
-      if (mss > 0.0 && cwnd < mss - kEps) {
-        violate(ev, "tcp-cwnd-floor",
-                ev.key + " cwnd " + num(cwnd) + " below 1 MSS (" + num(mss) + ")");
-      }
-      if (flow.loss_pending && ev.aux == "exit-recovery") {
-        if (cwnd > flow.exit_bound + kEps) {
-          violate(ev, "tcp-loss-response",
-                  ev.key + " exits recovery at cwnd " + num(cwnd) +
-                      " > ssthresh bound " + num(flow.exit_bound) +
-                      " (pre-loss cwnd " + num(flow.cwnd_at_loss) + ")");
-        }
-        flow.loss_pending = false;
-      }
-      flow.last_cwnd = cwnd;
-      return;
-    }
-
-    case Kind::kTcpFastRetransmit: {
-      ++matched_;
-      FlowState& flow = flows_[flow_id(ev)];
-      flow.cwnd_at_loss = ev.field("cwnd_before", flow.last_cwnd);
-      const double mss = ev.field("mss");
-      const double flight = ev.field("flight", flow.cwnd_at_loss);
-      flow.exit_bound = std::max(flight / 2.0, 2.0 * mss);
-      flow.loss_pending = flow.exit_bound > 0.0;
-      return;
-    }
-
-    case Kind::kTcpRto:
-      // A timeout abandons fast recovery; the exit-recovery sample never
-      // comes, and the cwnd-floor rule covers the collapse to 1 MSS.
-      flows_[flow_id(ev)].loss_pending = false;
-      return;
-
-    case Kind::kAmDecouple: {
-      ++matched_;
-      const double estimate = ev.field("estimate");
-      const double gamma = ev.field("gamma");
-      if (gamma > 0.0 && estimate >= gamma) {
-        violate(ev, "am-decouple-young",
-                ev.key + " decoupled an ACK at estimate " + num(estimate) +
-                    " >= gamma " + num(gamma));
-      }
-      return;
-    }
-
-    case Kind::kAmDupackDrop:
-    case Kind::kAmDupackPass: {
-      ++matched_;
-      const double seen = ev.field("seen");
-      const double dropped = ev.field("dropped");
-      const double modulus = ev.field("modulus");
-      if (modulus > 0.0 && dropped * modulus > seen + kEps) {
-        violate(ev, "am-dupack-budget",
-                ev.key + " dropped " + num(dropped) + " of " + num(seen) +
-                    " DUPACKs, over the 1-in-" + num(modulus) + " budget");
-      }
-      return;
-    }
-
-    case Kind::kLihdStep: {
-      ++matched_;
-      const double limit = ev.field("limit");
-      const double lo = ev.field("min");
-      const double hi = ev.field("max");
-      if (limit < lo - kEps || limit > hi + kEps) {
-        violate(ev, "lihd-bounds",
-                ev.node + " upload limit " + num(limit) + " outside [" + num(lo) +
-                    ", " + num(hi) + "]");
-      }
-      return;
-    }
-
-    case Kind::kMobDetect: {
-      ++matched_;
-      DetectState& det = detectors_[ev.node];
-      const double confirm = ev.field("confirm_samples");
-      const double interval_us = ev.field("interval_us");
-      const auto min_gap = static_cast<sim::SimTime>(confirm * interval_us);
-      if (det.last_detect >= 0 && min_gap > 0 && ev.time - det.last_detect < min_gap) {
-        violate(ev, "mob-single-detect",
-                ev.node + " re-detected mobility after " +
-                    num(sim::to_seconds(ev.time - det.last_detect)) +
-                    " s, inside the confirm window of " +
-                    num(sim::to_seconds(min_gap)) + " s");
-      }
-      det.last_detect = ev.time;
-      return;
-    }
-
-    case Kind::kBtAnnounce: {
-      ++matched_;
-      // A successful announce resets the retry chain; the next retry may
-      // legitimately start from the initial base again. The failure streak
-      // mirrors the client's own darkness counter for the bootstrap rule.
-      RecoveryState& rec = recovery_[ev.node];
-      if (ev.field("ok") > 0.5) {
-        rec.backoff = BackoffState{};
-        rec.announce_streak = 0;
-      } else {
-        ++rec.announce_streak;
-      }
-      return;
-    }
-
-    case Kind::kBtAnnounceRetry: {
-      ++matched_;
-      BackoffState& backoff = recovery_[ev.node].backoff;
-      const double base = ev.field("base_s");
-      const double delay = ev.field("delay_s");
-      const double cap = ev.field("cap_s");
-      const double jitter = ev.field("jitter");
-      if (backoff.last_base >= 0.0 && base < backoff.last_base - kEps) {
-        violate(ev, "announce-backoff",
-                ev.node + " retry base " + num(base) + " s shrank from " +
-                    num(backoff.last_base) + " s without a successful announce");
-      }
-      if (cap > 0.0 && base > cap + kEps) {
-        violate(ev, "announce-backoff",
-                ev.node + " retry base " + num(base) + " s exceeds cap " + num(cap) + " s");
-      }
-      if (std::abs(delay - base) > jitter * base + kEps) {
-        violate(ev, "announce-backoff",
-                ev.node + " retry delay " + num(delay) + " s outside jitter band " +
-                    num(jitter) + " of base " + num(base) + " s");
-      }
-      backoff.last_base = base;
-      return;
-    }
-
-    case Kind::kBtPieceCorrupt: {
-      ++matched_;
-      RecoveryState& rec = recovery_[ev.node];
-      const int piece = static_cast<int>(ev.field("piece", -1.0));
-      if (rec.corrupt_pending[piece]) {
-        violate(ev, "corrupt-reset",
-                ev.node + " re-detected corrupt piece " + num(piece) +
-                    " before the previous detection was reset");
-      }
-      rec.corrupt_pending[piece] = true;
-      return;
-    }
-
-    case Kind::kBtPieceReset: {
-      ++matched_;
-      RecoveryState& rec = recovery_[ev.node];
-      const int piece = static_cast<int>(ev.field("piece", -1.0));
-      auto it = rec.corrupt_pending.find(piece);
-      if (it == rec.corrupt_pending.end() || !it->second) {
-        violate(ev, "corrupt-reset",
-                ev.node + " reset piece " + num(piece) + " without a pending detection");
-        return;
-      }
-      it->second = false;
-      return;
-    }
-
-    case Kind::kBtPeerStrike: {
-      ++matched_;
-      const double strikes = ev.field("strikes");
-      const double threshold = ev.field("threshold");
-      if (threshold > 0.0 && strikes > threshold + kEps) {
-        violate(ev, "peer-ban",
-                ev.node + " struck peer " + num(ev.field("peer_id")) + " " +
-                    num(strikes) + " times, past the ban threshold of " + num(threshold));
-      }
-      return;
-    }
-
-    case Kind::kBtPeerBan: {
-      ++matched_;
-      recovery_[ev.node].banned.insert(static_cast<std::uint64_t>(ev.field("peer_id")));
-      return;
-    }
-
-    case Kind::kBtRequest: {
-      ++matched_;
-      const auto peer = static_cast<std::uint64_t>(ev.field("peer_id"));
-      const RecoveryState& rec = recovery_[ev.node];
-      if (rec.banned.count(peer) > 0) {
-        violate(ev, "banned-request",
-                ev.node + " requested a block from banned peer " + num(ev.field("peer_id")));
-      }
-      return;
-    }
-
-    case Kind::kBtPexSend: {
-      ++matched_;
-      PexState& pex = pex_[flow_id(ev)];
-      const double interval_s = ev.field("interval_s");
-      const auto min_gap = sim::seconds(std::max(0.0, interval_s - kEps));
-      if (pex.last_send >= 0 && min_gap > 0 && ev.time - pex.last_send < min_gap) {
-        violate(ev, "pex-rate-limit",
-                ev.node + " gossiped to " + ev.key + " after " +
-                    num(sim::to_seconds(ev.time - pex.last_send)) +
-                    " s, inside the advertised interval of " + num(interval_s) + " s");
-      }
-      pex.last_send = ev.time;
-      return;
-    }
-
-    case Kind::kBtPexEntry: {
-      ++matched_;
-      const double ep = ev.field("ep");
-      const double self_ep = ev.field("self_ep");
-      if (std::abs(ep - self_ep) < 0.5) {  // packed endpoints are exact integers
-        violate(ev, "pex-no-self",
-                ev.node + " advertised its own listen endpoint to " + ev.key);
-      }
-      const auto peer = static_cast<std::uint64_t>(ev.field("peer_id"));
-      if (recovery_[ev.node].banned.count(peer) > 0) {
-        violate(ev, "pex-no-banned",
-                ev.node + " advertised banned peer " + num(ev.field("peer_id")) +
-                    " to " + ev.key);
-      }
-      return;
-    }
-
-    case Kind::kBtTrackerFailover: {
-      ++matched_;
-      const auto from = static_cast<int>(ev.field("from", -1.0));
-      const auto to = static_cast<int>(ev.field("to", -1.0));
-      const auto trackers = static_cast<int>(ev.field("trackers"));
-      if (ev.aux == "failover") {
-        if (trackers > 0 && to != (from + 1) % trackers) {
-          violate(ev, "failover-tier-order",
-                  ev.node + " failed over from slot " + num(from) + " to slot " +
-                      num(to) + ", skipping the tier-list order (size " +
-                      num(trackers) + ")");
-        } else if (to != 0 && ev.field("to_tier") < ev.field("from_tier") - kEps) {
-          violate(ev, "failover-tier-order",
-                  ev.node + " failed over from tier " + num(ev.field("from_tier")) +
-                      " down to tier " + num(ev.field("to_tier")) +
-                      " without wrapping to the primary");
-        }
-      } else if (ev.aux == "failback" && to != 0) {
-        violate(ev, "failover-tier-order",
-                ev.node + " failed back to slot " + num(to) + " instead of the primary");
-      }
-      return;
-    }
-
-    case Kind::kBtBootstrap: {
-      ++matched_;
-      const auto trackers = static_cast<int>(ev.field("trackers"));
-      const int streak = recovery_[ev.node].announce_streak;
-      if (streak < trackers) {
-        violate(ev, "bootstrap-only-when-dark",
-                ev.node + " dialed the bootstrap cache after only " + num(streak) +
-                    " consecutive announce failures across " + num(trackers) +
-                    " tracker tiers");
-      }
-      return;
-    }
-
-    case Kind::kFaultStart: {
-      ++matched_;
-      // One bracket per (target, fault kind); aux carries the kind name.
-      ++faults_[ev.node + "|" + ev.aux].open;
-      return;
-    }
-
-    case Kind::kFaultEnd: {
-      ++matched_;
-      FaultState& fault = faults_[ev.node + "|" + ev.aux];
-      if (fault.open <= 0) {
-        violate(ev, "fault-bracket",
-                ev.aux + " on " + ev.node + " ended without a matching start");
-        return;
-      }
-      --fault.open;
-      return;
-    }
-
-    default:
-      return;  // event kinds with no rule attached
+  if (ev.kind == Kind::kScenario) {
+    reset_scenario();
+    return;
   }
+  bool counted = false;
+  for (std::uint16_t rule_idx : index_[static_cast<std::size_t>(ev.kind)]) {
+    const Rule& rule = rules_[rule_idx];
+    ++dispatches_;
+    counted |= rule.counts_match;
+    if (rule.member != nullptr) {
+      (this->*rule.member)(ev);
+    } else {
+      rule.external(ev);
+    }
+  }
+  if (counted) ++matched_;
+}
+
+void InvariantChecker::rule_tcp_cwnd(const TraceEvent& ev) {
+  FlowState& flow = flows_[flow_id(ev)];
+  const double cwnd = ev.field("cwnd");
+  const double mss = ev.field("mss");
+  if (mss > 0.0 && cwnd < mss - kEps) {
+    violate(ev, "tcp-cwnd-floor",
+            ev.key + " cwnd " + num(cwnd) + " below 1 MSS (" + num(mss) + ")");
+  }
+  if (flow.loss_pending && ev.aux == "exit-recovery") {
+    if (cwnd > flow.exit_bound + kEps) {
+      violate(ev, "tcp-loss-response",
+              ev.key + " exits recovery at cwnd " + num(cwnd) + " > ssthresh bound " +
+                  num(flow.exit_bound) + " (pre-loss cwnd " + num(flow.cwnd_at_loss) + ")");
+    }
+    flow.loss_pending = false;
+  }
+  flow.last_cwnd = cwnd;
+}
+
+void InvariantChecker::rule_tcp_fast_retransmit(const TraceEvent& ev) {
+  FlowState& flow = flows_[flow_id(ev)];
+  flow.cwnd_at_loss = ev.field("cwnd_before", flow.last_cwnd);
+  const double mss = ev.field("mss");
+  const double flight = ev.field("flight", flow.cwnd_at_loss);
+  flow.exit_bound = std::max(flight / 2.0, 2.0 * mss);
+  flow.loss_pending = flow.exit_bound > 0.0;
+}
+
+void InvariantChecker::rule_tcp_rto(const TraceEvent& ev) {
+  flows_[flow_id(ev)].loss_pending = false;
+}
+
+void InvariantChecker::rule_am_decouple(const TraceEvent& ev) {
+  const double estimate = ev.field("estimate");
+  const double gamma = ev.field("gamma");
+  if (gamma > 0.0 && estimate >= gamma) {
+    violate(ev, "am-decouple-young",
+            ev.key + " decoupled an ACK at estimate " + num(estimate) + " >= gamma " +
+                num(gamma));
+  }
+}
+
+void InvariantChecker::rule_am_dupack(const TraceEvent& ev) {
+  const double seen = ev.field("seen");
+  const double dropped = ev.field("dropped");
+  const double modulus = ev.field("modulus");
+  if (modulus > 0.0 && dropped * modulus > seen + kEps) {
+    violate(ev, "am-dupack-budget",
+            ev.key + " dropped " + num(dropped) + " of " + num(seen) +
+                " DUPACKs, over the 1-in-" + num(modulus) + " budget");
+  }
+}
+
+void InvariantChecker::rule_lihd(const TraceEvent& ev) {
+  const double limit = ev.field("limit");
+  const double lo = ev.field("min");
+  const double hi = ev.field("max");
+  if (limit < lo - kEps || limit > hi + kEps) {
+    violate(ev, "lihd-bounds",
+            ev.node + " upload limit " + num(limit) + " outside [" + num(lo) + ", " +
+                num(hi) + "]");
+  }
+}
+
+void InvariantChecker::rule_mob_detect(const TraceEvent& ev) {
+  DetectState& det = detectors_[ev.node];
+  const double confirm = ev.field("confirm_samples");
+  const double interval_us = ev.field("interval_us");
+  const auto min_gap = static_cast<sim::SimTime>(confirm * interval_us);
+  if (det.last_detect >= 0 && min_gap > 0 && ev.time - det.last_detect < min_gap) {
+    violate(ev, "mob-single-detect",
+            ev.node + " re-detected mobility after " +
+                num(sim::to_seconds(ev.time - det.last_detect)) +
+                " s, inside the confirm window of " + num(sim::to_seconds(min_gap)) + " s");
+  }
+  det.last_detect = ev.time;
+}
+
+void InvariantChecker::rule_announce(const TraceEvent& ev) {
+  // A successful announce resets the retry chain; the next retry may
+  // legitimately start from the initial base again. The failure streak
+  // mirrors the client's own darkness counter for the bootstrap rule.
+  RecoveryState& rec = recovery_[ev.node];
+  if (ev.field("ok") > 0.5) {
+    rec.backoff = BackoffState{};
+    rec.announce_streak = 0;
+  } else {
+    ++rec.announce_streak;
+  }
+}
+
+void InvariantChecker::rule_announce_retry(const TraceEvent& ev) {
+  BackoffState& backoff = recovery_[ev.node].backoff;
+  const double base = ev.field("base_s");
+  const double delay = ev.field("delay_s");
+  const double cap = ev.field("cap_s");
+  const double jitter = ev.field("jitter");
+  if (backoff.last_base >= 0.0 && base < backoff.last_base - kEps) {
+    violate(ev, "announce-backoff",
+            ev.node + " retry base " + num(base) + " s shrank from " +
+                num(backoff.last_base) + " s without a successful announce");
+  }
+  if (cap > 0.0 && base > cap + kEps) {
+    violate(ev, "announce-backoff",
+            ev.node + " retry base " + num(base) + " s exceeds cap " + num(cap) + " s");
+  }
+  if (std::abs(delay - base) > jitter * base + kEps) {
+    violate(ev, "announce-backoff",
+            ev.node + " retry delay " + num(delay) + " s outside jitter band " +
+                num(jitter) + " of base " + num(base) + " s");
+  }
+  backoff.last_base = base;
+}
+
+void InvariantChecker::rule_piece_corrupt(const TraceEvent& ev) {
+  RecoveryState& rec = recovery_[ev.node];
+  const int piece = static_cast<int>(ev.field("piece", -1.0));
+  if (rec.corrupt_pending[piece]) {
+    violate(ev, "corrupt-reset",
+            ev.node + " re-detected corrupt piece " + num(piece) +
+                " before the previous detection was reset");
+  }
+  rec.corrupt_pending[piece] = true;
+}
+
+void InvariantChecker::rule_piece_reset(const TraceEvent& ev) {
+  RecoveryState& rec = recovery_[ev.node];
+  const int piece = static_cast<int>(ev.field("piece", -1.0));
+  auto it = rec.corrupt_pending.find(piece);
+  if (it == rec.corrupt_pending.end() || !it->second) {
+    violate(ev, "corrupt-reset",
+            ev.node + " reset piece " + num(piece) + " without a pending detection");
+    return;
+  }
+  it->second = false;
+}
+
+void InvariantChecker::rule_peer_strike(const TraceEvent& ev) {
+  const double strikes = ev.field("strikes");
+  const double threshold = ev.field("threshold");
+  if (threshold > 0.0 && strikes > threshold + kEps) {
+    violate(ev, "peer-ban",
+            ev.node + " struck peer " + num(ev.field("peer_id")) + " " + num(strikes) +
+                " times, past the ban threshold of " + num(threshold));
+  }
+}
+
+void InvariantChecker::rule_peer_ban(const TraceEvent& ev) {
+  recovery_[ev.node].banned.insert(static_cast<std::uint64_t>(ev.field("peer_id")));
+}
+
+void InvariantChecker::rule_request(const TraceEvent& ev) {
+  const auto peer = static_cast<std::uint64_t>(ev.field("peer_id"));
+  const RecoveryState& rec = recovery_[ev.node];
+  if (rec.banned.count(peer) > 0) {
+    violate(ev, "banned-request",
+            ev.node + " requested a block from banned peer " + num(ev.field("peer_id")));
+  }
+}
+
+void InvariantChecker::rule_pex_send(const TraceEvent& ev) {
+  PexState& pex = pex_[flow_id(ev)];
+  const double interval_s = ev.field("interval_s");
+  const auto min_gap = sim::seconds(std::max(0.0, interval_s - kEps));
+  if (pex.last_send >= 0 && min_gap > 0 && ev.time - pex.last_send < min_gap) {
+    violate(ev, "pex-rate-limit",
+            ev.node + " gossiped to " + ev.key + " after " +
+                num(sim::to_seconds(ev.time - pex.last_send)) +
+                " s, inside the advertised interval of " + num(interval_s) + " s");
+  }
+  pex.last_send = ev.time;
+}
+
+void InvariantChecker::rule_pex_entry(const TraceEvent& ev) {
+  const double ep = ev.field("ep");
+  const double self_ep = ev.field("self_ep");
+  if (std::abs(ep - self_ep) < 0.5) {  // packed endpoints are exact integers
+    violate(ev, "pex-no-self", ev.node + " advertised its own listen endpoint to " + ev.key);
+  }
+  const auto peer = static_cast<std::uint64_t>(ev.field("peer_id"));
+  if (recovery_[ev.node].banned.count(peer) > 0) {
+    violate(ev, "pex-no-banned",
+            ev.node + " advertised banned peer " + num(ev.field("peer_id")) + " to " +
+                ev.key);
+  }
+}
+
+void InvariantChecker::rule_failover(const TraceEvent& ev) {
+  const auto from = static_cast<int>(ev.field("from", -1.0));
+  const auto to = static_cast<int>(ev.field("to", -1.0));
+  const auto trackers = static_cast<int>(ev.field("trackers"));
+  if (ev.aux == "failover") {
+    if (trackers > 0 && to != (from + 1) % trackers) {
+      violate(ev, "failover-tier-order",
+              ev.node + " failed over from slot " + num(from) + " to slot " + num(to) +
+                  ", skipping the tier-list order (size " + num(trackers) + ")");
+    } else if (to != 0 && ev.field("to_tier") < ev.field("from_tier") - kEps) {
+      violate(ev, "failover-tier-order",
+              ev.node + " failed over from tier " + num(ev.field("from_tier")) +
+                  " down to tier " + num(ev.field("to_tier")) +
+                  " without wrapping to the primary");
+    }
+  } else if (ev.aux == "failback" && to != 0) {
+    violate(ev, "failover-tier-order",
+            ev.node + " failed back to slot " + num(to) + " instead of the primary");
+  }
+}
+
+void InvariantChecker::rule_bootstrap(const TraceEvent& ev) {
+  const auto trackers = static_cast<int>(ev.field("trackers"));
+  const int streak = recovery_[ev.node].announce_streak;
+  if (streak < trackers) {
+    violate(ev, "bootstrap-only-when-dark",
+            ev.node + " dialed the bootstrap cache after only " + num(streak) +
+                " consecutive announce failures across " + num(trackers) +
+                " tracker tiers");
+  }
+}
+
+void InvariantChecker::rule_fault_start(const TraceEvent& ev) {
+  // One bracket per (target, fault kind); aux carries the kind name.
+  ++faults_[ev.node + "|" + ev.aux].open;
+}
+
+void InvariantChecker::rule_fault_end(const TraceEvent& ev) {
+  FaultState& fault = faults_[ev.node + "|" + ev.aux];
+  if (fault.open <= 0) {
+    violate(ev, "fault-bracket",
+            ev.aux + " on " + ev.node + " ended without a matching start");
+    return;
+  }
+  --fault.open;
 }
 
 }  // namespace wp2p::trace

@@ -67,9 +67,18 @@
 //
 // kScenario markers reset per-flow state, so one JSONL file may hold many
 // independently checked scenarios.
+//
+// Rules are indexed by trace kind: check() consults a per-Kind table and
+// invokes only the rules registered for that kind, so per-event dispatch cost
+// is O(rules interested in that kind), independent of how many rules exist.
+// On a 10k-peer run the trace is dominated by kinds with no rule at all
+// (choke/unchoke, channel events), which now cost one table lookup each.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
+#include <initializer_list>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -89,6 +98,11 @@ std::string to_string(const Violation& v);
 
 class InvariantChecker final : public Sink {
  public:
+  InvariantChecker();
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
   void on_event(const TraceEvent& ev) override { check(ev); }
 
   void check(const TraceEvent& ev);
@@ -102,6 +116,16 @@ class InvariantChecker final : public Sink {
   // Events that at least one rule actually examined (a smoke signal that the
   // instrumentation is alive; an all-quiet trace checks vacuously).
   std::uint64_t events_matched() const { return matched_; }
+
+  // Register an extra rule for the given kinds. Used by tests to prove the
+  // kind-indexed dispatch: rules on other kinds must never run.
+  void register_rule(std::initializer_list<Kind> kinds,
+                     std::function<void(const TraceEvent&)> fn,
+                     bool counts_match = true);
+
+  std::size_t rule_count() const { return rules_.size(); }
+  // Total rule invocations across all checked events (dispatch-cost probe).
+  std::uint64_t rule_dispatches() const { return dispatches_; }
 
  private:
   struct FlowState {
@@ -129,17 +153,51 @@ class InvariantChecker final : public Sink {
     sim::SimTime last_send = -1;
   };
 
+  using MemberRule = void (InvariantChecker::*)(const TraceEvent&);
+  struct Rule {
+    MemberRule member = nullptr;                     // built-in rules
+    std::function<void(const TraceEvent&)> external;  // test-registered rules
+    bool counts_match = true;
+  };
+
   void violate(const TraceEvent& ev, std::string rule, std::string detail);
   void reset_scenario();
+  void add_rule(std::initializer_list<Kind> kinds, MemberRule member, bool counts_match);
+  void index_rule(std::initializer_list<Kind> kinds, std::size_t rule_idx);
+
+  // One member per documented rule group; bodies carry the rule logic.
+  void rule_tcp_cwnd(const TraceEvent& ev);
+  void rule_tcp_fast_retransmit(const TraceEvent& ev);
+  void rule_tcp_rto(const TraceEvent& ev);
+  void rule_am_decouple(const TraceEvent& ev);
+  void rule_am_dupack(const TraceEvent& ev);
+  void rule_lihd(const TraceEvent& ev);
+  void rule_mob_detect(const TraceEvent& ev);
+  void rule_announce(const TraceEvent& ev);
+  void rule_announce_retry(const TraceEvent& ev);
+  void rule_piece_corrupt(const TraceEvent& ev);
+  void rule_piece_reset(const TraceEvent& ev);
+  void rule_peer_strike(const TraceEvent& ev);
+  void rule_peer_ban(const TraceEvent& ev);
+  void rule_request(const TraceEvent& ev);
+  void rule_pex_send(const TraceEvent& ev);
+  void rule_pex_entry(const TraceEvent& ev);
+  void rule_failover(const TraceEvent& ev);
+  void rule_bootstrap(const TraceEvent& ev);
+  void rule_fault_start(const TraceEvent& ev);
+  void rule_fault_end(const TraceEvent& ev);
 
   std::unordered_map<std::string, FlowState> flows_;
   std::unordered_map<std::string, DetectState> detectors_;
   std::unordered_map<std::string, FaultState> faults_;
   std::unordered_map<std::string, RecoveryState> recovery_;
   std::unordered_map<std::string, PexState> pex_;  // node|recipient endpoint
+  std::vector<Rule> rules_;
+  std::array<std::vector<std::uint16_t>, kNumKinds> index_;  // kind -> rule ids
   std::vector<Violation> violations_;
   std::uint64_t checked_ = 0;
   std::uint64_t matched_ = 0;
+  std::uint64_t dispatches_ = 0;
 };
 
 }  // namespace wp2p::trace

@@ -78,6 +78,10 @@ enum class Kind : std::uint8_t {
   kFaultSkipped,  // fault addressed a node the binder has no client for
 };
 
+// Number of Kind values; sized for per-kind lookup tables (keep in sync with
+// the last enumerator above).
+inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kFaultSkipped) + 1;
+
 const char* to_string(Component c);
 const char* to_string(Kind k);
 std::optional<Component> component_from(std::string_view name);

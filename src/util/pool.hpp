@@ -1,0 +1,84 @@
+// Free-list pool allocator for high-churn fixed-size allocations.
+//
+// The simulator allocates and frees millions of short-lived objects per run —
+// wire messages above all — and at 10k+ peers general-purpose malloc becomes a
+// measurable fraction of the hot path. PoolAllocator<T> recycles single-object
+// blocks through a per-type free list: std::allocate_shared<T>(PoolAllocator&)
+// places the control block and the T in one pooled allocation, so steady-state
+// message traffic performs no heap calls at all.
+//
+// The pool is thread_local (the simulator is single-threaded; tests that spin
+// up independent worlds on other threads each get their own list) and capped,
+// so a traffic burst can't pin an unbounded high-water mark of memory.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace wp2p::util {
+
+template <typename T>
+class PoolAllocator {
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static constexpr std::size_t kBlockSize =
+      sizeof(T) > sizeof(FreeNode) ? sizeof(T) : sizeof(FreeNode);
+  static constexpr std::size_t kMaxFree = 4096;  // cap on cached blocks
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "over-aligned types need a dedicated pool");
+
+  struct FreeList {
+    FreeNode* head = nullptr;
+    std::size_t count = 0;
+    ~FreeList() {
+      while (head != nullptr) {
+        FreeNode* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  };
+
+  static FreeList& list() {
+    thread_local FreeList fl;
+    return fl;
+  }
+
+ public:
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    FreeList& fl = list();
+    if (n == 1 && fl.head != nullptr) {
+      FreeNode* node = fl.head;
+      fl.head = node->next;
+      --fl.count;
+      node->~FreeNode();
+      return static_cast<T*>(static_cast<void*>(node));
+    }
+    return static_cast<T*>(::operator new(n == 1 ? kBlockSize : n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    FreeList& fl = list();
+    if (n == 1 && fl.count < kMaxFree) {
+      auto* node = ::new (static_cast<void*>(p)) FreeNode{fl.head};
+      fl.head = node;
+      ++fl.count;
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;  // stateless: any instance can free any other's blocks
+  }
+};
+
+}  // namespace wp2p::util

@@ -94,5 +94,26 @@ TEST(Bitfield, ClearResets) {
   EXPECT_TRUE(bf.none());
 }
 
+
+TEST(Bitfield, WordAccessorsExposePackedStorage) {
+  Bitfield bf{130};  // 3 words, 2-bit tail
+  ASSERT_EQ(bf.word_count(), 3);
+  bf.set(0);
+  bf.set(63);
+  bf.set(64);
+  bf.set(129);
+  EXPECT_EQ(bf.word(0), (std::uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(bf.word(1), std::uint64_t{1});
+  EXPECT_EQ(bf.word(2), std::uint64_t{1} << 1);
+}
+
+TEST(Bitfield, SetAllKeepsBitsPastSizeZero) {
+  Bitfield bf{70};  // 6-bit tail in word 1
+  bf.set_all();
+  EXPECT_TRUE(bf.all());
+  EXPECT_EQ(bf.word(1), (std::uint64_t{1} << 6) - 1);
+  EXPECT_EQ(bf.first_missing(), -1);
+}
+
 }  // namespace
 }  // namespace wp2p::bt

@@ -262,6 +262,40 @@ TEST(ScenarioFuzzer, GeneratesMultiTrackerPlansThatRunDeterministically) {
   EXPECT_EQ(v1.leech_completion_s, v2.leech_completion_s);
 }
 
+// Queue-equivalence property: the calendar queue and the binary heap must
+// produce identical event orders — and therefore identical FNV-1a trace
+// hashes and verdicts — for every generated scenario, including cancel-heavy
+// plans (hand-offs and tracker faults cancel/reschedule timers constantly).
+TEST(ScenarioFuzzer, CalendarAndHeapQueuesAgreeAcrossSeeds) {
+  ScenarioFuzzer fuzzer{quick_limits()};
+  int fault_heavy = 0;
+  for (std::uint64_t seed = 61; seed <= 66; ++seed) {
+    const Scenario scenario = fuzzer.generate(seed);
+    fault_heavy += scenario.faults.size() >= 2 ? 1 : 0;
+    const exp::FuzzVerdict cal = fuzzer.run(scenario, sim::EventQueueKind::kCalendar);
+    const exp::FuzzVerdict heap = fuzzer.run(scenario, sim::EventQueueKind::kBinaryHeap);
+    EXPECT_GT(cal.events, 0u) << "seed " << seed;
+    EXPECT_EQ(cal.trace_hash, heap.trace_hash) << "seed " << seed;
+    EXPECT_EQ(cal.events, heap.events) << "seed " << seed;
+    EXPECT_EQ(cal.passed, heap.passed) << "seed " << seed;
+    EXPECT_EQ(cal.leech_completion_s, heap.leech_completion_s) << "seed " << seed;
+    EXPECT_EQ(cal.faults_applied, heap.faults_applied) << "seed " << seed;
+  }
+  // The sweep must actually exercise the cancel-heavy regime somewhere.
+  EXPECT_GT(fault_heavy, 0) << "no generated scenario carried >=2 faults";
+}
+
+TEST(ScenarioFuzzer, QueueKindsAgreeOnCancelHeavyPoisonScenario) {
+  ScenarioFuzzer fuzzer{quick_limits()};
+  exp::Scenario s = poison_scenario();
+  const exp::FuzzVerdict cal = fuzzer.run(s, sim::EventQueueKind::kCalendar);
+  const exp::FuzzVerdict heap = fuzzer.run(s, sim::EventQueueKind::kBinaryHeap);
+  EXPECT_EQ(cal.trace_hash, heap.trace_hash);
+  EXPECT_EQ(cal.events, heap.events);
+  EXPECT_EQ(cal.wasted_bytes, heap.wasted_bytes);
+  EXPECT_EQ(cal.peers_banned, heap.peers_banned);
+}
+
 TEST(ScenarioFuzzer, ShrinkKeepsPassingScenarioIntact) {
   // shrink() on a passing scenario has nothing to chase: every candidate
   // passes, so the "minimized" result is the input itself.

@@ -187,5 +187,89 @@ TEST(PeriodicTask, DestructorCancelsCleanly) {
   EXPECT_EQ(fires, 2);
 }
 
+
+// --- Event-queue scaling -----------------------------------------------------------
+
+// Regression: cancel() used to leave a tombstone in the queue forever. A
+// workload that schedules and cancels in a loop (TCP timers do exactly this)
+// must not grow the queue without bound.
+TEST(Simulator, CancelCompactsTombstones) {
+  for (EventQueueKind kind : {EventQueueKind::kCalendar, EventQueueKind::kBinaryHeap}) {
+    Simulator sim{1, kind};
+    for (int round = 0; round < 200; ++round) {
+      std::vector<EventId> ids;
+      for (int i = 0; i < 100; ++i) {
+        ids.push_back(sim.after(seconds(1000.0 + i), [] {}));
+      }
+      for (EventId id : ids) sim.cancel(id);
+    }
+    // 20k schedule/cancel pairs and zero live events: compaction must have
+    // kept the stored queue near-empty, not at 20k tombstones.
+    EXPECT_LE(sim.queue_entries(), 128u) << "kind=" << static_cast<int>(kind);
+    EXPECT_FALSE(sim.has_pending());
+  }
+}
+
+TEST(Simulator, CancelCompactionPreservesPendingEvents) {
+  for (EventQueueKind kind : {EventQueueKind::kCalendar, EventQueueKind::kBinaryHeap}) {
+    Simulator sim{1, kind};
+    std::vector<int> fired;
+    // Interleave survivors with a cancel-heavy churn so compaction runs while
+    // real events are stored.
+    for (int i = 0; i < 50; ++i) {
+      sim.at(seconds(10.0 + i), [&fired, i] { fired.push_back(i); });
+      std::vector<EventId> churn;
+      for (int j = 0; j < 100; ++j) {
+        churn.push_back(sim.at(seconds(500.0 + j), [] {}));
+      }
+      for (EventId id : churn) sim.cancel(id);
+    }
+    sim.run();
+    ASSERT_EQ(fired.size(), 50u) << "kind=" << static_cast<int>(kind);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+  }
+}
+
+// The calendar queue must reproduce the binary heap's execution order
+// exactly — same times, same FIFO tie-breaks — under a randomized mix of
+// schedules, reschedules, and cancels.
+TEST(Simulator, CalendarMatchesBinaryHeapOrder) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Simulator cal{seed, EventQueueKind::kCalendar};
+    Simulator heap{seed, EventQueueKind::kBinaryHeap};
+    std::vector<std::pair<SimTime, int>> cal_order, heap_order;
+
+    auto drive = [seed](Simulator& sim, std::vector<std::pair<SimTime, int>>& order) {
+      Rng rng{seed * 0x9e3779b97f4a7c15ULL};
+      std::vector<EventId> cancelable;
+      int tag = 0;
+      for (int i = 0; i < 500; ++i) {
+        const int op_tag = tag++;
+        const SimTime when = static_cast<SimTime>(rng.below(1000000)) + 1;
+        EventId id = sim.at(when, [&order, &sim, op_tag] {
+          order.emplace_back(sim.now(), op_tag);
+        });
+        // Clustered ties: every third event lands on a shared time.
+        if (i % 3 == 0) {
+          const int tie_tag = tag++;
+          sim.at(when, [&order, &sim, tie_tag] {
+            order.emplace_back(sim.now(), tie_tag);
+          });
+        }
+        if (rng.bernoulli(0.4)) cancelable.push_back(id);
+        if (cancelable.size() > 20 && rng.bernoulli(0.5)) {
+          sim.cancel(cancelable.back());
+          cancelable.pop_back();
+        }
+      }
+      sim.run();
+    };
+
+    drive(cal, cal_order);
+    drive(heap, heap_order);
+    EXPECT_EQ(cal_order, heap_order) << "seed=" << seed;
+  }
+}
+
 }  // namespace
 }  // namespace wp2p::sim

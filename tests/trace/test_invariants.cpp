@@ -351,5 +351,44 @@ TEST(Invariants, CountsCheckedAndMatchedEvents) {
   EXPECT_TRUE(checker.violations().empty());
 }
 
+
+// The per-kind rule index must make dispatch cost independent of how many
+// rules exist for *other* kinds: an event only ever touches the rules
+// registered for its own kind.
+TEST(Invariants, DispatchCostIndependentOfInactiveRules) {
+  InvariantChecker plain;
+  InvariantChecker loaded;
+  // Pile external rules onto a kind the stream below never contains.
+  for (int i = 0; i < 256; ++i) {
+    loaded.register_rule({Kind::kBtPexSend}, [](const TraceEvent&) {});
+  }
+  ASSERT_EQ(loaded.rule_count(), plain.rule_count() + 256);
+
+  const std::vector<TraceEvent> stream{
+      exit_recovery(5000, 1000),
+      event(Component::kBt, Kind::kBtChoke),
+      fast_retx(10000, 8000, 1000),
+      event(Component::kBt, Kind::kBtUnchoke),
+  };
+  plain.replay(stream);
+  loaded.replay(stream);
+  // Identical dispatch counts: none of the 256 inactive rules was consulted.
+  EXPECT_EQ(loaded.rule_dispatches(), plain.rule_dispatches());
+  EXPECT_EQ(loaded.events_checked(), plain.events_checked());
+  EXPECT_EQ(loaded.events_matched(), plain.events_matched());
+}
+
+TEST(Invariants, RegisteredExternalRuleFiresOnItsKind) {
+  InvariantChecker checker;
+  int calls = 0;
+  checker.register_rule({Kind::kBtChoke, Kind::kBtUnchoke},
+                        [&calls](const TraceEvent&) { ++calls; });
+  checker.check(event(Component::kBt, Kind::kBtChoke));
+  checker.check(event(Component::kBt, Kind::kBtUnchoke));
+  checker.check(event(Component::kBt, Kind::kBtRecover));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(checker.events_matched(), 2u);
+}
+
 }  // namespace
 }  // namespace wp2p::trace
