@@ -9,6 +9,11 @@
 //                       reproducing scenario and printed for the corpus
 //                       (tests/integration/corpus/). Exit 1 on failure.
 //   --fuzz-seed S       base seed for --fuzz (default 1).
+//   --max-cells N       enable the fuzzer's cellular slice: generated
+//                       scenarios may request up to N-cell topologies with
+//                       cellular stations and cell-targeted faults (outage,
+//                       BER, roam storms). Default 0 keeps the legacy
+//                       scenario space byte-identical.
 //   --replay FILE       parse a scenario spec (see TESTING.md) and run it
 //                       once; exit 1 if it fails.
 //   --break-cwnd-floor  disable TCP's 1-MSS cwnd floor in fuzzed/replayed
@@ -44,6 +49,7 @@ namespace {
 struct FaultBenchOptions {
   int fuzz = 0;
   std::uint64_t fuzz_seed = 1;
+  int max_cells = 0;
   std::string replay_path;
   bool break_cwnd_floor = false;
   bool no_ban = false;
@@ -454,9 +460,12 @@ void print_failure(const exp::Scenario& scenario, const exp::FuzzVerdict& verdic
 
 int fuzz_mode() {
   const FaultBenchOptions& fopts = fault_options();
-  exp::ScenarioFuzzer fuzzer;
-  std::printf("fuzzing %d scenarios from seed %llu%s...\n", fopts.fuzz,
+  exp::FuzzLimits limits;
+  limits.max_cells = fopts.max_cells;
+  exp::ScenarioFuzzer fuzzer{limits};
+  std::printf("fuzzing %d scenarios from seed %llu%s%s...\n", fopts.fuzz,
               static_cast<unsigned long long>(fopts.fuzz_seed),
+              fopts.max_cells > 1 ? " (cellular slice enabled)" : "",
               fopts.break_cwnd_floor ? " (cwnd floor DISABLED — failures expected)" : "");
 
   auto scenario_for = [&](std::uint64_t seed) {
@@ -558,6 +567,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--fuzz-seed") {
       fopts.fuzz_seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--max-cells") {
+      fopts.max_cells = std::atoi(value());
+      if (fopts.max_cells < 0) {
+        std::fprintf(stderr, "--max-cells: bad count\n");
+        return 2;
+      }
     } else if (arg == "--replay") {
       fopts.replay_path = value();
     } else if (arg == "--break-cwnd-floor") {

@@ -20,6 +20,8 @@ namespace wp2p::exp {
 
 inline std::unique_ptr<net::FaultInjector> bind_faults(Swarm& swarm, sim::FaultPlan plan) {
   auto injector = std::make_unique<net::FaultInjector>(swarm.world.net, std::move(plan));
+  // Cell-targeted faults resolve against the world's topology when one exists.
+  injector->bind_cells(swarm.world.cells.get());
   injector->on_tracker_outage = [swarm_ptr = &swarm](const std::string& target, bool down) {
     swarm_ptr->set_tracker_reachable(target, !down);
   };

@@ -51,6 +51,10 @@ struct FuzzLimits {
   std::int64_t max_file = 3 << 20;
   std::int64_t piece_size = 256 * 1024;
   int max_faults = 6;
+  // Cellular slice: maximum multi-cell topology size generated scenarios may
+  // request. 0 (the default) disables the slice entirely — generation draws
+  // nothing extra from the RNG, so legacy seeds reproduce byte-identically.
+  int max_cells = 0;
 };
 
 struct ScenarioPeer {
@@ -59,6 +63,10 @@ struct ScenarioPeer {
   bool is_seed = false;
   bool wp2p = false;  // identity retention + role reversal (+ AM when wireless)
   double preload = 0.0;
+  // Starting cell of a cellular station (-1 = not cellular; the peer gets a
+  // plain WirelessChannel/WiredLink). Only meaningful when the scenario has
+  // cells > 0; cellular peers are also wireless.
+  int cell = -1;
 
   bool operator==(const ScenarioPeer&) const = default;
 };
@@ -76,6 +84,10 @@ struct Scenario {
   bool pex = true;
   bool bootstrap = true;
   bool failover = true;
+  // Multi-cell topology: number of access points (0 = no cellular layer) and
+  // the downlink discipline every cell runs.
+  int cells = 0;
+  net::SchedulerKind cell_sched = net::SchedulerKind::kFifo;
   std::vector<ScenarioPeer> peers;
   sim::FaultPlan faults;
   // Harness self-test switch: propagated to every peer's TcpParams so a
@@ -89,18 +101,32 @@ struct Scenario {
     char head[256];
     std::snprintf(head, sizeof head,
                   "scenario seed=%llu duration=%.6f file=%lld piece=%lld unsafe=%d noban=%d "
-                  "trackers=%d trpeers=%d pex=%d boot=%d failover=%d\n",
+                  "trackers=%d trpeers=%d pex=%d boot=%d failover=%d",
                   static_cast<unsigned long long>(seed), duration_s,
                   static_cast<long long>(file_size), static_cast<long long>(piece_size),
                   unsafe_no_cwnd_floor ? 1 : 0, unsafe_no_ban ? 1 : 0, trackers,
                   tracker_peers, pex ? 1 : 0, bootstrap ? 1 : 0, failover ? 1 : 0);
     std::string out = head;
+    if (cells > 0) {
+      // Appended only when present, so legacy scenarios round-trip unchanged.
+      char cell_buf[48];
+      std::snprintf(cell_buf, sizeof cell_buf, " cells=%d sched=%s", cells,
+                    net::to_string(cell_sched));
+      out += cell_buf;
+    }
+    out += '\n';
     for (const ScenarioPeer& p : peers) {
       char line[160];
-      std::snprintf(line, sizeof line, "peer name=%s link=%s role=%s wp2p=%d preload=%g\n",
+      std::snprintf(line, sizeof line, "peer name=%s link=%s role=%s wp2p=%d preload=%g",
                     p.name.c_str(), p.wireless ? "wireless" : "wired",
                     p.is_seed ? "seed" : "leech", p.wp2p ? 1 : 0, p.preload);
       out += line;
+      if (p.cell >= 0) {
+        char cell_buf[24];
+        std::snprintf(cell_buf, sizeof cell_buf, " cell=%d", p.cell);
+        out += cell_buf;
+      }
+      out += '\n';
     }
     out += faults.serialize();
     return out;
@@ -125,6 +151,10 @@ struct FuzzVerdict {
   std::int64_t wasted_bytes = 0;
   std::uint64_t corrupt_pieces = 0;
   std::uint64_t peers_banned = 0;
+  // Cellular aggregates (all 0 when the scenario has no cells).
+  std::uint64_t roams = 0;               // hand-offs the topology executed
+  std::uint64_t cell_outage_drops = 0;   // packets lost to cell outages
+  std::uint64_t cell_handoff_drops = 0;  // frames that died mid-hand-off
   // Survivability: when each leech finished (seconds, in peer order; only
   // leeches that completed inside the run appear). -1 means no leech finished.
   std::vector<double> leech_completion_s;
@@ -215,8 +245,26 @@ class ScenarioFuzzer {
     // Some scenarios get backup tracker tiers, so the fault generator can
     // target individual tiers and mix total blackouts into the schedule.
     if (rng.bernoulli(0.3)) s.trackers = 2 + static_cast<int>(rng.below(2));
+    // Cellular slice: gate EVERY extra draw on max_cells so legacy limits
+    // reproduce the pre-cellular stream byte-identically.
+    std::vector<std::string> cellular;
+    if (limits_.max_cells > 1 && rng.bernoulli(0.5)) {
+      s.cells = 2 + static_cast<int>(
+                        rng.below(static_cast<std::size_t>(limits_.max_cells - 1)));
+      s.cell_sched = static_cast<net::SchedulerKind>(rng.below(3));
+      for (ScenarioPeer& p : s.peers) {
+        // Wireless leeches become roaming-capable stations; the wired seed
+        // stays put so every scenario keeps a stable full copy.
+        if (!p.wireless || p.is_seed || !rng.bernoulli(0.7)) continue;
+        p.cell = static_cast<int>(rng.below(static_cast<std::size_t>(s.cells)));
+        cellular.push_back(p.name);
+        // BER episodes act on WirelessChannel only; cellular stations take
+        // cell-ber faults instead.
+        std::erase(wireless, p.name);
+      }
+    }
     s.faults = sim::FaultPlan::random(rng, names, wireless, s.duration_s, limits_.max_faults,
-                                      /*t_min_s=*/5.0, s.trackers);
+                                      /*t_min_s=*/5.0, s.trackers, s.cells, cellular);
     return s;
   }
 
@@ -241,6 +289,12 @@ class ScenarioFuzzer {
     for (int t = 1; t < scenario.trackers; ++t) {
       swarm.add_backup_tracker(/*tier=*/t, tracker_config);
     }
+    if (scenario.cells > 0) {
+      net::CellularTopology& cells = swarm.world.enable_cells();
+      for (int c = 0; c < scenario.cells; ++c) {
+        cells.add_cell(net::WirelessParams{}, scenario.cell_sched);
+      }
+    }
     swarm.world.sim.set_tracer(&recorder);
     recorder.emit(trace::event(trace::Component::kSim, trace::Kind::kScenario)
                       .on("fuzz/seed=" + std::to_string(scenario.seed)));
@@ -260,9 +314,15 @@ class ScenarioFuzzer {
         config.retain_peer_id = true;
         config.role_reversal = true;
       }
+      const bool cellular = scenario.cells > 0 && p.cell >= 0;
+      const std::size_t start_cell =
+          cellular ? std::min(static_cast<std::size_t>(p.cell),
+                              static_cast<std::size_t>(scenario.cells - 1))
+                   : 0;
       Swarm::Member& member =
-          p.wireless ? swarm.add_wireless(p.name, p.is_seed, config, {}, tcp_params)
-                     : swarm.add_wired(p.name, p.is_seed, config, {}, tcp_params);
+          cellular    ? swarm.add_cellular(p.name, p.is_seed, config, start_cell, tcp_params)
+          : p.wireless ? swarm.add_wireless(p.name, p.is_seed, config, {}, tcp_params)
+                       : swarm.add_wired(p.name, p.is_seed, config, {}, tcp_params);
       if (p.wp2p && p.wireless) {
         // The AM packet filter below the stack, as core::WP2PClient installs it.
         am_filters.push_back(std::make_unique<core::AmFilter>(swarm.world.sim));
@@ -286,6 +346,13 @@ class ScenarioFuzzer {
     swarm.run_for(scenario.duration_s);
 
     verdict.faults_applied = injector->stats().applied;
+    if (swarm.world.cells) {
+      verdict.roams = swarm.world.cells->handoffs();
+      for (std::size_t c = 0; c < swarm.world.cells->cell_count(); ++c) {
+        verdict.cell_outage_drops += swarm.world.cells->cell(c).outage_drops();
+        verdict.cell_handoff_drops += swarm.world.cells->cell(c).handoff_drops();
+      }
+    }
 
     // End-to-end properties that must hold under ANY fault schedule.
     std::int64_t uploaded = 0, downloaded = 0;
@@ -489,6 +556,12 @@ inline std::optional<Scenario> Scenario::parse(std::string_view text) {
           s.bootstrap = value == "1";
         } else if (detail::parse_kv(tokens[i], "failover", value)) {
           s.failover = value == "1";
+        } else if (detail::parse_kv(tokens[i], "cells", value)) {
+          s.cells = std::atoi(value.c_str());
+        } else if (detail::parse_kv(tokens[i], "sched", value)) {
+          const auto kind = net::scheduler_kind_from(value);
+          if (!kind) return std::nullopt;
+          s.cell_sched = *kind;
         } else {
           return std::nullopt;
         }
@@ -506,6 +579,8 @@ inline std::optional<Scenario> Scenario::parse(std::string_view text) {
           p.wp2p = value == "1";
         } else if (detail::parse_kv(tokens[i], "preload", value)) {
           p.preload = std::strtod(value.c_str(), nullptr);
+        } else if (detail::parse_kv(tokens[i], "cell", value)) {
+          p.cell = std::atoi(value.c_str());
         } else {
           return std::nullopt;
         }

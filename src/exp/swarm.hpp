@@ -42,6 +42,14 @@ class Swarm {
     return add_member(host, is_seed, config);
   }
 
+  // A mobile member attached to cell `cell_id` of the world's multi-cell
+  // topology (world.enable_cells() + add_cell calls must come first).
+  Member& add_cellular(const std::string& name, bool is_seed, bt::ClientConfig config = {},
+                       std::size_t cell_id = 0, tcp::TcpParams tcp_params = {}) {
+    World::Host& host = world.add_cellular_host(name, cell_id, tcp_params);
+    return add_member(host, is_seed, config);
+  }
+
   // Add a backup tracker at the given failover tier (BEP 12 style: clients
   // exhaust tier 0 before moving to tier 1, and so on). Registers the new
   // tracker with every existing member and every member added later; call

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "net/cell.hpp"
 #include "net/network.hpp"
 #include "net/wired_link.hpp"
 #include "net/wireless_channel.hpp"
@@ -30,6 +31,7 @@ class World {
       return dynamic_cast<net::WirelessChannel*>(node->access());
     }
     net::WiredLink* wired() { return dynamic_cast<net::WiredLink*>(node->access()); }
+    net::CellLink* cell_link() { return dynamic_cast<net::CellLink*>(node->access()); }
   };
 
   explicit World(std::uint64_t seed = 1,
@@ -52,6 +54,23 @@ class World {
     return hosts.back();
   }
 
+  // Create the multi-cell topology (once); cells are then added via
+  // cells->add_cell(...) and stations via add_cellular_host.
+  net::CellularTopology& enable_cells() {
+    if (!cells) cells = std::make_unique<net::CellularTopology>(sim, net);
+    return *cells;
+  }
+
+  // A mobile host whose access link is a CellLink into `cell_id`. Requires
+  // enable_cells() and at least cell_id+1 cells added first.
+  Host& add_cellular_host(std::string name, std::size_t cell_id = 0,
+                          tcp::TcpParams tcp_params = {}) {
+    net::Node& node = net.add_node(std::move(name));
+    cells->attach(node, cell_id);
+    hosts.push_back(Host{&node, std::make_unique<tcp::Stack>(node, tcp_params)});
+    return hosts.back();
+  }
+
   // Attach a World-owned trace recorder (created on first call) to the
   // simulator, so tests can turn on tracing without managing lifetime.
   // External recorders (e.g. a bench's shared session) can still be installed
@@ -64,6 +83,8 @@ class World {
 
   sim::Simulator sim;
   net::Network net;
+  // Multi-cell topology; null until enable_cells().
+  std::unique_ptr<net::CellularTopology> cells;
   std::deque<Host> hosts;
   std::unique_ptr<trace::Recorder> tracer;  // null until enable_tracing()
 };

@@ -1,0 +1,275 @@
+// Multi-cell wireless topology: N access points, roaming, downlink scheduling.
+//
+// The paper's mobile hosts live in ONE shared WLAN cell (net::WirelessChannel);
+// every mobility effect expressible there is an address change over a single
+// medium. This subsystem generalizes to many cells:
+//
+//  * Cell — one access point's shared half-duplex medium, serving every
+//    attached station through a single channel server. The service algorithm
+//    mirrors WirelessChannel exactly (direction round-robin, contention
+//    surcharge, MAC ARQ, BER survival, AP DropTail buffer), so a one-cell
+//    topology with one station reproduces the single-channel model event for
+//    event — the golden fig2 trace is byte-identical modulo the extra
+//    cell-component events.
+//  * CellLink — a station's AccessLink. Detached during a hand-off (packets
+//    sent mid-roam are lost, as on a real re-associating interface).
+//  * DownlinkScheduler — pluggable AP queue discipline: global FIFO (the
+//    single-cell behaviour), round-robin-per-station, and longest-queue-first
+//    in the spirit of Neely, "Wireless Peer-to-Peer Scheduling in Mobile
+//    Networks" (arXiv:1202.4451).
+//  * CellularTopology — owns the cells; handoff() detaches the station,
+//    acquires a fresh address (driving the client's existing
+//    MobilityDetector / identity-retention / reconnect machinery unchanged)
+//    and attaches to the destination cell.
+//  * RoamingModel — scripted or seed-randomized commuter schedules of
+//    hand-offs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/access_link.hpp"
+#include "net/queue.hpp"
+#include "net/wireless_channel.hpp"
+#include "util/units.hpp"
+
+namespace wp2p::net {
+
+class Cell;
+class CellularTopology;
+
+enum class SchedulerKind : std::uint8_t { kFifo, kRoundRobin, kLongestQueue };
+
+const char* to_string(SchedulerKind kind);
+std::optional<SchedulerKind> scheduler_kind_from(std::string_view name);
+
+// One backlogged station as the downlink scheduler sees it.
+struct StationView {
+  std::size_t slot = 0;        // station index within the cell
+  std::size_t queue_len = 0;   // AP downlink backlog for this station
+  std::uint64_t head_seq = 0;  // cell-global arrival order of the queue head
+};
+
+// AP downlink queue discipline. pick() receives the backlogged stations in
+// ascending slot order (never empty) and must return one of their slots.
+// Implementations must be deterministic: same views -> same pick.
+class DownlinkScheduler {
+ public:
+  virtual ~DownlinkScheduler() = default;
+  virtual const char* name() const = 0;
+  virtual std::size_t pick(const std::vector<StationView>& backlogged) = 0;
+};
+
+std::unique_ptr<DownlinkScheduler> make_scheduler(SchedulerKind kind);
+
+// A station's access link into its current cell. Created on first attach and
+// owned by the Node for its lifetime; hand-offs re-point it at another cell.
+class CellLink final : public AccessLink {
+ public:
+  CellLink(sim::Simulator& sim, Node& node, Network& network);
+
+  void enqueue_up(Packet pkt) override;
+  void enqueue_down(Packet pkt) override;
+  void reset_queues() override;
+
+  Cell* cell() { return cell_; }
+  const Cell* cell() const { return cell_; }
+
+ private:
+  friend class Cell;
+  friend class CellularTopology;
+
+  // Stats/hook forwarding for the serving cell (AccessLink members are
+  // protected; the cell is the one spending this link's airtime).
+  void note_tx(Direction dir, const Packet& pkt) { note_transmit(dir, pkt); }
+  void note_drop(Direction dir, const Packet& pkt) { note_queue_drop(dir, pkt); }
+  void note_error_drop(Direction dir) {
+    if (dir == Direction::kUp) {
+      ++stats_.up_error_drops;
+    } else {
+      ++stats_.down_error_drops;
+    }
+  }
+
+  Cell* cell_ = nullptr;  // null while detached (mid-hand-off)
+  std::size_t slot_ = 0;  // station index inside cell_, valid while attached
+  // Per-station corruption draws. Forked ONCE at link creation — the same
+  // stream position a WirelessChannel constructor would fork at, which is
+  // what keeps a one-cell topology draw-identical to the single-channel model.
+  sim::Rng rng_;
+};
+
+// One access point: a shared half-duplex medium over all attached stations.
+class Cell {
+ public:
+  Cell(sim::Simulator& sim, Network& network, std::size_t id, WirelessParams params,
+       std::unique_ptr<DownlinkScheduler> scheduler);
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  std::size_t id() const { return id_; }
+  // "cellK"; the name FaultPlan targets address.
+  const std::string& name() const { return name_; }
+  const WirelessParams& params() const { return params_; }
+  const char* scheduler_name() const { return scheduler_->name(); }
+
+  // Live parameter mutation, WirelessChannel semantics: the frame in service
+  // keeps its already-scheduled airtime; queued frames see the new values
+  // (pinned by the channel-mutation regression tests).
+  void set_bit_error_rate(double ber) { params_.bit_error_rate = ber; }
+  void set_capacity(util::Rate capacity) { params_.capacity = capacity; }
+
+  // Cell outage: station/AP queues flush, new enqueues drop, the frame in
+  // flight dies on completion, and service stays halted until recovery.
+  void set_down(bool down);
+  bool down() const { return down_; }
+
+  // Probability that one transmission attempt of `size` bytes is corrupted.
+  double packet_error_rate(std::int64_t size) const;
+
+  std::size_t attached_stations() const;
+  std::uint64_t mac_retransmissions() const { return mac_retransmissions_; }
+  // Packets lost to an outage (flushed queues, refused enqueues, dead frames).
+  std::uint64_t outage_drops() const { return outage_drops_; }
+  // Frames that finished service or propagation for a station that had
+  // already roamed away.
+  std::uint64_t handoff_drops() const { return handoff_drops_; }
+
+ private:
+  friend class CellularTopology;
+  friend class CellLink;
+
+  struct Station {
+    Node* node = nullptr;
+    CellLink* link = nullptr;
+    DropTailQueue up;             // station transmit buffer
+    DropTailQueue down;           // this station's share of the AP buffer
+    std::deque<std::uint64_t> down_seqs;  // arrival seq per queued down packet
+    bool attached = false;
+  };
+
+  // Returns the station slot (slots are never erased; a station roaming back
+  // reuses its old slot, keeping iteration order deterministic).
+  std::size_t attach(Node& node, CellLink& link);
+  void detach(std::size_t slot);
+  void enqueue(std::size_t slot, Direction dir, Packet pkt);
+  void clear_station(std::size_t slot);
+  void maybe_serve();
+  void finish(std::size_t slot, Direction dir, Packet pkt, int attempt);
+  sim::SimTime frame_airtime(std::int64_t size, bool contended) const;
+  bool backlog(Direction dir) const;
+  std::size_t pick_up_slot();
+  std::size_t pick_down_slot();
+
+  sim::Simulator& sim_;
+  Network& network_;
+  std::size_t id_;
+  std::string name_;
+  WirelessParams params_;
+  std::unique_ptr<DownlinkScheduler> scheduler_;
+  std::deque<Station> stations_;  // deque: Station refs stay valid as cells grow
+  bool busy_ = false;
+  bool down_ = false;
+  Direction last_served_ = Direction::kDown;  // next pick favours kUp first
+  std::size_t up_cursor_ = 0;                 // round-robin uplink station pick
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t mac_retransmissions_ = 0;
+  std::uint64_t outage_drops_ = 0;
+  std::uint64_t handoff_drops_ = 0;
+};
+
+class CellularTopology {
+ public:
+  CellularTopology(sim::Simulator& sim, Network& network)
+      : sim_{sim}, network_{network} {}
+
+  CellularTopology(const CellularTopology&) = delete;
+  CellularTopology& operator=(const CellularTopology&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  Network& network() { return network_; }
+
+  Cell& add_cell(WirelessParams params = {}, SchedulerKind scheduler = SchedulerKind::kFifo);
+  std::size_t cell_count() const { return cells_.size(); }
+  Cell& cell(std::size_t id) { return cells_[id]; }
+  const Cell& cell(std::size_t id) const { return cells_[id]; }
+  // Resolve a FaultPlan target ("cellK"); null when unknown.
+  Cell* find_cell(std::string_view name);
+
+  // Associate `node` with cell `cell_id`. The first attach creates and
+  // installs the node's CellLink (forking its corruption RNG right there).
+  void attach(Node& node, std::size_t cell_id);
+
+  // Hand-off: detach from the current cell, acquire a fresh address (firing
+  // the node's on_address_change observers — the client's entire mobility
+  // machinery), then attach to the destination cell. Packets queued in the
+  // old cell are lost; packets sent between detach and attach vanish, as on
+  // a real re-associating interface.
+  void handoff(Node& node, std::size_t to_cell);
+
+  // Cell the node is currently attached to, or -1 (not a cellular station,
+  // or mid-hand-off).
+  int cell_of(const Node& node) const;
+
+  std::uint64_t handoffs() const { return handoffs_; }
+
+ private:
+  sim::Simulator& sim_;
+  Network& network_;
+  std::deque<Cell> cells_;  // deque: Cell refs stay valid as the topology grows
+  std::uint64_t handoffs_ = 0;
+};
+
+// Moves stations between cells on a schedule: scripted steps (add) and/or a
+// seed-randomized commuter pattern (commute). All steps are laid down before
+// start(); execution is fully deterministic given the seed.
+class RoamingModel {
+ public:
+  // Destination sentinel: "next cell cyclically from wherever the station is
+  // when the step fires".
+  static constexpr std::size_t kNextCell = static_cast<std::size_t>(-1);
+
+  explicit RoamingModel(CellularTopology& cells) : cells_{cells} {}
+  ~RoamingModel();
+
+  RoamingModel(const RoamingModel&) = delete;
+  RoamingModel& operator=(const RoamingModel&) = delete;
+
+  // One scripted hand-off of `node` (by name) at `at_s` seconds.
+  void add(double at_s, std::string node, std::size_t to_cell = kNextCell);
+
+  // Commuter pattern: every listed node roams to the cyclically-next cell
+  // roughly every `interval_s` seconds (+-30% jitter, randomized phase) until
+  // `horizon_s`. Deterministic for a given seed.
+  void commute(const std::vector<std::string>& nodes, double interval_s, double horizon_s,
+               std::uint64_t seed);
+
+  // Schedule every step on the simulator. Call once, after all add/commute.
+  void start();
+
+  std::size_t scheduled() const { return steps_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Step {
+    sim::SimTime at = 0;
+    std::string node;
+    std::size_t to_cell = kNextCell;
+  };
+
+  void fire(const Step& step);
+
+  CellularTopology& cells_;
+  std::vector<Step> steps_;
+  std::vector<sim::EventId> pending_;
+  bool started_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace wp2p::net

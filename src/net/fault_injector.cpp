@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/cell.hpp"
 #include "net/wireless_channel.hpp"
 #include "trace/recorder.hpp"
 
@@ -24,6 +25,11 @@ void FaultInjector::schedule(const sim::FaultAction& action) {
 
 WirelessChannel* FaultInjector::wireless_of(Node& node) {
   return dynamic_cast<WirelessChannel*>(node.access());
+}
+
+Cell* FaultInjector::cell_target(const sim::FaultAction& action) {
+  if (cells_ == nullptr) return nullptr;
+  return cells_->find_cell(action.target);
 }
 
 void FaultInjector::trace_fault(const sim::FaultAction& action, bool start) {
@@ -50,7 +56,9 @@ void FaultInjector::apply_start(const sim::FaultAction& action) {
   sim::Simulator& sim = network_.sim();
   Node* target = action.target.empty() ? nullptr : network_.find_by_name(action.target);
   const bool needs_node = action.kind != sim::FaultKind::kTrackerOutage &&
-                          action.kind != sim::FaultKind::kTrackerBlackout;
+                          action.kind != sim::FaultKind::kTrackerBlackout &&
+                          action.kind != sim::FaultKind::kCellOutage &&
+                          action.kind != sim::FaultKind::kCellBer;
   if (needs_node && target == nullptr) {
     ++stats_.skipped;
     return;
@@ -133,6 +141,58 @@ void FaultInjector::apply_start(const sim::FaultAction& action) {
       if (on_peer_process) on_peer_process(*target, false);
       bracket_end(action.duration);
       break;
+
+    case sim::FaultKind::kCellOutage: {
+      Cell* cell = cell_target(action);
+      if (cell == nullptr) {
+        ++stats_.skipped;  // no topology bound, or unknown cell name
+        return;
+      }
+      cell->set_down(true);
+      bracket_end(action.duration);
+      break;
+    }
+
+    case sim::FaultKind::kCellBer: {
+      Cell* cell = cell_target(action);
+      if (cell == nullptr) {
+        ++stats_.skipped;
+        return;
+      }
+      auto it = std::find_if(cell_ber_overrides_.begin(), cell_ber_overrides_.end(),
+                             [&](const CellBerOverride& o) { return o.cell == cell; });
+      if (it == cell_ber_overrides_.end()) {
+        cell_ber_overrides_.push_back(
+            CellBerOverride{cell, cell->params().bit_error_rate, 1});
+      } else {
+        ++it->depth;
+      }
+      cell->set_bit_error_rate(
+          std::max(cell->params().bit_error_rate, action.magnitude));
+      bracket_end(action.duration);
+      break;
+    }
+
+    case sim::FaultKind::kRoamStorm: {
+      if (cells_ == nullptr || cells_->cell_of(*target) < 0) {
+        ++stats_.skipped;  // not a cellular station
+        return;
+      }
+      const int count = std::max(1, static_cast<int>(action.magnitude));
+      const sim::SimTime step = count > 1 ? action.duration / count : 0;
+      // Each firing re-reads the station's current cell: a concurrent
+      // scripted roam or cell teardown just shifts where the storm goes next.
+      auto roam = [this, target] {
+        const int from = cells_->cell_of(*target);
+        if (from < 0) return;
+        cells_->handoff(
+            *target, (static_cast<std::size_t>(from) + 1) % cells_->cell_count());
+      };
+      for (int i = 1; i < count; ++i) pending_.push_back(sim.after(step * i, roam));
+      roam();
+      bracket_end(action.duration);
+      break;
+    }
   }
 
   ++stats_.applied;
@@ -192,8 +252,24 @@ void FaultInjector::apply_end(const sim::FaultAction& action) {
       }
       break;
 
+    case sim::FaultKind::kCellOutage:
+      if (Cell* cell = cell_target(action)) cell->set_down(false);
+      break;
+
+    case sim::FaultKind::kCellBer: {
+      Cell* cell = cell_target(action);
+      auto it = std::find_if(cell_ber_overrides_.begin(), cell_ber_overrides_.end(),
+                             [&](const CellBerOverride& o) { return o.cell == cell; });
+      if (cell != nullptr && it != cell_ber_overrides_.end() && --it->depth == 0) {
+        cell->set_bit_error_rate(it->saved_ber);
+        cell_ber_overrides_.erase(it);
+      }
+      break;
+    }
+
     case sim::FaultKind::kHandoff:
     case sim::FaultKind::kHandoffStorm:
+    case sim::FaultKind::kRoamStorm:
       break;  // nothing to restore
   }
 

@@ -27,6 +27,8 @@
 
 namespace wp2p::net {
 
+class Cell;
+class CellularTopology;
 class WirelessChannel;
 
 struct FaultInjectorStats {
@@ -55,6 +57,10 @@ class FaultInjector {
   // the P2P process on `node`, `(node, true)` restarts it.
   std::function<void(const std::string& target, bool down)> on_tracker_outage;
   std::function<void(Node& node, bool up)> on_peer_process;
+
+  // Opt into cell-targeted faults (cell-outage, cell-ber, roam-storm).
+  // Without a bound topology those kinds count as skipped.
+  void bind_cells(CellularTopology* cells) { cells_ = cells; }
 
   const sim::FaultPlan& plan() const { return plan_; }
   const FaultInjectorStats& stats() const { return stats_; }
@@ -97,6 +103,7 @@ class FaultInjector {
   void trace_fault(const sim::FaultAction& action, bool start);
   ChaosFilter& chaos_for(Node& node);
   WirelessChannel* wireless_of(Node& node);
+  Cell* cell_target(const sim::FaultAction& action);
 
   Network& network_;
   sim::FaultPlan plan_;
@@ -111,6 +118,15 @@ class FaultInjector {
     int depth;
   };
   std::vector<BerOverride> ber_overrides_;
+  // cell -> saved BER while a cell-ber episode is in force (same nesting
+  // discipline as BerOverride).
+  struct CellBerOverride {
+    Cell* cell;
+    double saved_ber;
+    int depth;
+  };
+  std::vector<CellBerOverride> cell_ber_overrides_;
+  CellularTopology* cells_ = nullptr;
   std::deque<ChaosFilter> chaos_;  // deque: filters stay pinned once installed
   std::vector<Node*> chaos_nodes_;
 };

@@ -36,6 +36,9 @@ enum class FaultKind : std::uint8_t {
   kPeerCrash,      // target's P2P process stops at `at`, restarts after `duration`
   kCorrupt,        // target's egress payload bytes flipped with prob `magnitude`
   kTrackerBlackout,  // EVERY tracker tier drops announces for `duration`
+  kCellOutage,       // access point "cellK" goes dark for `duration`
+  kCellBer,          // cell "cellK"'s BER raised to `magnitude` for `duration`
+  kRoamStorm,        // target station roams `magnitude` times over `duration`
 };
 
 inline const char* to_string(FaultKind kind) {
@@ -50,6 +53,9 @@ inline const char* to_string(FaultKind kind) {
     case FaultKind::kPeerCrash: return "peer-crash";
     case FaultKind::kCorrupt: return "corrupt";
     case FaultKind::kTrackerBlackout: return "tracker-blackout";
+    case FaultKind::kCellOutage: return "cell-outage";
+    case FaultKind::kCellBer: return "cell-ber";
+    case FaultKind::kRoamStorm: return "roam-storm";
   }
   return "?";
 }
@@ -59,7 +65,8 @@ inline std::optional<FaultKind> fault_kind_from(std::string_view name) {
        {FaultKind::kLinkFlap, FaultKind::kBerEpisode, FaultKind::kHandoff,
         FaultKind::kHandoffStorm, FaultKind::kTrackerOutage, FaultKind::kDuplicate,
         FaultKind::kReorder, FaultKind::kPeerCrash, FaultKind::kCorrupt,
-        FaultKind::kTrackerBlackout}) {
+        FaultKind::kTrackerBlackout, FaultKind::kCellOutage, FaultKind::kCellBer,
+        FaultKind::kRoamStorm}) {
     if (name == to_string(k)) return k;
   }
   return std::nullopt;
@@ -133,22 +140,32 @@ struct FaultPlan {
   // must also appear in `targets`. Action times land in [t_min, 0.8*horizon]
   // so every episode has room to end inside the run. `trackers` is the size
   // of the tier list: with more than one, outages pick a tracker ("tr1"...)
-  // via the magnitude roll and total blackouts enter the kind mix.
+  // via the magnitude roll and total blackouts enter the kind mix. With
+  // `cells` > 0 the cell-targeted kinds (outage / BER episode / roam storm)
+  // enter the mix; `cellular` lists the stations roam storms may move (every
+  // entry must also appear in `targets`). With cells == 0 the draw stream is
+  // bit-identical to the pre-cellular generator, so legacy seeds replay
+  // unchanged.
   static FaultPlan random(Rng& rng, const std::vector<std::string>& targets,
                           const std::vector<std::string>& wireless, double horizon_s,
-                          int max_actions, double t_min_s = 5.0, int trackers = 1) {
+                          int max_actions, double t_min_s = 5.0, int trackers = 1,
+                          int cells = 0, const std::vector<std::string>& cellular = {}) {
     FaultPlan plan;
     if (targets.empty() || max_actions <= 0 || horizon_s <= t_min_s) return plan;
     const auto n = static_cast<int>(rng.range(1, max_actions));
+    const int kinds = cells > 0 ? 13 : 10;
     for (int i = 0; i < n; ++i) {
       FaultAction a;
       // Drawing the full tuple keeps the stream layout fixed per action, so
       // shrinking a plan never changes how an untouched action was generated.
-      const auto kind_roll = rng.below(10);
+      const auto kind_roll = rng.below(static_cast<std::size_t>(kinds));
       const double at_s = rng.uniform(t_min_s, horizon_s * 0.8);
       const double dur_s = rng.uniform(1.0, std::max(2.0, horizon_s * 0.25));
       const double mag_roll = rng.uniform();
       const std::string& target = targets[static_cast<std::size_t>(rng.below(targets.size()))];
+      // Extra roll for the cell-targeted kinds (cell index / station pick);
+      // drawn only in cellular mode to keep the legacy stream intact.
+      const double cell_roll = cells > 0 ? rng.uniform() : 0.0;
       a.at = seconds(at_s);
       a.duration = seconds(dur_s);
       a.target = target;
@@ -201,9 +218,34 @@ struct FaultPlan {
           a.kind = FaultKind::kTrackerBlackout;
           a.target.clear();
           break;
-        default:
+        case 9:
           a.kind = FaultKind::kPeerCrash;
           a.duration = seconds(std::min(dur_s, 30.0));
+          break;
+        case 10:
+          a.kind = FaultKind::kCellOutage;
+          a.target = "cell" + std::to_string(std::min(
+                                  static_cast<int>(cell_roll * cells), cells - 1));
+          a.duration = seconds(std::min(dur_s, 30.0));  // outages roams can outlive
+          break;
+        case 11:
+          a.kind = FaultKind::kCellBer;
+          a.target = "cell" + std::to_string(std::min(
+                                  static_cast<int>(cell_roll * cells), cells - 1));
+          a.magnitude = 1e-6 + mag_roll * 4e-5;
+          break;
+        default:
+          a.kind = FaultKind::kRoamStorm;
+          a.magnitude = 2 + std::floor(mag_roll * 4.0);  // 2-5 hand-offs
+          if (cellular.empty()) {
+            a.kind = FaultKind::kHandoff;  // no roaming-capable station
+            a.duration = 0;
+            a.magnitude = 0;
+          } else {
+            a.target = cellular[std::min(
+                static_cast<std::size_t>(cell_roll * static_cast<double>(cellular.size())),
+                cellular.size() - 1)];
+          }
           break;
       }
       plan.actions.push_back(std::move(a));

@@ -49,7 +49,11 @@ void Stack::receive(const net::Packet& pkt) {
 
   auto it = connections_.find(ConnKey{pkt.dst.port, pkt.src});
   if (it != connections_.end()) {
-    it->second->handle_segment(*seg, pkt.corrupted);
+    // Keep-alive: a message handler may close the connection and erase this
+    // map entry (dropping what could be the last reference) while
+    // handle_segment is still on the stack.
+    auto conn = it->second;
+    conn->handle_segment(*seg, pkt.corrupted);
     return;
   }
   if (seg->syn && seg->ack < 0) {

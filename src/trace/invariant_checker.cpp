@@ -51,6 +51,10 @@ InvariantChecker::InvariantChecker() {
   add_rule({Kind::kBtBootstrap}, &InvariantChecker::rule_bootstrap, true);
   add_rule({Kind::kFaultStart}, &InvariantChecker::rule_fault_start, true);
   add_rule({Kind::kFaultEnd}, &InvariantChecker::rule_fault_end, true);
+  add_rule({Kind::kCellAttach}, &InvariantChecker::rule_cell_attach, true);
+  add_rule({Kind::kCellDetach}, &InvariantChecker::rule_cell_detach, true);
+  add_rule({Kind::kCellServe}, &InvariantChecker::rule_cell_serve, true);
+  add_rule({Kind::kCellDeliver}, &InvariantChecker::rule_cell_deliver, true);
 }
 
 void InvariantChecker::add_rule(std::initializer_list<Kind> kinds, MemberRule member,
@@ -88,6 +92,7 @@ void InvariantChecker::reset_scenario() {
   faults_.clear();
   recovery_.clear();
   pex_.clear();
+  cells_.clear();
 }
 
 void InvariantChecker::check(const TraceEvent& ev) {
@@ -342,6 +347,56 @@ void InvariantChecker::rule_fault_end(const TraceEvent& ev) {
     return;
   }
   --fault.open;
+}
+
+void InvariantChecker::rule_cell_attach(const TraceEvent& ev) {
+  CellState& st = cells_[ev.node];
+  const int cell = static_cast<int>(ev.field("cell", -1.0));
+  if (st.attached >= 0) {
+    violate(ev, "cell-single-attach",
+            ev.node + " attached to cell " + num(cell) + " while still attached to cell " +
+                num(st.attached));
+  }
+  st.attached = cell;
+}
+
+void InvariantChecker::rule_cell_detach(const TraceEvent& ev) {
+  CellState& st = cells_[ev.node];
+  const int cell = static_cast<int>(ev.field("cell", -1.0));
+  if (st.attached < 0) {
+    violate(ev, "cell-single-attach",
+            ev.node + " detached from cell " + num(cell) + " while not attached anywhere");
+  } else if (st.attached != cell) {
+    violate(ev, "cell-single-attach",
+            ev.node + " detached from cell " + num(cell) + " but was attached to cell " +
+                num(st.attached));
+  }
+  st.attached = -1;
+}
+
+void InvariantChecker::rule_cell_serve(const TraceEvent& ev) {
+  const int cell = static_cast<int>(ev.field("cell", -1.0));
+  if (ev.field("qlen") < 1.0 - kEps) {
+    violate(ev, "cell-serve-backlogged",
+            "cell " + num(cell) + " scheduler (" + ev.aux + ") picked " + ev.node +
+                " with no downlink backlog");
+  }
+  const CellState& st = cells_[ev.node];
+  if (st.attached != cell) {
+    violate(ev, "cell-serve-backlogged",
+            "cell " + num(cell) + " served " + ev.node + " which is attached to cell " +
+                num(st.attached));
+  }
+}
+
+void InvariantChecker::rule_cell_deliver(const TraceEvent& ev) {
+  const int cell = static_cast<int>(ev.field("cell", -1.0));
+  const CellState& st = cells_[ev.node];
+  if (st.attached != cell) {
+    violate(ev, "cell-no-detached-delivery",
+            "cell " + num(cell) + " delivered to " + ev.node + " which is attached to cell " +
+                num(st.attached));
+  }
 }
 
 }  // namespace wp2p::trace

@@ -64,6 +64,18 @@
 //                       tracker tier is dark: the client's consecutive
 //                       announce-failure streak at the dial must be at least
 //                       the size of its tier list.
+//   cell-single-attach  A station is associated with at most one cell at any
+//                       instant: every attach finds the station detached, and
+//                       every detach names the cell the station was actually
+//                       in (a hand-off therefore enters exactly one cell).
+//   cell-no-detached-delivery
+//                       A cell only delivers downlink frames to stations
+//                       currently attached to it — nothing arrives through a
+//                       cell the station has roamed away from.
+//   cell-serve-backlogged
+//                       The downlink scheduler only picks stations with
+//                       backlog (the traced queue length at the pick is >= 1)
+//                       that are attached to the serving cell.
 //
 // kScenario markers reset per-flow state, so one JSONL file may hold many
 // independently checked scenarios.
@@ -152,6 +164,9 @@ class InvariantChecker final : public Sink {
   struct PexState {
     sim::SimTime last_send = -1;
   };
+  struct CellState {
+    int attached = -1;  // cell id the station is in; -1 = detached
+  };
 
   using MemberRule = void (InvariantChecker::*)(const TraceEvent&);
   struct Rule {
@@ -186,12 +201,17 @@ class InvariantChecker final : public Sink {
   void rule_bootstrap(const TraceEvent& ev);
   void rule_fault_start(const TraceEvent& ev);
   void rule_fault_end(const TraceEvent& ev);
+  void rule_cell_attach(const TraceEvent& ev);
+  void rule_cell_detach(const TraceEvent& ev);
+  void rule_cell_serve(const TraceEvent& ev);
+  void rule_cell_deliver(const TraceEvent& ev);
 
   std::unordered_map<std::string, FlowState> flows_;
   std::unordered_map<std::string, DetectState> detectors_;
   std::unordered_map<std::string, FaultState> faults_;
   std::unordered_map<std::string, RecoveryState> recovery_;
   std::unordered_map<std::string, PexState> pex_;  // node|recipient endpoint
+  std::unordered_map<std::string, CellState> cells_;  // station -> attachment
   std::vector<Rule> rules_;
   std::array<std::vector<std::uint16_t>, kNumKinds> index_;  // kind -> rule ids
   std::vector<Violation> violations_;

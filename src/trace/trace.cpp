@@ -12,6 +12,7 @@ constexpr ComponentName kComponents[] = {
     {Component::kSim, "sim"}, {Component::kTcp, "tcp"},  {Component::kAm, "am"},
     {Component::kLihd, "lihd"}, {Component::kBt, "bt"},  {Component::kMob, "mob"},
     {Component::kChan, "chan"}, {Component::kFault, "fault"},
+    {Component::kCell, "cell"},
 };
 
 struct KindName {
@@ -55,6 +56,11 @@ constexpr KindName kKinds[] = {
     {Kind::kFaultStart, "fault.start"},
     {Kind::kFaultEnd, "fault.end"},
     {Kind::kFaultSkipped, "fault.skipped"},
+    {Kind::kCellAttach, "cell.attach"},
+    {Kind::kCellDetach, "cell.detach"},
+    {Kind::kCellRoam, "cell.roam"},
+    {Kind::kCellServe, "cell.serve"},
+    {Kind::kCellDeliver, "cell.deliver"},
 };
 
 }  // namespace

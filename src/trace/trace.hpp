@@ -28,7 +28,7 @@
 
 namespace wp2p::trace {
 
-enum class Component : std::uint8_t { kSim, kTcp, kAm, kLihd, kBt, kMob, kChan, kFault };
+enum class Component : std::uint8_t { kSim, kTcp, kAm, kLihd, kBt, kMob, kChan, kFault, kCell };
 
 enum class Kind : std::uint8_t {
   kScenario,  // sim: start of a traced scenario; node carries the label
@@ -76,11 +76,17 @@ enum class Kind : std::uint8_t {
   kFaultStart,  // injected fault episode begins; aux = fault kind, node = target
   kFaultEnd,    // injected fault episode ends (same aux/node as its start)
   kFaultSkipped,  // fault addressed a node the binder has no client for
+
+  kCellAttach,   // station associated with a cell; cell/stations fields
+  kCellDetach,   // station left a cell (hand-off or teardown); cell field
+  kCellRoam,     // hand-off initiated; from/to cell ids
+  kCellServe,    // downlink scheduler picked a station; aux = policy, qlen field
+  kCellDeliver,  // downlink frame delivered through a cell to its station
 };
 
 // Number of Kind values; sized for per-kind lookup tables (keep in sync with
 // the last enumerator above).
-inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kFaultSkipped) + 1;
+inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kCellDeliver) + 1;
 
 const char* to_string(Component c);
 const char* to_string(Kind k);

@@ -328,5 +328,45 @@ TEST(Discovery, BootstrapCacheSurvivesCrashAndRedialsWhenTrackersDark) {
   (void)hub;
 }
 
+TEST(Discovery, BootstrapRedialsAfterRoamIntoDarkCell) {
+  // The harshest re-entry the cell layer can stage: the mover roams INTO a
+  // cell that is itself down, with every tracker already unreachable. Nothing
+  // flows until the cell recovers; then the failed re-announces leave
+  // discovery dark and the bootstrap cache supplies the re-dials that rebuild
+  // the swarm trackerless, identity intact.
+  Swarm swarm{308, small_file()};
+  auto config = quiet_config();
+  config.upload_limit = util::Rate::kBps(50.0);  // still mid-download at the roam
+  auto& hub = swarm.add_wired("hub", true, config);
+  auto config_m = quiet_config(6882);
+  config_m.retain_peer_id = true;
+  swarm.world.enable_cells();
+  swarm.world.cells->add_cell();  // cell 0: home
+  swarm.world.cells->add_cell();  // cell 1: dark at association time
+  auto& m = swarm.add_cellular("m", false, config_m, 0);
+  swarm.start_all();
+  swarm.run_for(8.0);
+  ASSERT_FALSE(m->complete());
+  ASSERT_GE(m->bootstrap_cache().size(), 1u);
+  const PeerId m_id = m->peer_id();
+
+  swarm.tracker.set_reachable(false);
+  swarm.world.cells->cell(1).set_down(true);
+  swarm.world.cells->handoff(*m.host->node, 1);
+  swarm.run_for(5.0);
+  ASSERT_EQ(swarm.world.cells->cell_of(*m.host->node), 1);
+  ASSERT_EQ(m->peer_count(), 0u);  // the dark cell passes nothing
+
+  swarm.world.cells->cell(1).set_down(false);
+  swarm.run_for(40.0);
+  // The re-announce failed at every tier (there is only one), so the cache
+  // re-dialed the hub through the recovered cell.
+  EXPECT_GE(m->stats().bootstrap_dials, 1u);
+  EXPECT_EQ(m->peer_id(), m_id);
+  EXPECT_GE(m->peer_count(), 1u);
+  ASSERT_TRUE(swarm.run_until_complete(m, 180.0));
+  (void)hub;
+}
+
 }  // namespace
 }  // namespace wp2p::bt

@@ -157,6 +157,71 @@ TEST(MobilityDetectorRoamTest, SilentRoamDrainsPeersThenFiresExactlyOnce) {
   EXPECT_GT(mobile.client->peer_count(), 0u);
 }
 
+// Two silent hand-offs landing inside ONE detection window — cell0 -> cell1,
+// then cell1 -> cell2 before the confirm samples can elapse — must produce
+// exactly one detection: the zero-peer evidence the second roam adds is the
+// same evidence the first roam planted, and the detector only re-arms once
+// peers actually return. (A detection per roam would double-fire Role
+// Reversal and re-dial the same endpoints twice.)
+TEST(MobilityDetectorRoamTest, TwoHandoffsInOneWindowFireOneDetection) {
+  bt::Metainfo meta = bt::Metainfo::create("f", 256 * 1024 * 1024, 256 * 1024, "tr", 24);
+  exp::Swarm swarm{45, meta};
+  bt::ClientConfig fc;
+  fc.announce_interval = sim::minutes(10.0);
+  fc.upload_limit = util::Rate::kBps(100.0);
+  swarm.add_wired("seed", true, fc);
+  bt::ClientConfig mc = fc;
+  mc.role_reversal = true;
+  mc.retain_peer_id = true;
+  mc.keepalive_interval = sim::seconds(5.0);
+  mc.reconnect = false;  // isolate the detector -> role-reversal path
+  tcp::TcpParams fast_fail;
+  fast_fail.init_rto = sim::milliseconds(300.0);
+  fast_fail.max_rto = sim::milliseconds(500.0);
+  fast_fail.max_data_retries = 3;
+  swarm.world.enable_cells();
+  for (int i = 0; i < 3; ++i) swarm.world.cells->add_cell();
+  auto& mobile = swarm.add_cellular("mobile", false, mc, 0, fast_fail);
+  swarm.start_all();
+
+  MobilityDetectorConfig config;
+  config.sample_interval = sim::seconds(2.0);
+  config.confirm_samples = 3;
+  MobilityDetector detector{swarm.world.sim, *mobile.client, config};
+  detector.start();
+  swarm.run_for(20.0);
+  ASSERT_GT(mobile.client->peer_count(), 0u);
+
+  // Both roams are silent (interface hooks suppressed, as in a driver that
+  // surfaces no events) and land within one 6 s confirm window.
+  net::Node& node = *mobile.host->node;
+  auto hooks = std::move(node.on_address_change);
+  node.on_address_change.clear();
+  swarm.world.cells->handoff(node, 1);
+  swarm.run_for(3.0);
+  swarm.world.cells->handoff(node, 2);
+  node.on_address_change = std::move(hooks);
+  ASSERT_EQ(swarm.world.cells->cell_of(node), 2);
+
+  // Blackholed connections drain as their retries exhaust...
+  double drained_at = -1.0;
+  for (int i = 0; i < 300 && drained_at < 0.0; ++i) {
+    swarm.run_for(0.1);
+    if (mobile.client->peer_count() == 0) {
+      drained_at = sim::to_seconds(swarm.world.sim.now());
+    }
+  }
+  ASSERT_GE(drained_at, 0.0) << "blackholed connections never timed out";
+
+  // ...then exactly one detection rebuilds the swarm through cell 2.
+  swarm.run_for(15.0);
+  EXPECT_EQ(detector.detections(), 1u);
+  EXPECT_GT(mobile.client->peer_count(), 0u);
+  swarm.run_for(30.0);
+  EXPECT_EQ(detector.detections(), 1u);  // re-armed; no spurious second fire
+  EXPECT_GT(mobile.client->peer_count(), 0u);
+}
+
 TEST_F(MobilityDetectorTest, StopPreventsFurtherDetections) {
   MobilityDetectorConfig config;
   config.sample_interval = sim::seconds(2.0);

@@ -1,0 +1,118 @@
+// End-to-end acceptance for the multi-cell subsystem: wP2P clients complete
+// downloads while commuting across a four-cell topology — identities retained
+// through every hand-off, discovery trackerless (PEX + role reversal) for the
+// whole roaming phase, a cell outage landing mid-roam — with the cell
+// invariant rules auditing the full trace.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/swarm.hpp"
+#include "trace/invariant_checker.hpp"
+#include "trace/recorder.hpp"
+
+namespace wp2p {
+namespace {
+
+using exp::Swarm;
+
+std::string violation_digest(const trace::InvariantChecker& checker) {
+  std::string out;
+  for (const auto& v : checker.violations()) out += to_string(v) + "\n";
+  return out;
+}
+
+// One wired seed, two cellular wP2P leeches. m1 is walked 0 -> 1 -> 2 -> 3 by
+// hand with an outage of its serving cell bracketing the middle hand-off (it
+// roams OUT of a dark cell); m2 commutes on a scripted RoamingModel schedule
+// through cells 1 -> 2 -> 3 -> 0. The tracker goes dark before the first roam,
+// so every re-discovery below runs on the wP2P machinery alone: retained peer
+// ids, role reversal from remembered endpoints, and PEX gossip keeping the
+// endpoint lists fresh as addresses churn.
+TEST(CellsE2E, RoamingLeechersCompleteTrackerlessUnderMidRoamOutage) {
+  auto meta = bt::Metainfo::create("e2e-cells", 3 * 1024 * 1024, 256 * 1024, "tr", 91);
+  Swarm swarm{91, meta};
+
+  trace::Recorder recorder{/*ring_capacity=*/4};
+  trace::InvariantChecker checker;
+  recorder.add_sink(&checker);
+  swarm.world.sim.set_tracer(&recorder);
+
+  net::CellularTopology& cells = swarm.world.enable_cells();
+  for (int i = 0; i < 4; ++i) cells.add_cell();
+
+  bt::ClientConfig config;
+  config.announce_interval = sim::seconds(20.0);
+  config.pex = true;
+  auto& seed = swarm.add_wired("seed", true, config);
+  seed->set_upload_limit(util::Rate::kBps(150.0));  // stretch across the roams
+
+  bt::ClientConfig mc = config;
+  mc.retain_peer_id = true;
+  mc.role_reversal = true;
+  mc.bootstrap_cache = true;
+  mc.listen_port = 6882;
+  auto& m1 = swarm.add_cellular("m1", false, mc, 0);
+  mc.listen_port = 6883;
+  auto& m2 = swarm.add_cellular("m2", false, mc, 1);
+
+  net::RoamingModel roam{cells};
+  roam.add(18.0, "m2", 2);
+  roam.add(30.0, "m2", 3);
+  roam.add(44.0, "m2", 0);
+  roam.start();
+
+  swarm.start_all();
+  swarm.run_for(15.0);
+  const bt::PeerId id1 = m1->peer_id();
+  const bt::PeerId id2 = m2->peer_id();
+  ASSERT_GT(m1->stats().payload_downloaded, 0);
+  ASSERT_GT(m2->stats().payload_downloaded, 0);
+  ASSERT_FALSE(m1->complete());
+  ASSERT_FALSE(m2->complete());
+
+  // Tracker dark for good: the roaming phase below is fully trackerless.
+  swarm.tracker.set_reachable(false);
+
+  net::Node& node1 = *m1.host->node;
+  swarm.run_for(5.0);
+  cells.handoff(node1, 1);  // t = 20
+  swarm.run_for(10.0);
+
+  // Mid-roam outage: m1's serving cell dies, and the next hand-off leaves a
+  // dark cell — the flush, the refused enqueues, and the re-association all
+  // overlap one episode.
+  cells.cell(1).set_down(true);  // t = 30
+  swarm.run_for(3.0);
+  cells.handoff(node1, 2);  // t = 33, roaming out of the outage
+  swarm.run_for(5.0);
+  cells.cell(1).set_down(false);  // t = 38
+  swarm.run_for(10.0);
+  cells.handoff(node1, 3);  // t = 48
+
+  ASSERT_TRUE(swarm.run_until_complete(m1, 900.0));
+  ASSERT_TRUE(swarm.run_until_complete(m2, 900.0));
+  EXPECT_TRUE(m1->store().bitfield().all());
+  EXPECT_TRUE(m2->store().bitfield().all());
+
+  // Identity survived every hand-off; both stations visited >= 3 cells.
+  EXPECT_EQ(m1->peer_id(), id1);
+  EXPECT_EQ(m2->peer_id(), id2);
+  EXPECT_EQ(cells.handoffs(), 6u);
+  EXPECT_EQ(roam.executed(), 3u);
+  EXPECT_EQ(cells.cell_of(node1), 3);
+  EXPECT_EQ(cells.cell_of(*m2.host->node), 0);
+  EXPECT_GE(m1->stats().task_reinitiations, 1u);
+  EXPECT_GE(m2->stats().task_reinitiations, 1u);
+
+  // The outage really cost the dark cell traffic, and PEX gossip flowed.
+  EXPECT_GT(cells.cell(1).outage_drops(), 0u);
+  EXPECT_GT(m1->stats().pex_received + m2->stats().pex_received, 0u);
+
+  // Every cell/fault/protocol invariant held across the whole trace.
+  swarm.world.sim.set_tracer(nullptr);
+  EXPECT_TRUE(checker.violations().empty()) << violation_digest(checker);
+}
+
+}  // namespace
+}  // namespace wp2p

@@ -296,6 +296,94 @@ TEST(ScenarioFuzzer, QueueKindsAgreeOnCancelHeavyPoisonScenario) {
   EXPECT_EQ(cal.peers_banned, heap.peers_banned);
 }
 
+TEST(ScenarioFuzzer, CellKeysRoundTripAndStayAbsentWithoutCells) {
+  // Hand-built cellular scenario: every cell key survives the text round-trip.
+  exp::Scenario s = poison_scenario();
+  s.cells = 3;
+  s.cell_sched = net::SchedulerKind::kLongestQueue;
+  s.peers[2].wireless = true;
+  s.peers[2].cell = 2;
+  const std::string spec = s.serialize();
+  EXPECT_NE(spec.find("cells=3"), std::string::npos);
+  EXPECT_NE(spec.find("sched=lqf"), std::string::npos);
+  EXPECT_NE(spec.find("cell=2"), std::string::npos);
+  const auto parsed = Scenario::parse(spec);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->serialize(), spec);
+  EXPECT_EQ(parsed->cells, 3);
+  EXPECT_EQ(parsed->cell_sched, net::SchedulerKind::kLongestQueue);
+  EXPECT_EQ(parsed->peers[2].cell, 2);
+  // An unknown scheduler name must not parse.
+  std::string bad = spec;
+  bad.replace(bad.find("sched=lqf"), 9, "sched=wfq");
+  EXPECT_FALSE(Scenario::parse(bad));
+
+  // With the cell slice disabled (the default limits), generated specs never
+  // carry cell keys — the legacy text form is untouched.
+  ScenarioFuzzer legacy{quick_limits()};
+  for (std::uint64_t seed = 500; seed < 520; ++seed) {
+    const Scenario g = legacy.generate(seed);
+    EXPECT_EQ(g.cells, 0) << "seed " << seed;
+    EXPECT_EQ(g.serialize().find("cells="), std::string::npos) << "seed " << seed;
+  }
+  // And a pre-cell spec parses with the cellular layer off.
+  const auto pre = Scenario::parse(
+      "scenario seed=5 duration=60 file=524288 piece=262144\n"
+      "peer name=p0 link=wired role=seed\n"
+      "peer name=p1 link=wireless\n");
+  ASSERT_TRUE(pre.has_value());
+  EXPECT_EQ(pre->cells, 0);
+  EXPECT_EQ(pre->peers[1].cell, -1);
+}
+
+TEST(ScenarioFuzzer, GeneratesCellularScenariosThatRunDeterministically) {
+  // With the cell slice enabled, the generator must produce multi-cell
+  // scenarios with cellular stations and cell-targeted faults — and their
+  // runs must stay deterministic, with the cell aggregates reproducing.
+  auto limits = quick_limits();
+  limits.max_cells = 3;
+  ScenarioFuzzer fuzzer{limits};
+
+  std::optional<Scenario> cellular;
+  for (std::uint64_t seed = 600; seed < 700 && !cellular; ++seed) {
+    Scenario s = fuzzer.generate(seed);
+    if (s.cells < 2) continue;
+    bool has_station = false;
+    for (const auto& p : s.peers) has_station |= p.cell >= 0;
+    bool has_cell_fault = false;
+    for (const auto& a : s.faults.actions) {
+      has_cell_fault |= a.kind == sim::FaultKind::kCellOutage ||
+                        a.kind == sim::FaultKind::kCellBer ||
+                        a.kind == sim::FaultKind::kRoamStorm;
+    }
+    if (has_station && has_cell_fault) cellular = std::move(s);
+  }
+  ASSERT_TRUE(cellular.has_value()) << "no cellular scenario with a cell fault generated";
+
+  // The spec replays from its serialization alone.
+  const auto replayed = Scenario::parse(cellular->serialize());
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->serialize(), cellular->serialize());
+
+  const exp::FuzzVerdict v1 = fuzzer.run(*cellular);
+  const exp::FuzzVerdict v2 = fuzzer.run(*cellular);
+  EXPECT_TRUE(v1.passed) << v1.summary();
+  EXPECT_GT(v1.events, 0u);
+  EXPECT_EQ(v1.trace_hash, v2.trace_hash);
+  EXPECT_EQ(v1.roams, v2.roams);
+  EXPECT_EQ(v1.cell_outage_drops, v2.cell_outage_drops);
+  EXPECT_EQ(v1.cell_handoff_drops, v2.cell_handoff_drops);
+  // The text form carries ~µs timestamp precision, so a replay matches on
+  // verdicts (the corpus contract), not on the exact event hash.
+  const exp::FuzzVerdict vr = fuzzer.run(*replayed);
+  EXPECT_EQ(vr.passed, v1.passed) << vr.summary();
+
+  // Cell scenarios keep the calendar/heap queue equivalence.
+  const exp::FuzzVerdict heap = fuzzer.run(*cellular, sim::EventQueueKind::kBinaryHeap);
+  EXPECT_EQ(v1.trace_hash, heap.trace_hash);
+  EXPECT_EQ(v1.roams, heap.roams);
+}
+
 TEST(ScenarioFuzzer, ShrinkKeepsPassingScenarioIntact) {
   // shrink() on a passing scenario has nothing to chase: every candidate
   // passes, so the "minimized" result is the input itself.

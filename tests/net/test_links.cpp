@@ -299,5 +299,70 @@ TEST_F(LinkFixture, TransmitObserverSeesPackets) {
   EXPECT_EQ(a.access()->stats().up_bytes, 100);
 }
 
+TEST_F(LinkFixture, SetCapacityMidServiceKeepsInFlightAirtime) {
+  // Live capacity mutation: the frame already on the air keeps the airtime it
+  // was scheduled with; frames still queued serialize at the new rate when
+  // they enter service. Pinned because FaultInjector and the cell layer both
+  // rely on this boundary for mid-run parameter episodes.
+  WirelessParams params;
+  params.capacity = util::Rate::bytes_per_sec(1000);  // 1000 B frame = 1 s
+  params.prop_delay = 0;
+  params.per_packet_overhead = 0;
+  net.path().core_delay = 0;
+  Node& m = net.add_node("mobile");
+  Node& f = net.add_node("fixed");
+  m.attach(std::make_unique<WirelessChannel>(sim, m, net, params));
+  f.attach(std::make_unique<WiredLink>(sim, f, net, WiredParams{}));
+  auto* ch = dynamic_cast<WirelessChannel*>(m.access());
+  ASSERT_NE(ch, nullptr);
+  std::vector<sim::SimTime> attempt_done;
+  ch->on_transmit = [&](Direction, const Packet&) { attempt_done.push_back(sim.now()); };
+
+  // Two frames: #1 in service 0..1 s, #2 backlogged behind it.
+  m.send(make_packet({m.address(), 1}, {f.address(), 2}, 1000));
+  m.send(make_packet({m.address(), 1}, {f.address(), 2}, 1000));
+  // Mid-service of frame #1, double the rate.
+  sim.at(sim::seconds(0.5), [&] { ch->set_capacity(util::Rate::bytes_per_sec(2000)); });
+  sim.run();
+
+  ASSERT_EQ(attempt_done.size(), 2u);
+  EXPECT_EQ(attempt_done[0], sim::seconds(1.0));  // old rate honoured to completion
+  EXPECT_EQ(attempt_done[1], sim::seconds(1.5));  // backlogged frame at the new rate
+}
+
+TEST_F(LinkFixture, SetBitErrorRateAppliesAtFrameCompletion) {
+  // The corruption draw happens when a frame's airtime ENDS, against the BER
+  // in force at that instant: clearing the BER mid-service rescues the frame
+  // currently on the air, not just the backlog behind it. (BER transitions
+  // between 1.0 and 0.0 hit the deterministic bernoulli fast paths, so no RNG
+  // is consumed and the outcome is exact.)
+  WirelessParams params;
+  params.capacity = util::Rate::bytes_per_sec(1000);
+  params.bit_error_rate = 1.0;
+  params.mac_retries = 0;  // every corruption is a loss
+  params.prop_delay = 0;
+  params.per_packet_overhead = 0;
+  net.path().core_delay = 0;
+  Node& m = net.add_node("mobile");
+  Node& f = net.add_node("fixed");
+  m.attach(std::make_unique<WirelessChannel>(sim, m, net, params));
+  f.attach(std::make_unique<WiredLink>(sim, f, net, WiredParams{}));
+  CollectSink sink;
+  f.set_sink(&sink);
+  auto* ch = dynamic_cast<WirelessChannel*>(m.access());
+
+  // Frame #1 serves 0..1 s (lost: BER still 1 at t=1), #2 serves 1..2 s, #3
+  // serves 2..3 s. Clearing the BER at t=1.5 — while #2 is on the air —
+  // must save #2 and #3.
+  for (int i = 0; i < 3; ++i) {
+    m.send(make_packet({m.address(), 1}, {f.address(), 2}, 1000));
+  }
+  sim.at(sim::seconds(1.5), [&] { ch->set_bit_error_rate(0.0); });
+  sim.run();
+
+  EXPECT_EQ(ch->stats().up_error_drops, 1u);
+  EXPECT_EQ(sink.received.size(), 2u);
+}
+
 }  // namespace
 }  // namespace wp2p::net

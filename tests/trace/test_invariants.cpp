@@ -342,6 +342,84 @@ TEST(Invariants, BootstrapOnlyWhenEveryTrackerTierFailed) {
   EXPECT_EQ(reset[0].rule, "bootstrap-only-when-dark");
 }
 
+// --- Cell rules --------------------------------------------------------------
+
+TraceEvent cell_attach(double cell) {
+  return event(Component::kCell, Kind::kCellAttach)
+      .at("mobile")
+      .with("cell", cell)
+      .with("stations", 1.0);
+}
+
+TraceEvent cell_detach(double cell) {
+  return event(Component::kCell, Kind::kCellDetach).at("mobile").with("cell", cell);
+}
+
+TraceEvent cell_serve(double cell, double qlen) {
+  return event(Component::kCell, Kind::kCellServe)
+      .at("mobile")
+      .why("fifo")
+      .with("cell", cell)
+      .with("qlen", qlen);
+}
+
+TraceEvent cell_deliver(double cell) {
+  return event(Component::kCell, Kind::kCellDeliver)
+      .at("mobile")
+      .with("cell", cell)
+      .with("size", 1000.0);
+}
+
+TEST(Invariants, CleanRoamSequencePasses) {
+  auto v = run({cell_attach(0), cell_serve(0, 2), cell_deliver(0), cell_detach(0),
+                cell_attach(1), cell_serve(1, 1), cell_deliver(1)});
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Invariants, CellSingleAttachFiresOnAttachWhileAttached) {
+  auto v = run({cell_attach(0), cell_attach(1)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "cell-single-attach");
+}
+
+TEST(Invariants, CellSingleAttachFiresOnDetachAnomalies) {
+  // Detaching while not attached anywhere...
+  auto v = run({cell_detach(0)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "cell-single-attach");
+  // ...and detaching from a cell the station was never in.
+  v = run({cell_attach(0), cell_detach(1)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "cell-single-attach");
+}
+
+TEST(Invariants, CellNoDetachedDeliveryFires) {
+  // Delivery mid-hand-off (detached)...
+  auto v = run({cell_attach(0), cell_detach(0), cell_deliver(0)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "cell-no-detached-delivery");
+  // ...and delivery through the OLD cell after re-attaching elsewhere.
+  v = run({cell_attach(0), cell_detach(0), cell_attach(1), cell_deliver(0)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "cell-no-detached-delivery");
+}
+
+TEST(Invariants, CellServeBackloggedFiresOnEmptyPickOrWrongCell) {
+  auto v = run({cell_attach(0), cell_serve(0, 0)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "cell-serve-backlogged");
+  v = run({cell_attach(0), cell_serve(1, 2)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "cell-serve-backlogged");
+}
+
+TEST(Invariants, ScenarioMarkerResetsCellState) {
+  auto v = run({cell_attach(0),
+                event(Component::kSim, Kind::kScenario).on("next scenario"),
+                cell_attach(0)});
+  EXPECT_TRUE(v.empty());
+}
+
 TEST(Invariants, CountsCheckedAndMatchedEvents) {
   InvariantChecker checker;
   checker.check(event(Component::kBt, Kind::kBtChoke));  // no rule attached
