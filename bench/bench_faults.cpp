@@ -14,6 +14,12 @@
 //                       cellular stations and cell-targeted faults (outage,
 //                       BER, roam storms). Default 0 keeps the legacy
 //                       scenario space byte-identical.
+//   --max-classes N     enable the fuzzer's bandwidth-class slice: wired
+//                       leeches may be assigned one of N heterogeneous
+//                       bandwidth tiers (class= scenario key; link shape +
+//                       upload limit from exp::three_tier_classes, cycled).
+//                       Default 0 keeps the legacy scenario space
+//                       byte-identical.
 //   --replay FILE       parse a scenario spec (see TESTING.md) and run it
 //                       once; exit 1 if it fails.
 //   --break-cwnd-floor  disable TCP's 1-MSS cwnd floor in fuzzed/replayed
@@ -50,6 +56,7 @@ struct FaultBenchOptions {
   int fuzz = 0;
   std::uint64_t fuzz_seed = 1;
   int max_cells = 0;
+  int max_classes = 0;
   std::string replay_path;
   bool break_cwnd_floor = false;
   bool no_ban = false;
@@ -462,10 +469,12 @@ int fuzz_mode() {
   const FaultBenchOptions& fopts = fault_options();
   exp::FuzzLimits limits;
   limits.max_cells = fopts.max_cells;
+  limits.max_classes = fopts.max_classes;
   exp::ScenarioFuzzer fuzzer{limits};
-  std::printf("fuzzing %d scenarios from seed %llu%s%s...\n", fopts.fuzz,
+  std::printf("fuzzing %d scenarios from seed %llu%s%s%s...\n", fopts.fuzz,
               static_cast<unsigned long long>(fopts.fuzz_seed),
               fopts.max_cells > 1 ? " (cellular slice enabled)" : "",
+              fopts.max_classes > 1 ? " (bandwidth-class slice enabled)" : "",
               fopts.break_cwnd_floor ? " (cwnd floor DISABLED — failures expected)" : "");
 
   auto scenario_for = [&](std::uint64_t seed) {
@@ -571,6 +580,12 @@ int main(int argc, char** argv) {
       fopts.max_cells = std::atoi(value());
       if (fopts.max_cells < 0) {
         std::fprintf(stderr, "--max-cells: bad count\n");
+        return 2;
+      }
+    } else if (arg == "--max-classes") {
+      fopts.max_classes = std::atoi(value());
+      if (fopts.max_classes < 0) {
+        std::fprintf(stderr, "--max-classes: bad count\n");
         return 2;
       }
     } else if (arg == "--replay") {

@@ -552,7 +552,12 @@ void Client::drop_peer(PeerConnection* peer) {
     --pending_upload_peers_;
   }
   std::erase(interested_peers_, peer);
-  std::erase(unchoked_peers_, peer);
+  // A dropped connection that was still unchoked closes its unchoke interval
+  // here — drop_peer never goes through set_choke, so without this edge the
+  // pair would look unchoked forever (replaced duplicates, hand-offs, bans).
+  if (std::erase(unchoked_peers_, peer) > 0 && on_unchoke_change) {
+    on_unchoke_change(peer->remote_id, false);
+  }
   peer->detach();
   peers_.erase(it);
 }
@@ -758,6 +763,7 @@ void Client::handle_piece(PeerConnection& peer, const WireMessage& msg) {
   down_rate_.add(sim_.now(), msg.length);
   stats_.payload_downloaded += msg.length;
   credit_.add(peer.remote_id, sim_.now(), msg.length);
+  if (on_payload_received) on_payload_received(peer.remote_id, msg.length);
   peer.snubbed = false;  // it delivered: reciprocation resumes
 
   if (msg.piece < 0 || msg.piece >= meta_.piece_count()) return;
@@ -1195,6 +1201,7 @@ void Client::set_choke(PeerConnection& peer, bool choke) {
                        .why(&peer == optimistic_peer_ ? "optimistic" : "tit-for-tat")
                        .with("peer_id", static_cast<double>(peer.remote_id & 0xffffffffu)));
   peer.send(WireMessage::simple(choke ? MsgType::kChoke : MsgType::kUnchoke));
+  if (on_unchoke_change) on_unchoke_change(peer.remote_id, !choke);
   if (choke) {
     peer.upload_queue.clear();
     update_pending_upload(peer);
@@ -1228,6 +1235,7 @@ void Client::pump_uploads() {
       peer.up_meter.add(now, job.length);
       up_rate_.add(now, job.length);
       stats_.payload_uploaded += job.length;
+      if (on_payload_sent) on_payload_sent(peer.remote_id, job.length);
       served = true;
     }
     idle_streak = served ? 0 : idle_streak + 1;

@@ -12,6 +12,7 @@
 // upload limit at runtime (LIHD), and install a packet filter below the node.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -114,6 +115,18 @@ class Client {
   // Fired after a hand-off has been handled (post role-reversal/reinit).
   std::function<void()> on_reinitiated;
 
+  // Per-pair accounting hooks (metrics::TransferMatrix). These fire at the
+  // moment bytes move or the choke state flips, keyed by the remote IDENTITY
+  // (peer-id) rather than the connection — so bytes sent on a connection that
+  // later loses the duplicate-handshake tie-break, or across a reconnect,
+  // keep accruing to the same identity row instead of vanishing with the
+  // PeerConnection's counters. on_unchoke_change also fires a closing edge
+  // (unchoked=false) when a still-unchoked connection drops, so unchoke
+  // intervals never leak past the connection's death.
+  std::function<void(PeerId peer, std::int64_t bytes)> on_payload_sent;
+  std::function<void(PeerId peer, std::int64_t bytes)> on_payload_received;
+  std::function<void(PeerId peer, bool unchoked)> on_unchoke_change;
+
   // Rebuild the task after a silently-lost network (used by the wP2P
   // live-peer mobility detector, which cannot observe the address change
   // directly): re-announce and, under role reversal, reconnect to every
@@ -137,6 +150,29 @@ class Client {
       if (peer->remote_id == id) return peer.get();
     }
     return nullptr;
+  }
+  // Visible for tests: recompute the incremental interested/unchoked sets and
+  // the pending-upload tally from a full peers_ scan and compare against the
+  // maintained values. The choker property test asserts this after randomized
+  // rate churn, choke/unchoke storms, and peer bans.
+  bool incremental_sets_consistent() const {
+    std::size_t interested = 0, unchoked = 0, pending = 0;
+    for (const auto& peer : peers_) {
+      const bool in_interested =
+          std::find(interested_peers_.begin(), interested_peers_.end(), peer.get()) !=
+          interested_peers_.end();
+      const bool in_unchoked =
+          std::find(unchoked_peers_.begin(), unchoked_peers_.end(), peer.get()) !=
+          unchoked_peers_.end();
+      if (peer->peer_interested != in_interested) return false;
+      if (!peer->am_choking != in_unchoked) return false;
+      if (!peer->upload_queue.empty() != peer->upload_pending_counted) return false;
+      if (peer->peer_interested) ++interested;
+      if (!peer->am_choking) ++unchoked;
+      if (!peer->upload_queue.empty()) ++pending;
+    }
+    return interested == interested_peers_.size() && unchoked == unchoked_peers_.size() &&
+           pending == pending_upload_peers_;
   }
   // Visible for tests: feed a wire message through the dispatch path as if
   // `peer` had delivered it (deterministic stand-in for in-flight races the

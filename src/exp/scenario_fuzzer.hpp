@@ -32,6 +32,7 @@
 
 #include "bt/metainfo.hpp"
 #include "core/am_filter.hpp"
+#include "exp/clustering.hpp"
 #include "exp/faults.hpp"
 #include "exp/parallel_runner.hpp"
 #include "exp/swarm.hpp"
@@ -55,6 +56,10 @@ struct FuzzLimits {
   // request. 0 (the default) disables the slice entirely — generation draws
   // nothing extra from the RNG, so legacy seeds reproduce byte-identically.
   int max_cells = 0;
+  // Bandwidth-class slice: number of heterogeneous-bandwidth tiers wired
+  // leeches may be assigned to (exp::three_tier_classes shapes, cycled).
+  // Same gating discipline as max_cells: 0 (default) draws nothing extra.
+  int max_classes = 0;
 };
 
 struct ScenarioPeer {
@@ -67,6 +72,9 @@ struct ScenarioPeer {
   // plain WirelessChannel/WiredLink). Only meaningful when the scenario has
   // cells > 0; cellular peers are also wireless.
   int cell = -1;
+  // Bandwidth class of a wired leech (-1 = unclassed: default link, no upload
+  // limit). Indexes into exp::three_tier_classes() cyclically.
+  int bw_class = -1;
 
   bool operator==(const ScenarioPeer&) const = default;
 };
@@ -125,6 +133,11 @@ struct Scenario {
         char cell_buf[24];
         std::snprintf(cell_buf, sizeof cell_buf, " cell=%d", p.cell);
         out += cell_buf;
+      }
+      if (p.bw_class >= 0) {
+        char class_buf[24];
+        std::snprintf(class_buf, sizeof class_buf, " class=%d", p.bw_class);
+        out += class_buf;
       }
       out += '\n';
     }
@@ -263,6 +276,16 @@ class ScenarioFuzzer {
         std::erase(wireless, p.name);
       }
     }
+    // Bandwidth-class slice: wired leeches get heterogeneous tiers. Gated on
+    // max_classes exactly like the cellular slice, so legacy limits draw
+    // nothing extra and reproduce byte-identically.
+    if (limits_.max_classes > 1 && rng.bernoulli(0.5)) {
+      for (ScenarioPeer& p : s.peers) {
+        if (p.is_seed || p.wireless) continue;
+        p.bw_class = static_cast<int>(
+            rng.below(static_cast<std::size_t>(limits_.max_classes)));
+      }
+    }
     s.faults = sim::FaultPlan::random(rng, names, wireless, s.duration_s, limits_.max_faults,
                                       /*t_min_s=*/5.0, s.trackers, s.cells, cellular);
     return s;
@@ -319,10 +342,20 @@ class ScenarioFuzzer {
           cellular ? std::min(static_cast<std::size_t>(p.cell),
                               static_cast<std::size_t>(scenario.cells - 1))
                    : 0;
+      // Bandwidth class: shape the wired leech's link and upload limit from
+      // the canonical tiers (cycled when the scenario names a higher class).
+      net::WiredParams wired_params;
+      if (!p.wireless && !p.is_seed && p.bw_class >= 0) {
+        static const std::vector<BandwidthClass> kClasses = three_tier_classes();
+        const BandwidthClass& cls =
+            kClasses[static_cast<std::size_t>(p.bw_class) % kClasses.size()];
+        wired_params = cls.link;
+        config.upload_limit = cls.upload_limit;
+      }
       Swarm::Member& member =
           cellular    ? swarm.add_cellular(p.name, p.is_seed, config, start_cell, tcp_params)
           : p.wireless ? swarm.add_wireless(p.name, p.is_seed, config, {}, tcp_params)
-                       : swarm.add_wired(p.name, p.is_seed, config, {}, tcp_params);
+                       : swarm.add_wired(p.name, p.is_seed, config, wired_params, tcp_params);
       if (p.wp2p && p.wireless) {
         // The AM packet filter below the stack, as core::WP2PClient installs it.
         am_filters.push_back(std::make_unique<core::AmFilter>(swarm.world.sim));
@@ -581,6 +614,8 @@ inline std::optional<Scenario> Scenario::parse(std::string_view text) {
           p.preload = std::strtod(value.c_str(), nullptr);
         } else if (detail::parse_kv(tokens[i], "cell", value)) {
           p.cell = std::atoi(value.c_str());
+        } else if (detail::parse_kv(tokens[i], "class", value)) {
+          p.bw_class = std::atoi(value.c_str());
         } else {
           return std::nullopt;
         }

@@ -13,6 +13,7 @@
 
 #include "bt/client.hpp"
 #include "bt/tracker.hpp"
+#include "exp/clustering.hpp"
 #include "exp/world.hpp"
 
 namespace wp2p::exp {
@@ -40,6 +41,15 @@ class Swarm {
                        net::WirelessParams link = {}, tcp::TcpParams tcp_params = {}) {
     World::Host& host = world.add_wireless_host(name, link, tcp_params);
     return add_member(host, is_seed, config);
+  }
+
+  // A wired member of bandwidth class `cls`: the access link takes the
+  // class's shape (asymmetric up/down capacities) and the client enforces the
+  // class's upload limit — the tier signature tit-for-tat clusters on.
+  Member& add_classed(const std::string& name, bool is_seed, const BandwidthClass& cls,
+                      bt::ClientConfig config = {}, tcp::TcpParams tcp_params = {}) {
+    config.upload_limit = cls.upload_limit;
+    return add_wired(name, is_seed, config, cls.link, tcp_params);
   }
 
   // A mobile member attached to cell `cell_id` of the world's multi-cell

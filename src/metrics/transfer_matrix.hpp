@@ -1,0 +1,337 @@
+// Per-pair transfer accounting for incentive-clustering experiments.
+//
+// A TransferMatrix holds one row per peer IDENTITY (not per connection): who
+// uploaded how many payload bytes to whom, who downloaded from whom, and for
+// how long each ordered pair was in the unchoked state. Identities are bound
+// to BitTorrent peer-ids; a client that reconnects, loses a duplicate-
+// handshake tie-break, or regenerates its peer-id after a hand-off keeps
+// accumulating into the same row as long as every id it has used is bound
+// (bind() keeps old bindings alive for exactly this reason).
+//
+// On top of the raw matrix sit the reducers of Legout et al., "Clustering and
+// Sharing Incentives in BitTorrent Systems" (arXiv:cs/0703107):
+//
+//  * same-class unchoke affinity — the fraction of a leech's unchoke time
+//    given to leeches of its own bandwidth class,
+//  * the class-size null model — the affinity a class-blind chooser would
+//    show, (n_c - 1) / (N - 1) over the N non-seed identities,
+//  * the clustering coefficient — affinity normalized against the null model
+//    so perfect clustering reads 1 and uniform mixing reads ~0,
+//  * an empirical shuffled baseline — the coefficient recomputed under random
+//    permutations of the class labels (should straddle 0),
+//  * free-rider yield and per-identity seed-provisioning share.
+//
+// Everything here is plain data plus pure arithmetic: reducers depend only on
+// the accumulated matrix, so results are bit-identical for any --jobs value.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace wp2p::metrics {
+
+class TransferMatrix {
+ public:
+  struct Identity {
+    std::string label;
+    int bw_class = -1;     // -1 = unclassed
+    bool is_seed = false;  // initial seeds provision, they do not cluster
+  };
+
+  // --- Identity management ----------------------------------------------------
+
+  int add_identity(std::string label, int bw_class, bool is_seed) {
+    const int row = static_cast<int>(identities_.size());
+    identities_.push_back(Identity{std::move(label), bw_class, is_seed});
+    for (auto& r : cells_) r.resize(identities_.size());
+    cells_.emplace_back(identities_.size());
+    return row;
+  }
+
+  // Bind a wire peer-id to a row. Old bindings are kept: a peer that
+  // regenerates its id after a hand-off keeps its history reachable under
+  // both ids, so in-flight bytes attributed to the old id still land in the
+  // right row. Rebinding an id to a new row wins (ids are 64-bit random;
+  // reuse means the same identity regenerated into a collision, which the
+  // RNG makes negligible).
+  void bind(std::uint64_t peer_id, int row) { rows_by_id_[peer_id] = row; }
+
+  int row_of(std::uint64_t peer_id) const {
+    const auto it = rows_by_id_.find(peer_id);
+    return it == rows_by_id_.end() ? -1 : it->second;
+  }
+
+  std::size_t rows() const { return identities_.size(); }
+  const Identity& identity(int row) const {
+    return identities_[static_cast<std::size_t>(row)];
+  }
+
+  // --- Event feed -------------------------------------------------------------
+
+  void record_upload(int from, int to, std::int64_t bytes) {
+    cell(from, to).uploaded += bytes;
+  }
+  // `row` received `bytes` sourced at identity `src`.
+  void record_download(int row, int src, std::int64_t bytes) {
+    cell(row, src).downloaded += bytes;
+  }
+
+  // Unchoke-state edge on the ordered pair (from -> to). Nested opens (two
+  // live connections to the same identity, e.g. a simultaneous open before
+  // the tie-break resolves) are reference-counted: the pair counts as
+  // unchoked while at least one connection is.
+  void set_unchoked(int from, int to, bool unchoked, sim::SimTime now) {
+    Cell& c = cell(from, to);
+    if (unchoked) {
+      if (c.open == 0) c.open_since = now;
+      ++c.open;
+      return;
+    }
+    if (c.open == 0) return;  // edge for a connection opened before tracking
+    if (--c.open == 0) c.unchoke_time += now - c.open_since;
+  }
+
+  // Close the open unchoke intervals of one row (its identity's leech phase
+  // ended; the rest of the matrix keeps accumulating). Affinity is a
+  // leech-phase quantity: freeze a row at its completion so post-completion
+  // seeding does not dilute it.
+  void finish_row(int row, sim::SimTime now) {
+    for (Cell& c : cells_[static_cast<std::size_t>(row)]) {
+      if (c.open > 0) {
+        c.unchoke_time += now - c.open_since;
+        c.open = 0;
+      }
+    }
+  }
+
+  // Close every open unchoke interval (end of run / of the measured phase).
+  void finish(sim::SimTime now) {
+    for (auto& r : cells_) {
+      for (Cell& c : r) {
+        if (c.open > 0) {
+          c.unchoke_time += now - c.open_since;
+          c.open = 0;
+        }
+      }
+    }
+  }
+
+  std::int64_t uploaded(int from, int to) const { return cell(from, to).uploaded; }
+  std::int64_t downloaded(int row, int src) const { return cell(row, src).downloaded; }
+  sim::SimTime unchoke_time(int from, int to) const { return cell(from, to).unchoke_time; }
+
+  std::int64_t total_uploaded(int row) const {
+    std::int64_t sum = 0;
+    for (std::size_t j = 0; j < identities_.size(); ++j) {
+      sum += cell(row, static_cast<int>(j)).uploaded;
+    }
+    return sum;
+  }
+  std::int64_t total_downloaded(int row) const {
+    std::int64_t sum = 0;
+    for (std::size_t j = 0; j < identities_.size(); ++j) {
+      sum += cell(row, static_cast<int>(j)).downloaded;
+    }
+    return sum;
+  }
+
+  // --- Reducers (Legout et al.) -----------------------------------------------
+
+  // Fraction of `row`'s unchoke time spent on non-seed identities of its own
+  // class. -1 when the row is a seed, unclassed, or never unchoked a leech.
+  double same_class_affinity(int row) const {
+    return affinity_under(row, [this](int r) { return identities_[static_cast<std::size_t>(r)].bw_class; });
+  }
+
+  // What a class-blind sender in `row`'s class would score: the share of
+  // same-class identities among the other non-seed identities.
+  double null_affinity(int row) const {
+    const Identity& me = identities_[static_cast<std::size_t>(row)];
+    if (me.is_seed || me.bw_class < 0) return -1.0;
+    std::size_t peers = 0, same = 0;
+    for (std::size_t j = 0; j < identities_.size(); ++j) {
+      if (j == static_cast<std::size_t>(row) || identities_[j].is_seed) continue;
+      ++peers;
+      if (identities_[j].bw_class == me.bw_class) ++same;
+    }
+    if (peers == 0) return -1.0;
+    return static_cast<double>(same) / static_cast<double>(peers);
+  }
+
+  // Class-level clustering coefficient: the unchoke time all leeches of
+  // `bw_class` gave to their own class, as a fraction of their unchoke time
+  // to any leech, normalized against the class-size null model. 1 = perfect
+  // clustering, ~0 = class-blind mixing, < 0 = active avoidance. -1 when the
+  // class never unchoked anyone (no signal).
+  double clustering_coefficient(int bw_class) const {
+    std::vector<int> labels(identities_.size());
+    for (std::size_t i = 0; i < identities_.size(); ++i) labels[i] = identities_[i].bw_class;
+    return coefficient_under(bw_class, labels);
+  }
+
+  // Unchoke-time-weighted mean coefficient over every class present.
+  double overall_coefficient() const {
+    std::vector<int> labels(identities_.size());
+    for (std::size_t i = 0; i < identities_.size(); ++i) labels[i] = identities_[i].bw_class;
+    return overall_under(labels);
+  }
+
+  // Empirical null: the overall coefficient under `rounds` random
+  // permutations of the class labels across non-seed identities, averaged.
+  // Converges to ~0; the distance between the real coefficient and this
+  // baseline is the clustering signal.
+  double shuffled_coefficient(std::uint64_t seed, int rounds = 32) const {
+    std::vector<std::size_t> leeches;
+    std::vector<int> labels(identities_.size());
+    for (std::size_t i = 0; i < identities_.size(); ++i) {
+      labels[i] = identities_[i].bw_class;
+      if (!identities_[i].is_seed) leeches.push_back(i);
+    }
+    sim::Rng rng{seed ^ 0x5bf0f3c6d1a492e7ULL};
+    double sum = 0.0;
+    int used = 0;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<int> shuffled = labels;
+      // Fisher-Yates over the leech positions only; seeds keep their label.
+      for (std::size_t i = leeches.size(); i > 1; --i) {
+        const std::size_t j = rng.below(i);
+        std::swap(shuffled[leeches[i - 1]], shuffled[leeches[j]]);
+      }
+      const double coeff = overall_under(shuffled);
+      if (coeff > -1.0) {
+        sum += coeff;
+        ++used;
+      }
+    }
+    return used == 0 ? -1.0 : sum / static_cast<double>(used);
+  }
+
+  // Free-rider yield: `row`'s total download relative to the mean download of
+  // the other non-seed identities that actually uploaded. ~1 means free
+  // riding is not punished; well below 1 means tit-for-tat starved the row.
+  // 0 when there is no contributing leech to compare against (e.g. an
+  // all-seed swarm).
+  double free_rider_yield(int row) const {
+    double contrib_sum = 0.0;
+    std::size_t contributors = 0;
+    for (std::size_t j = 0; j < identities_.size(); ++j) {
+      if (j == static_cast<std::size_t>(row) || identities_[j].is_seed) continue;
+      if (total_uploaded(static_cast<int>(j)) <= 0) continue;
+      contrib_sum += static_cast<double>(total_downloaded(static_cast<int>(j)));
+      ++contributors;
+    }
+    if (contributors == 0 || contrib_sum <= 0.0) return 0.0;
+    const double mean = contrib_sum / static_cast<double>(contributors);
+    return static_cast<double>(total_downloaded(row)) / mean;
+  }
+
+  // Share of `row`'s downloaded bytes provisioned by initial seeds.
+  double seed_share(int row) const {
+    const std::int64_t total = total_downloaded(row);
+    if (total <= 0) return 0.0;
+    std::int64_t from_seeds = 0;
+    for (std::size_t j = 0; j < identities_.size(); ++j) {
+      if (identities_[j].is_seed) from_seeds += cell(row, static_cast<int>(j)).downloaded;
+    }
+    return static_cast<double>(from_seeds) / static_cast<double>(total);
+  }
+
+ private:
+  struct Cell {
+    std::int64_t uploaded = 0;
+    std::int64_t downloaded = 0;
+    sim::SimTime unchoke_time = 0;
+    int open = 0;  // live unchoked connections for this ordered pair
+    sim::SimTime open_since = 0;
+  };
+
+  Cell& cell(int from, int to) {
+    return cells_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  }
+  const Cell& cell(int from, int to) const {
+    return cells_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  }
+
+  // Affinity of one row under an arbitrary labelling (shared by the real and
+  // shuffled reducers).
+  template <typename LabelFn>
+  double affinity_under(int row, LabelFn label) const {
+    const Identity& me = identities_[static_cast<std::size_t>(row)];
+    const int my_label = label(row);
+    if (me.is_seed || my_label < 0) return -1.0;
+    sim::SimTime total = 0, same = 0;
+    for (std::size_t j = 0; j < identities_.size(); ++j) {
+      if (j == static_cast<std::size_t>(row) || identities_[j].is_seed) continue;
+      const sim::SimTime t = cell(row, static_cast<int>(j)).unchoke_time;
+      total += t;
+      if (label(static_cast<int>(j)) == my_label) same += t;
+    }
+    if (total == 0) return -1.0;
+    return static_cast<double>(same) / static_cast<double>(total);
+  }
+
+  // Class-aggregate coefficient under an arbitrary labelling.
+  double coefficient_under(int bw_class, const std::vector<int>& labels) const {
+    if (bw_class < 0) return -1.0;
+    sim::SimTime total = 0, same = 0;
+    std::size_t class_size = 0, leeches = 0;
+    for (std::size_t i = 0; i < identities_.size(); ++i) {
+      if (identities_[i].is_seed) continue;
+      ++leeches;
+      if (labels[i] == bw_class) ++class_size;
+    }
+    if (class_size == 0 || leeches < 2) return -1.0;
+    for (std::size_t i = 0; i < identities_.size(); ++i) {
+      if (identities_[i].is_seed || labels[i] != bw_class) continue;
+      for (std::size_t j = 0; j < identities_.size(); ++j) {
+        if (j == i || identities_[j].is_seed) continue;
+        const sim::SimTime t = cell(static_cast<int>(i), static_cast<int>(j)).unchoke_time;
+        total += t;
+        if (labels[j] == bw_class) same += t;
+      }
+    }
+    if (total == 0) return -1.0;
+    const double affinity = static_cast<double>(same) / static_cast<double>(total);
+    const double null = static_cast<double>(class_size - 1) / static_cast<double>(leeches - 1);
+    if (null >= 1.0) return -1.0;  // one-class swarm: affinity is vacuous
+    return (affinity - null) / (1.0 - null);
+  }
+
+  double overall_under(const std::vector<int>& labels) const {
+    // Weight each class's coefficient by the unchoke time its members spent
+    // on leeches, so sparse classes do not dominate the mean.
+    double weighted = 0.0, weight = 0.0;
+    std::vector<int> seen;
+    for (std::size_t i = 0; i < identities_.size(); ++i) {
+      const int cls = labels[i];
+      if (identities_[i].is_seed || cls < 0) continue;
+      if (std::find(seen.begin(), seen.end(), cls) != seen.end()) continue;
+      seen.push_back(cls);
+      const double coeff = coefficient_under(cls, labels);
+      if (coeff <= -1.0) continue;
+      double w = 0.0;
+      for (std::size_t a = 0; a < identities_.size(); ++a) {
+        if (identities_[a].is_seed || labels[a] != cls) continue;
+        for (std::size_t b = 0; b < identities_.size(); ++b) {
+          if (b == a || identities_[b].is_seed) continue;
+          w += static_cast<double>(cell(static_cast<int>(a), static_cast<int>(b)).unchoke_time);
+        }
+      }
+      weighted += coeff * w;
+      weight += w;
+    }
+    return weight <= 0.0 ? -1.0 : weighted / weight;
+  }
+
+  std::vector<Identity> identities_;
+  std::vector<std::vector<Cell>> cells_;  // [from][to]
+  std::unordered_map<std::uint64_t, int> rows_by_id_;
+};
+
+}  // namespace wp2p::metrics

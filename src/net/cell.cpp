@@ -223,9 +223,9 @@ std::size_t Cell::pick_down_slot() {
   return slot;
 }
 
-sim::SimTime Cell::frame_airtime(std::int64_t size, bool contended) const {
-  sim::SimTime airtime =
-      sim::seconds(params_.capacity.seconds_for(size)) + params_.per_packet_overhead;
+sim::SimTime Cell::frame_airtime(std::int64_t size, Direction dir, bool contended) const {
+  sim::SimTime airtime = sim::seconds(directional_capacity(params_, dir).seconds_for(size)) +
+                         params_.per_packet_overhead;
   if (contended && params_.contention_overhead > 0.0) {
     airtime += static_cast<sim::SimTime>(static_cast<double>(airtime) *
                                          params_.contention_overhead);
@@ -265,7 +265,7 @@ void Cell::maybe_serve() {
     st.down_seqs.pop_front();
   }
   Packet pkt = queue.pop();
-  sim_.after(frame_airtime(pkt.size, contended),
+  sim_.after(frame_airtime(pkt.size, dir, contended),
              [this, slot, dir, pkt = std::move(pkt)]() mutable {
     finish(slot, dir, std::move(pkt), 0);
   });
@@ -291,7 +291,7 @@ void Cell::finish(std::size_t slot, Direction dir, Packet pkt, int attempt) {
                          .with("attempt", static_cast<double>(attempt + 1)));
     const bool contended =
         backlog(dir == Direction::kUp ? Direction::kDown : Direction::kUp);
-    sim_.after(frame_airtime(pkt.size, contended),
+    sim_.after(frame_airtime(pkt.size, dir, contended),
                [this, slot, dir, pkt = std::move(pkt), attempt]() mutable {
       finish(slot, dir, std::move(pkt), attempt + 1);
     });

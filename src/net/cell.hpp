@@ -124,6 +124,9 @@ class Cell {
   // (pinned by the channel-mutation regression tests).
   void set_bit_error_rate(double ber) { params_.bit_error_rate = ber; }
   void set_capacity(util::Rate capacity) { params_.capacity = capacity; }
+  // Per-direction asymmetry, same live-mutation semantics as set_capacity.
+  void set_up_capacity(util::Rate capacity) { params_.up_capacity = capacity; }
+  void set_down_capacity(util::Rate capacity) { params_.down_capacity = capacity; }
 
   // Cell outage: station/AP queues flush, new enqueues drop, the frame in
   // flight dies on completion, and service stays halted until recovery.
@@ -162,7 +165,7 @@ class Cell {
   void clear_station(std::size_t slot);
   void maybe_serve();
   void finish(std::size_t slot, Direction dir, Packet pkt, int attempt);
-  sim::SimTime frame_airtime(std::int64_t size, bool contended) const;
+  sim::SimTime frame_airtime(std::int64_t size, Direction dir, bool contended) const;
   bool backlog(Direction dir) const;
   std::size_t pick_up_slot();
   std::size_t pick_down_slot();

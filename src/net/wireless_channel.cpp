@@ -82,14 +82,16 @@ void WirelessChannel::maybe_serve() {
   const bool contended = !up_queue_.empty() && !down_queue_.empty();
   DropTailQueue& queue = dir == Direction::kUp ? up_queue_ : down_queue_;
   Packet pkt = queue.pop();
-  sim_.after(frame_airtime(pkt.size, contended), [this, dir, pkt = std::move(pkt)]() mutable {
+  sim_.after(frame_airtime(pkt.size, dir, contended),
+             [this, dir, pkt = std::move(pkt)]() mutable {
     finish(dir, std::move(pkt), 0);
   });
 }
 
-sim::SimTime WirelessChannel::frame_airtime(std::int64_t size, bool contended) const {
-  sim::SimTime airtime =
-      sim::seconds(params_.capacity.seconds_for(size)) + params_.per_packet_overhead;
+sim::SimTime WirelessChannel::frame_airtime(std::int64_t size, Direction dir,
+                                            bool contended) const {
+  sim::SimTime airtime = sim::seconds(directional_capacity(params_, dir).seconds_for(size)) +
+                         params_.per_packet_overhead;
   if (contended && params_.contention_overhead > 0.0) {
     airtime += static_cast<sim::SimTime>(static_cast<double>(airtime) *
                                          params_.contention_overhead);
@@ -113,7 +115,7 @@ void WirelessChannel::finish(Direction dir, Packet pkt, int attempt) {
                          .with("attempt", static_cast<double>(attempt + 1)));
     const bool contended =
         dir == Direction::kUp ? !down_queue_.empty() : !up_queue_.empty();
-    sim_.after(frame_airtime(pkt.size, contended),
+    sim_.after(frame_airtime(pkt.size, dir, contended),
                [this, dir, pkt = std::move(pkt), attempt]() mutable {
       finish(dir, std::move(pkt), attempt + 1);
     });

@@ -21,6 +21,14 @@ namespace wp2p::net {
 
 struct WirelessParams {
   util::Rate capacity = util::Rate::mbps(24.0);  // effective 802.11g MAC throughput
+  // Optional per-direction serialization rates (cellular-style asymmetry:
+  // HSDPA-class downlink over a thin uplink). Zero — the default — means the
+  // direction inherits the shared `capacity`, keeping the symmetric model's
+  // arithmetic bit-identical. The medium stays ONE half-duplex server either
+  // way: directions still contend for airtime, they just serialize at
+  // different rates while holding it.
+  util::Rate up_capacity = util::Rate::zero();
+  util::Rate down_capacity = util::Rate::zero();
   double bit_error_rate = 0.0;
   sim::SimTime prop_delay = sim::microseconds(50);
   std::size_t up_queue_limit = 50;    // station transmit buffer
@@ -42,6 +50,14 @@ struct WirelessParams {
   double contention_overhead = 0.0;
 };
 
+// Effective serialization rate of one direction: the per-direction override
+// when set, else the shared capacity. Shared by WirelessChannel and Cell so
+// both media price airtime identically.
+inline util::Rate directional_capacity(const WirelessParams& params, Direction dir) {
+  const util::Rate cap = dir == Direction::kUp ? params.up_capacity : params.down_capacity;
+  return cap.is_zero() ? params.capacity : cap;
+}
+
 class WirelessChannel final : public AccessLink {
  public:
   WirelessChannel(sim::Simulator& sim, Node& node, Network& network, WirelessParams params);
@@ -53,6 +69,10 @@ class WirelessChannel final : public AccessLink {
   const WirelessParams& params() const { return params_; }
   void set_bit_error_rate(double ber) { params_.bit_error_rate = ber; }
   void set_capacity(util::Rate capacity) { params_.capacity = capacity; }
+  // Live asymmetry mutation, same semantics as set_capacity: the frame in
+  // service keeps its scheduled airtime; later frames see the new rate.
+  void set_up_capacity(util::Rate capacity) { params_.up_capacity = capacity; }
+  void set_down_capacity(util::Rate capacity) { params_.down_capacity = capacity; }
 
   // Probability that a single transmission attempt of `size` bytes is
   // corrupted on the air.
@@ -63,9 +83,9 @@ class WirelessChannel final : public AccessLink {
  private:
   void maybe_serve();
   void finish(Direction dir, Packet pkt, int attempt);
-  // Airtime for one transmission attempt, including per-packet overhead and —
-  // when the medium is contended — the CSMA/CA surcharge.
-  sim::SimTime frame_airtime(std::int64_t size, bool contended) const;
+  // Airtime for one transmission attempt in `dir`, including per-packet
+  // overhead and — when the medium is contended — the CSMA/CA surcharge.
+  sim::SimTime frame_airtime(std::int64_t size, Direction dir, bool contended) const;
 
   WirelessParams params_;
   DropTailQueue up_queue_;

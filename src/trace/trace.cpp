@@ -61,6 +61,7 @@ constexpr KindName kKinds[] = {
     {Kind::kCellRoam, "cell.roam"},
     {Kind::kCellServe, "cell.serve"},
     {Kind::kCellDeliver, "cell.deliver"},
+    {Kind::kBtMatrixSample, "bt.matrix"},
 };
 
 }  // namespace

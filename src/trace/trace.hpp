@@ -82,11 +82,13 @@ enum class Kind : std::uint8_t {
   kCellRoam,     // hand-off initiated; from/to cell ids
   kCellServe,    // downlink scheduler picked a station; aux = policy, qlen field
   kCellDeliver,  // downlink frame delivered through a cell to its station
+
+  kBtMatrixSample,  // periodic transfer-matrix snapshot (clustering probe)
 };
 
 // Number of Kind values; sized for per-kind lookup tables (keep in sync with
 // the last enumerator above).
-inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kCellDeliver) + 1;
+inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kBtMatrixSample) + 1;
 
 const char* to_string(Component c);
 const char* to_string(Kind k);

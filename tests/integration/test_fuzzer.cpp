@@ -55,6 +55,56 @@ TEST(ScenarioFuzzer, ScenarioSpecRoundTrips) {
   EXPECT_FALSE(Scenario::parse("scenario seed=1\npeer link=wired\n"));  // nameless
 }
 
+TEST(ScenarioFuzzer, BandwidthClassesGateAndRoundTrip) {
+  // Gated off (the default): no seed may emit a classed peer, so legacy
+  // seeds keep their exact serialization and replay byte-identically.
+  ScenarioFuzzer legacy{quick_limits()};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const Scenario s = legacy.generate(seed);
+    EXPECT_EQ(s.serialize().find("class="), std::string::npos) << "seed " << seed;
+    for (const auto& p : s.peers) EXPECT_EQ(p.bw_class, -1);
+  }
+
+  // Gated on: some seed draws classed wired leeches, the class stays inside
+  // [0, max_classes), and the spec round-trips through parse().
+  exp::FuzzLimits limits = quick_limits();
+  limits.max_classes = 3;
+  ScenarioFuzzer fuzzer{limits};
+  bool saw_classed = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !saw_classed; ++seed) {
+    const Scenario s = fuzzer.generate(seed);
+    for (const auto& p : s.peers) {
+      if (p.bw_class < 0) continue;
+      saw_classed = true;
+      EXPECT_LT(p.bw_class, 3);
+      EXPECT_FALSE(p.wireless);  // classes shape WIRED access links
+      EXPECT_FALSE(p.is_seed);
+    }
+    if (!saw_classed) continue;
+    const auto parsed = Scenario::parse(s.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->serialize(), s.serialize());
+    for (std::size_t i = 0; i < s.peers.size(); ++i) {
+      EXPECT_EQ(parsed->peers[i].bw_class, s.peers[i].bw_class);
+    }
+  }
+  EXPECT_TRUE(saw_classed) << "no seed drew a bandwidth class";
+
+  // A handwritten classed spec parses and replays deterministically.
+  const auto spec = Scenario::parse(
+      "scenario seed=7 duration=60 file=524288 piece=262144 unsafe=0 noban=0 "
+      "trackers=1 trpeers=50 pex=0 boot=0 failover=0\n"
+      "peer name=s0 link=wired role=seed wp2p=0 preload=1\n"
+      "peer name=l0 link=wired role=leech wp2p=0 preload=0 class=2\n"
+      "peer name=l1 link=wired role=leech wp2p=0 preload=0 class=0\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->peers[1].bw_class, 2);
+  const exp::FuzzVerdict v1 = fuzzer.run(*spec);
+  const exp::FuzzVerdict v2 = fuzzer.run(*spec);
+  EXPECT_GT(v1.events, 0u);
+  EXPECT_EQ(v1.trace_hash, v2.trace_hash);
+}
+
 TEST(ScenarioFuzzer, RunIsDeterministicAcrossRepeatsAndJobs) {
   ScenarioFuzzer fuzzer{quick_limits()};
   const Scenario scenario = fuzzer.generate(31);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bt/bencode.hpp"
+#include "exp/faults.hpp"
 #include "exp/swarm.hpp"
 
 namespace wp2p {
@@ -114,6 +115,73 @@ TEST_P(SeedSweep, HandoffsNeverWedgeTheDownload) {
   }
   ASSERT_TRUE(swarm.run_until_complete(mobile, 900.0)) << "seed " << seed;
   EXPECT_EQ(mobile->store().bytes_completed(), meta.total_size);
+}
+
+// --- Choker: incremental sets match a from-scratch recompute ---------------------
+
+TEST_P(SeedSweep, ChokerIncrementalSetsConsistentUnderChurn) {
+  // The choker maintains interested/unchoked/pending-upload sets
+  // incrementally (updated at each state edge, never rebuilt). Under rate
+  // churn, connectivity blackouts (drops, timeouts, reconnect storms), and a
+  // poisoning peer that gets struck and banned mid-run, the maintained sets
+  // must stay identical to a from-scratch recompute over peers_.
+  const std::uint64_t seed = GetParam();
+  auto meta = bt::Metainfo::create("f", 6 * 1024 * 1024, 256 * 1024, "tr", seed + 500);
+  Swarm swarm{seed + 500, meta};
+  bt::ClientConfig config;
+  config.announce_interval = sim::seconds(10.0);
+  config.choke_interval = sim::seconds(5.0);  // more choke rounds per wall-second
+  swarm.add_wired("seed", true, config);
+  auto& venom = swarm.add_wired("venom", true, [&] {
+    bt::ClientConfig c = config;
+    c.listen_port = 6882;
+    return c;
+  }());
+  const int leeches = 4;
+  for (int i = 0; i < leeches; ++i) {
+    bt::ClientConfig lc = config;
+    lc.listen_port = static_cast<std::uint16_t>(6883 + i);
+    auto& member = swarm.add_wired("leech" + std::to_string(i), false, lc);
+    member->preload(0.2);
+  }
+
+  // The venom seed corrupts half its payload for a while: leeches strike and
+  // ban it, exercising the ban path through the incremental sets.
+  sim::FaultPlan plan;
+  sim::FaultAction corrupt;
+  corrupt.kind = sim::FaultKind::kCorrupt;
+  corrupt.at = sim::seconds(0.5);
+  corrupt.duration = sim::seconds(60.0);
+  corrupt.magnitude = 0.5;
+  corrupt.target = "venom";
+  plan.actions.push_back(corrupt);
+  auto injector = exp::bind_faults(swarm, plan);
+
+  swarm.start_all();
+  sim::Rng rng{seed * 131};
+  for (int tick = 0; tick < 120; ++tick) {
+    swarm.run_for(1.0);
+    // Rate churn: re-rank somebody every tick.
+    auto& victim = swarm.members[rng.below(swarm.members.size())];
+    victim.client->set_upload_limit(util::Rate::kBps(rng.uniform(20.0, 400.0)));
+    // Blackouts: a random leech goes dark for a couple of seconds, long
+    // enough for drops and reconnect attempts to fire.
+    if (tick % 11 == 7) {
+      auto& dark = swarm.members[2 + rng.below(leeches)];
+      dark.host->node->set_connected(false);
+      swarm.world.sim.after(sim::seconds(2.0 + rng.uniform(0.0, 2.0)),
+                            [&dark] { dark.host->node->set_connected(true); });
+    }
+    for (auto& member : swarm.members) {
+      ASSERT_TRUE(member.client->incremental_sets_consistent())
+          << "tick " << tick << " (seed " << seed << ")";
+    }
+  }
+  // The poisoner was actually exercised: at least one leech struck it.
+  std::uint64_t strikes = 0;
+  for (auto& member : swarm.members) strikes += member.client->stats().peer_strikes;
+  EXPECT_GT(strikes, 0u) << "seed " << seed;
+  (void)venom;
 }
 
 // --- Bencode: fuzz round trip ------------------------------------------------------

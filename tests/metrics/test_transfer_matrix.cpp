@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "metrics/transfer_matrix.hpp"
+#include "sim/time.hpp"
+
+namespace wp2p::metrics {
+namespace {
+
+// A 2x2-class swarm where every leech unchokes ONLY its own class: the
+// coefficient of both classes must read exactly 1.
+TEST(TransferMatrix, PerfectClusteringReadsOne) {
+  TransferMatrix m;
+  const int a0 = m.add_identity("a0", 0, false);
+  const int a1 = m.add_identity("a1", 0, false);
+  const int b0 = m.add_identity("b0", 1, false);
+  const int b1 = m.add_identity("b1", 1, false);
+  m.set_unchoked(a0, a1, true, sim::seconds(0.0));
+  m.set_unchoked(a1, a0, true, sim::seconds(0.0));
+  m.set_unchoked(b0, b1, true, sim::seconds(0.0));
+  m.set_unchoked(b1, b0, true, sim::seconds(0.0));
+  m.finish(sim::seconds(100.0));
+  EXPECT_DOUBLE_EQ(m.same_class_affinity(a0), 1.0);
+  EXPECT_DOUBLE_EQ(m.clustering_coefficient(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.clustering_coefficient(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.overall_coefficient(), 1.0);
+}
+
+// Class-blind mixing: every leech unchokes every other leech for the same
+// time, so affinity equals the null model and the coefficient reads exactly 0.
+TEST(TransferMatrix, UniformMixingReadsZero) {
+  TransferMatrix m;
+  int rows[6];
+  for (int i = 0; i < 6; ++i) rows[i] = m.add_identity("p", i / 3, false);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i != j) m.set_unchoked(rows[i], rows[j], true, sim::seconds(0.0));
+    }
+  }
+  m.finish(sim::seconds(50.0));
+  EXPECT_DOUBLE_EQ(m.null_affinity(rows[0]), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(m.same_class_affinity(rows[0]), 2.0 / 5.0);
+  EXPECT_NEAR(m.clustering_coefficient(0), 0.0, 1e-12);
+  EXPECT_NEAR(m.overall_coefficient(), 0.0, 1e-12);
+}
+
+// Seeds neither cluster nor count as targets: a seed row has no affinity, and
+// unchoke time given TO a seed does not enter a leech's affinity denominator.
+TEST(TransferMatrix, SeedsAreExcludedFromAffinity) {
+  TransferMatrix m;
+  const int seed = m.add_identity("seed", -1, true);
+  const int a0 = m.add_identity("a0", 0, false);
+  const int a1 = m.add_identity("a1", 0, false);
+  const int b0 = m.add_identity("b0", 1, false);
+  m.set_unchoked(seed, a0, true, sim::seconds(0.0));
+  m.set_unchoked(a0, seed, true, sim::seconds(0.0));  // ignored by affinity
+  m.set_unchoked(a0, a1, true, sim::seconds(0.0));
+  m.finish(sim::seconds(10.0));
+  EXPECT_DOUBLE_EQ(m.same_class_affinity(seed), -1.0);
+  EXPECT_DOUBLE_EQ(m.same_class_affinity(a0), 1.0);
+  EXPECT_DOUBLE_EQ(m.same_class_affinity(b0), -1.0);  // never unchoked a leech
+}
+
+// A one-class swarm makes affinity vacuous (null model = 1): no signal.
+TEST(TransferMatrix, OneClassSwarmIsVacuous) {
+  TransferMatrix m;
+  const int a0 = m.add_identity("a0", 0, false);
+  const int a1 = m.add_identity("a1", 0, false);
+  m.set_unchoked(a0, a1, true, sim::seconds(0.0));
+  m.finish(sim::seconds(10.0));
+  EXPECT_DOUBLE_EQ(m.clustering_coefficient(0), -1.0);
+  EXPECT_DOUBLE_EQ(m.overall_coefficient(), -1.0);
+}
+
+// Nested opens (simultaneous open before the duplicate-handshake tie-break)
+// are reference-counted: the pair is unchoked while at least one connection
+// is, and a close without a matching open is ignored.
+TEST(TransferMatrix, UnchokeIntervalsAreRefCounted) {
+  TransferMatrix m;
+  const int a = m.add_identity("a", 0, false);
+  const int b = m.add_identity("b", 0, false);
+  m.set_unchoked(a, b, false, sim::seconds(1.0));  // close before any open
+  m.set_unchoked(a, b, true, sim::seconds(2.0));
+  m.set_unchoked(a, b, true, sim::seconds(4.0));   // second live connection
+  m.set_unchoked(a, b, false, sim::seconds(6.0));  // one closes, pair stays open
+  m.set_unchoked(a, b, false, sim::seconds(9.0));  // last close ends the interval
+  m.set_unchoked(a, b, false, sim::seconds(12.0));  // stray close, ignored
+  EXPECT_EQ(m.unchoke_time(a, b), sim::seconds(7.0));
+}
+
+// finish_row freezes one identity's outgoing intervals; the rest of the
+// matrix keeps accumulating until finish().
+TEST(TransferMatrix, FinishRowFreezesOnlyThatRow) {
+  TransferMatrix m;
+  const int a = m.add_identity("a", 0, false);
+  const int b = m.add_identity("b", 0, false);
+  m.set_unchoked(a, b, true, sim::seconds(0.0));
+  m.set_unchoked(b, a, true, sim::seconds(0.0));
+  m.finish_row(a, sim::seconds(10.0));
+  m.finish(sim::seconds(30.0));
+  EXPECT_EQ(m.unchoke_time(a, b), sim::seconds(10.0));
+  EXPECT_EQ(m.unchoke_time(b, a), sim::seconds(30.0));
+}
+
+// Identity binding: bytes recorded under any id a peer has ever used land in
+// the same row; a fresh id binds on top without dropping the old one.
+TEST(TransferMatrix, BindingSurvivesIdRegeneration) {
+  TransferMatrix m;
+  const int row = m.add_identity("roamer", 0, false);
+  m.bind(0xAAAA, row);
+  EXPECT_EQ(m.row_of(0xAAAA), row);
+  m.bind(0xBBBB, row);  // regenerated after a hand-off
+  EXPECT_EQ(m.row_of(0xAAAA), row);
+  EXPECT_EQ(m.row_of(0xBBBB), row);
+  EXPECT_EQ(m.row_of(0xCCCC), -1);
+}
+
+TEST(TransferMatrix, FreeRiderYieldAndSeedShare) {
+  TransferMatrix m;
+  const int seed = m.add_identity("seed", -1, true);
+  const int l0 = m.add_identity("l0", 0, false);
+  const int l1 = m.add_identity("l1", 0, false);
+  const int rider = m.add_identity("rider", -1, false);
+  m.record_upload(l0, l1, 1000);
+  m.record_download(l0, l1, 2000);
+  m.record_upload(l1, l0, 2000);
+  m.record_download(l1, l0, 1000);
+  m.record_download(l1, seed, 3000);
+  m.record_download(rider, seed, 900);
+  m.record_download(rider, l0, 100);
+  // Contributors are l0 (2000 down) and l1 (4000 down): the rider never
+  // uploads, so it is not a contributor; mean contributor download = 3000.
+  EXPECT_DOUBLE_EQ(m.free_rider_yield(rider), 1000.0 / 3000.0);
+  // A contributor's own yield is measured against the OTHER contributors.
+  EXPECT_DOUBLE_EQ(m.free_rider_yield(l0), 2000.0 / 4000.0);
+  EXPECT_DOUBLE_EQ(m.seed_share(rider), 0.9);
+  EXPECT_DOUBLE_EQ(m.seed_share(l0), 0.0);
+  EXPECT_DOUBLE_EQ(m.seed_share(seed), 0.0);  // downloaded nothing
+}
+
+// No contributing leech to compare against (all-seed swarm): yield is 0, not
+// a division by zero.
+TEST(TransferMatrix, FreeRiderYieldWithNoContributors) {
+  TransferMatrix m;
+  m.add_identity("seed0", -1, true);
+  m.add_identity("seed1", -1, true);
+  const int rider = m.add_identity("rider", -1, false);
+  m.record_download(rider, 0, 500);
+  EXPECT_DOUBLE_EQ(m.free_rider_yield(rider), 0.0);
+}
+
+// The shuffled baseline is a pure function of (matrix, seed): identical
+// across calls, different seeds decorrelate, and it sits near 0 for a
+// perfectly clustered matrix (labels carry all the structure).
+TEST(TransferMatrix, ShuffledBaselineIsDeterministic) {
+  TransferMatrix m;
+  int rows[8];
+  for (int i = 0; i < 8; ++i) rows[i] = m.add_identity("p", i / 4, false);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      if (i != j && i / 4 == j / 4) m.set_unchoked(rows[i], rows[j], true, sim::seconds(0.0));
+    }
+  }
+  m.finish(sim::seconds(60.0));
+  const double first = m.shuffled_coefficient(42);
+  EXPECT_DOUBLE_EQ(first, m.shuffled_coefficient(42));
+  EXPECT_NE(first, m.shuffled_coefficient(43));
+  EXPECT_DOUBLE_EQ(m.overall_coefficient(), 1.0);
+  EXPECT_LT(std::abs(first), 0.35);  // straddles 0, far below the real signal
+}
+
+}  // namespace
+}  // namespace wp2p::metrics

@@ -557,5 +557,50 @@ TEST_F(CellFixture, CellParameterMutationMatchesChannelSemantics) {
   EXPECT_EQ(m.access()->stats().up_packets, 3u);
 }
 
+// Asymmetric cells: the uplink and downlink of one cell serialize at their
+// own capacities, and the directional mutators follow the same mid-service
+// boundary as set_capacity.
+TEST_F(CellFixture, CellAsymmetricCapacitiesShapeEachDirection) {
+  WirelessParams params;
+  params.up_capacity = util::Rate::bytes_per_sec(500);
+  params.down_capacity = util::Rate::bytes_per_sec(2000);
+  params.prop_delay = 0;
+  params.per_packet_overhead = 0;
+  net.path().core_delay = 0;
+  CellularTopology topo{sim, net};
+  Cell& cell = topo.add_cell(params, SchedulerKind::kFifo);
+  Node& m = net.add_node("mobile");
+  topo.attach(m, 0);
+  Node& f = net.add_node("fixed");
+  WiredParams roomy;
+  roomy.up_capacity = util::Rate::mbps(1000);
+  roomy.down_capacity = util::Rate::mbps(1000);
+  roomy.prop_delay = 0;
+  f.attach(std::make_unique<WiredLink>(sim, f, net, roomy));
+  std::vector<std::pair<Direction, sim::SimTime>> done;
+  m.access()->on_transmit = [&](Direction dir, const Packet&) {
+    done.emplace_back(dir, sim.now());
+  };
+
+  // Uplink: 1000 B at 500 B/s = 2 s. Then a mid-service uplink mutation: the
+  // frame on the air keeps its airtime, the backlogged one re-serializes.
+  m.send(make_packet({m.address(), 1}, {f.address(), 2}, 1000));
+  m.send(make_packet({m.address(), 1}, {f.address(), 2}, 1000));
+  sim.at(sim::seconds(1.0), [&] { cell.set_up_capacity(util::Rate::bytes_per_sec(1000)); });
+  // Downlink: 1000 B at 2000 B/s = 0.5 s, untouched by the uplink mutation.
+  sim.at(sim::seconds(6.0), [&] {
+    f.send(make_packet({f.address(), 2}, {m.address(), 1}, 1000));
+  });
+  sim.run();
+
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].first, Direction::kUp);
+  EXPECT_EQ(done[0].second, sim::seconds(2.0));  // in-flight airtime honoured
+  EXPECT_EQ(done[1].first, Direction::kUp);
+  EXPECT_EQ(done[1].second, sim::seconds(3.0));  // backlog at the new 1000 B/s
+  EXPECT_EQ(done[2].first, Direction::kDown);
+  EXPECT_NEAR(sim::to_seconds(done[2].second), 6.5, 1e-3);
+}
+
 }  // namespace
 }  // namespace wp2p::net

@@ -330,6 +330,78 @@ TEST_F(LinkFixture, SetCapacityMidServiceKeepsInFlightAirtime) {
   EXPECT_EQ(attempt_done[1], sim::seconds(1.5));  // backlogged frame at the new rate
 }
 
+TEST_F(LinkFixture, WirelessAsymmetricCapacitiesShapeEachDirection) {
+  // Cellular asymmetry: a thin uplink and a fat downlink on the SAME channel.
+  // A zero directional capacity inherits the symmetric `capacity`, so legacy
+  // configs are untouched.
+  WirelessParams params;
+  params.capacity = util::Rate::bytes_per_sec(1000);
+  params.up_capacity = util::Rate::bytes_per_sec(500);
+  params.down_capacity = util::Rate::bytes_per_sec(2000);
+  params.prop_delay = 0;
+  params.per_packet_overhead = 0;
+  net.path().core_delay = 0;
+  EXPECT_EQ(directional_capacity(params, Direction::kUp).bytes_per_sec(), 500.0);
+  EXPECT_EQ(directional_capacity(params, Direction::kDown).bytes_per_sec(), 2000.0);
+  params.up_capacity = util::Rate::zero();
+  EXPECT_EQ(directional_capacity(params, Direction::kUp).bytes_per_sec(), 1000.0);
+  params.up_capacity = util::Rate::bytes_per_sec(500);
+
+  Node& m = net.add_node("mobile");
+  Node& f = net.add_node("fixed");
+  m.attach(std::make_unique<WirelessChannel>(sim, m, net, params));
+  WiredParams roomy;
+  roomy.up_capacity = util::Rate::mbps(1000);
+  roomy.down_capacity = util::Rate::mbps(1000);
+  roomy.prop_delay = 0;
+  f.attach(std::make_unique<WiredLink>(sim, f, net, roomy));
+  std::vector<std::pair<Direction, sim::SimTime>> done;
+  m.access()->on_transmit = [&](Direction dir, const Packet&) {
+    done.emplace_back(dir, sim.now());
+  };
+
+  // 1000 B up at 500 B/s = 2 s of airtime; 1000 B down at 2000 B/s = 0.5 s.
+  m.send(make_packet({m.address(), 1}, {f.address(), 2}, 1000));
+  sim.at(sim::seconds(4.0), [&] {
+    f.send(make_packet({f.address(), 2}, {m.address(), 1}, 1000));
+  });
+  sim.run();
+
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, Direction::kUp);
+  EXPECT_EQ(done[0].second, sim::seconds(2.0));
+  EXPECT_EQ(done[1].first, Direction::kDown);
+  EXPECT_NEAR(sim::to_seconds(done[1].second), 4.5, 1e-3);  // + wired serialization
+}
+
+TEST_F(LinkFixture, SetUpCapacityMidServiceKeepsInFlightAirtime) {
+  // The directional mutators obey the same boundary as set_capacity: the
+  // frame on the air keeps its scheduled airtime, the backlog re-serializes.
+  WirelessParams params;
+  params.up_capacity = util::Rate::bytes_per_sec(1000);
+  params.down_capacity = util::Rate::bytes_per_sec(1000);
+  params.prop_delay = 0;
+  params.per_packet_overhead = 0;
+  net.path().core_delay = 0;
+  Node& m = net.add_node("mobile");
+  Node& f = net.add_node("fixed");
+  m.attach(std::make_unique<WirelessChannel>(sim, m, net, params));
+  f.attach(std::make_unique<WiredLink>(sim, f, net, WiredParams{}));
+  auto* ch = dynamic_cast<WirelessChannel*>(m.access());
+  ASSERT_NE(ch, nullptr);
+  std::vector<sim::SimTime> attempt_done;
+  ch->on_transmit = [&](Direction, const Packet&) { attempt_done.push_back(sim.now()); };
+
+  m.send(make_packet({m.address(), 1}, {f.address(), 2}, 1000));
+  m.send(make_packet({m.address(), 1}, {f.address(), 2}, 1000));
+  sim.at(sim::seconds(0.5), [&] { ch->set_up_capacity(util::Rate::bytes_per_sec(2000)); });
+  sim.run();
+
+  ASSERT_EQ(attempt_done.size(), 2u);
+  EXPECT_EQ(attempt_done[0], sim::seconds(1.0));  // in-flight airtime honoured
+  EXPECT_EQ(attempt_done[1], sim::seconds(1.5));  // backlog at the new rate
+}
+
 TEST_F(LinkFixture, SetBitErrorRateAppliesAtFrameCompletion) {
   // The corruption draw happens when a frame's airtime ENDS, against the BER
   // in force at that instant: clearing the BER mid-service rescues the frame
