@@ -20,6 +20,11 @@
 //                       upload limit from exp::three_tier_classes, cycled).
 //                       Default 0 keeps the legacy scenario space
 //                       byte-identical.
+//   --max-adversaries N enable the fuzzer's adversary slice: generated
+//                       scenarios may add up to N scripted misbehaving peers
+//                       (adv= scenario key; kinds from bt/adversary.hpp).
+//                       Default 0 keeps the legacy scenario space
+//                       byte-identical.
 //   --replay FILE       parse a scenario spec (see TESTING.md) and run it
 //                       once; exit 1 if it fails.
 //   --break-cwnd-floor  disable TCP's 1-MSS cwnd floor in fuzzed/replayed
@@ -28,6 +33,11 @@
 //   --no-ban            disable corruption banning (ClientConfig
 //                       unsafe_no_peer_ban) in fuzzed/replayed scenarios;
 //                       the peer-ban invariant rule must catch this.
+//   --no-enforcement    disable the protocol-enforcement actions (ClientConfig
+//                       unsafe_no_enforcement: detections still count and
+//                       trace, strikes never fire) in fuzzed/replayed
+//                       scenarios; under adversary peers the enforce-*
+//                       invariant rules must catch this.
 //   --blackout          run only the tracker-blackout survivability table:
 //                       completion under a total tracker blackout with each
 //                       of {naive, failover, failover+PEX, +bootstrap-cache}.
@@ -57,9 +67,11 @@ struct FaultBenchOptions {
   std::uint64_t fuzz_seed = 1;
   int max_cells = 0;
   int max_classes = 0;
+  int max_adversaries = 0;
   std::string replay_path;
   bool break_cwnd_floor = false;
   bool no_ban = false;
+  bool no_enforcement = false;
   bool poison = false;
   bool blackout_only = false;
 };
@@ -470,17 +482,20 @@ int fuzz_mode() {
   exp::FuzzLimits limits;
   limits.max_cells = fopts.max_cells;
   limits.max_classes = fopts.max_classes;
+  limits.max_adversaries = fopts.max_adversaries;
   exp::ScenarioFuzzer fuzzer{limits};
-  std::printf("fuzzing %d scenarios from seed %llu%s%s%s...\n", fopts.fuzz,
+  std::printf("fuzzing %d scenarios from seed %llu%s%s%s%s...\n", fopts.fuzz,
               static_cast<unsigned long long>(fopts.fuzz_seed),
               fopts.max_cells > 1 ? " (cellular slice enabled)" : "",
               fopts.max_classes > 1 ? " (bandwidth-class slice enabled)" : "",
+              fopts.max_adversaries > 0 ? " (adversary slice enabled)" : "",
               fopts.break_cwnd_floor ? " (cwnd floor DISABLED — failures expected)" : "");
 
   auto scenario_for = [&](std::uint64_t seed) {
     exp::Scenario s = fuzzer.generate(seed);
     s.unsafe_no_cwnd_floor = fault_options().break_cwnd_floor;
     s.unsafe_no_ban = fault_options().no_ban;
+    s.unsafe_no_enforcement = fault_options().no_enforcement;
     return s;
   };
 
@@ -539,6 +554,7 @@ int replay_mode() {
   }
   if (fault_options().break_cwnd_floor) scenario->unsafe_no_cwnd_floor = true;
   if (fault_options().no_ban) scenario->unsafe_no_ban = true;
+  if (fault_options().no_enforcement) scenario->unsafe_no_enforcement = true;
 
   exp::ScenarioFuzzer fuzzer;
   const exp::FuzzVerdict verdict = fuzzer.run(*scenario);
@@ -588,12 +604,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--max-classes: bad count\n");
         return 2;
       }
+    } else if (arg == "--max-adversaries") {
+      fopts.max_adversaries = std::atoi(value());
+      if (fopts.max_adversaries < 0) {
+        std::fprintf(stderr, "--max-adversaries: bad count\n");
+        return 2;
+      }
     } else if (arg == "--replay") {
       fopts.replay_path = value();
     } else if (arg == "--break-cwnd-floor") {
       fopts.break_cwnd_floor = true;
     } else if (arg == "--no-ban") {
       fopts.no_ban = true;
+    } else if (arg == "--no-enforcement") {
+      fopts.no_enforcement = true;
     } else if (arg == "--poison") {
       fopts.poison = true;
     } else if (arg == "--blackout") {

@@ -2,6 +2,14 @@
 
 namespace wp2p::bt {
 
+namespace {
+
+// Hostile-input cap: bencode nests by recursion, so unbounded list/dict depth
+// is a stack-overflow vector. No legitimate metainfo comes close.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
 std::string Bencode::encode() const {
   std::string out;
   encode_to(out);
@@ -36,12 +44,13 @@ void Bencode::encode_to(std::string& out) const {
 
 Bencode Bencode::decode(const std::string& data) {
   std::size_t pos = 0;
-  Bencode result = parse(data, pos);
+  Bencode result = parse(data, pos, 0);
   if (pos != data.size()) throw BencodeError("trailing data after value");
   return result;
 }
 
-Bencode Bencode::parse(const std::string& data, std::size_t& pos) {
+Bencode Bencode::parse(const std::string& data, std::size_t& pos, int depth) {
+  if (depth > kMaxDepth) throw BencodeError("nesting too deep");
   if (pos >= data.size()) throw BencodeError("unexpected end of input");
   const char c = data[pos];
   if (c == 'i') {
@@ -69,7 +78,7 @@ Bencode Bencode::parse(const std::string& data, std::size_t& pos) {
   if (c == 'l') {
     ++pos;
     List list;
-    while (pos < data.size() && data[pos] != 'e') list.push_back(parse(data, pos));
+    while (pos < data.size() && data[pos] != 'e') list.push_back(parse(data, pos, depth + 1));
     if (pos >= data.size()) throw BencodeError("unterminated list");
     ++pos;
     return Bencode{std::move(list)};
@@ -79,13 +88,13 @@ Bencode Bencode::parse(const std::string& data, std::size_t& pos) {
     Dict dict;
     std::string last_key;
     while (pos < data.size() && data[pos] != 'e') {
-      Bencode key = parse(data, pos);
+      Bencode key = parse(data, pos, depth + 1);
       if (!key.is_string()) throw BencodeError("dictionary key is not a string");
       std::string k = key.as_string();
       if (!dict.empty() && k <= last_key) {
         throw BencodeError("dictionary keys not sorted/unique");
       }
-      Bencode value = parse(data, pos);
+      Bencode value = parse(data, pos, depth + 1);
       last_key = k;
       dict.emplace(std::move(k), std::move(value));
     }
@@ -104,7 +113,10 @@ Bencode Bencode::parse(const std::string& data, std::size_t& pos) {
     } catch (const std::exception&) {
       throw BencodeError("bad string length: " + len_str);
     }
-    if (colon + 1 + len > data.size()) throw BencodeError("string shorter than declared");
+    // Compare against the remaining bytes (not colon+1+len, which can wrap
+    // for a hostile length) so a huge declared length never drives an
+    // allocation before this check.
+    if (len > data.size() - colon - 1) throw BencodeError("string shorter than declared");
     Bencode result{data.substr(colon + 1, len)};
     pos = colon + 1 + len;
     return result;

@@ -74,7 +74,7 @@ class Bencode {
   }
 
   void encode_to(std::string& out) const;
-  static Bencode parse(const std::string& data, std::size_t& pos);
+  static Bencode parse(const std::string& data, std::size_t& pos, int depth);
 
   std::variant<std::int64_t, std::string, List, Dict> value_;
 };

@@ -414,11 +414,29 @@ void Client::handle_pex(PeerConnection& peer, const WireMessage& msg) {
                        .with("dropped", static_cast<double>(msg.pex_dropped.size())));
   const net::Endpoint self{node_.address(), config_.listen_port};
   for (const PexPeer& entry : msg.pex_added) {
-    if (!entry.endpoint.valid() || entry.peer_id == 0) continue;
+    if (!entry.endpoint.valid() || entry.peer_id == 0) {
+      // Structurally bogus gossip (zero address/port or anonymous identity):
+      // no honest client emits these, so each one is spam evidence.
+      ++stats_.pex_spam_entries;
+      record_offense(peer, Offense::kPexSpam);
+      continue;
+    }
     if (entry.endpoint == self || entry.peer_id == peer_id_) continue;
     if (is_banned(entry.peer_id)) {
       ++stats_.pex_banned_skipped;  // never learn (or dial) a banned identity
       continue;
+    }
+    // Endpoint sanity budget: one sender gets to introduce at most
+    // pex_endpoint_budget unique endpoints; anything beyond is filtered
+    // before it can poison the known-endpoint table or trigger dials.
+    if (config_.pex_endpoint_budget > 0 &&
+        peer.pex_learned.count(entry.endpoint) == 0) {
+      if (static_cast<int>(peer.pex_learned.size()) >= config_.pex_endpoint_budget) {
+        ++stats_.pex_budget_dropped;
+        if (!config_.unsafe_no_enforcement) continue;
+      } else {
+        peer.pex_learned.emplace(entry.endpoint, entry.peer_id);
+      }
     }
     auto it = known_listen_endpoints_.find(entry.peer_id);
     const bool fresh = it == known_listen_endpoints_.end() || it->second != entry.endpoint;
@@ -524,14 +542,19 @@ void Client::setup_peer(const std::shared_ptr<PeerConnection>& peer) {
       listen = it->second;
     }
     const bool was_established = p->app_established();
+    const PeerId remote_id = p->remote_id;
     drop_peer(p);
     // Only a TIMEOUT earns a reconnect: silent death is the signature of an
     // outage/crash/hand-off. A close or reset means the peer is alive and
     // chose to drop us (seed-to-seed, duplicate connection, ban) — re-dialing
     // would loop: each dial handshakes, gets aborted, and repeats.
-    if (reason == tcp::CloseReason::kTimeout && listen.valid() &&
-        (was_established || reconnects_.count(listen) > 0)) {
-      consider_reconnect(listen, reason);
+    if (reason == tcp::CloseReason::kTimeout) {
+      // Same signature for the enforcement layer: a silently-dead established
+      // peer probably moved, so its identity gets a mobility grace window.
+      if (was_established) grant_mobility_grace(remote_id, "timeout");
+      if (listen.valid() && (was_established || reconnects_.count(listen) > 0)) {
+        consider_reconnect(listen, reason);
+      }
     }
   };
 }
@@ -599,6 +622,18 @@ void Client::on_peer_message(PeerConnection& peer, const WireMessage& msg) {
     handle_handshake(peer, msg);
     return;
   }
+  // Struct-malformed frames (bad indexes, impossible lengths, oversized PEX)
+  // never reach a handler: the handlers index piece state by the frame's own
+  // claims, so a hostile frame is dropped outright. unsafe_no_enforcement
+  // only disables the strike, not the drop.
+  if (const char* reason = malformed_reason(msg, meta_)) {
+    ++stats_.malformed_msgs;
+    WP2P_LOG(util::LogLevel::kDebug, sim::to_seconds(sim_.now()), kLog,
+             "%s dropped malformed frame from %llx: %s", node_.name().c_str(),
+             static_cast<unsigned long long>(peer.remote_id), reason);
+    record_offense(peer, Offense::kMalformed);
+    return;
+  }
   if (!peer.app_established()) return;  // protocol violation: ignore pre-handshake
   switch (msg.type) {
     case MsgType::kBitfield: handle_bitfield(peer, msg); break;
@@ -609,6 +644,7 @@ void Client::on_peer_message(PeerConnection& peer, const WireMessage& msg) {
       break;
     case MsgType::kUnchoke:
       peer.peer_choking = false;
+      note_unchoke_churn(peer);
       fill_requests(peer);
       break;
     case MsgType::kInterested: set_peer_interested(peer, true); break;
@@ -637,10 +673,14 @@ void Client::handle_handshake(PeerConnection& peer, const WireMessage& msg) {
   // a NEW address means the peer moved (hand-off + role reversal): the stale
   // connection is blackholed, so it yields to the newcomer.
   std::vector<PeerConnection*> stale;
+  bool moved = false;
   for (auto& other : peers_) {
     if (other.get() == &peer || other->remote_id != msg.peer_id ||
         !other->app_established()) {
       continue;
+    }
+    if (other->remote_endpoint().addr != peer.remote_endpoint().addr) {
+      moved = true;  // identity retained across an address change: hand-off
     }
     if (other->remote_endpoint().addr == peer.remote_endpoint().addr) {
       // Same peer-id, same address. Two ways to get here: a simultaneous
@@ -664,6 +704,10 @@ void Client::handle_handshake(PeerConnection& peer, const WireMessage& msg) {
     stale.push_back(other.get());
   }
   for (PeerConnection* old : stale) old->tcp().abort();
+  // The re-handshake from a new address IS the hand-off signature: the old
+  // connection will stall out its in-flight requests through no fault of the
+  // peer's, so its stall/liar evidence is held for the grace window.
+  if (moved) grant_mobility_grace(msg.peer_id, "moved");
   peer.remote_id = msg.peer_id;
   peer.handshake_received = true;
   if (!peer.handshake_sent) {
@@ -729,10 +773,30 @@ void Client::handle_have(PeerConnection& peer, const WireMessage& msg) {
 }
 
 void Client::handle_request(PeerConnection& peer, const WireMessage& msg) {
-  if (peer.am_choking) return;  // stale request across a choke: per spec, drop
+  if (peer.am_choking) {
+    // Stale request across a choke: per spec, drop. A few in-flight requests
+    // legitimately race each choke flip (the remote's pipeline drains within
+    // an RTT), so only requests beyond that allowance count as flood
+    // evidence — a flooder keeps blasting long after the flip.
+    const int allowance = std::max(16, 2 * config_.pipeline_depth);
+    if (++peer.choked_requests_since_flip > allowance) {
+      ++stats_.flood_dropped;
+      record_offense(peer, Offense::kFlood);
+    }
+    return;
+  }
   if (msg.piece < 0 || msg.piece >= meta_.piece_count()) return;
   const int block = static_cast<int>(msg.offset / kBlockSize);
   if (!store_.has_block(msg.piece, block)) return;  // we don't hold it
+  // Backlog cap: no honest peer pipelines anywhere near this many requests,
+  // so the overflow is dropped (flood evidence) instead of queued — an
+  // unbounded upload_queue is exactly the resource a flooder is after.
+  if (config_.max_request_backlog > 0 &&
+      static_cast<int>(peer.upload_queue.size()) >= config_.max_request_backlog) {
+    ++stats_.flood_dropped;
+    record_offense(peer, Offense::kFlood);
+    if (!config_.unsafe_no_enforcement) return;  // cap enforced: drop the overflow
+  }
   peer.upload_queue.push_back({msg.piece, msg.offset, msg.length});
   update_pending_upload(peer);
   pump_uploads();
@@ -765,6 +829,7 @@ void Client::handle_piece(PeerConnection& peer, const WireMessage& msg) {
   credit_.add(peer.remote_id, sim_.now(), msg.length);
   if (on_payload_received) on_payload_received(peer.remote_id, msg.length);
   peer.snubbed = false;  // it delivered: reciprocation resumes
+  peer.piece_timeouts.erase(msg.piece);  // delivery clears the piece's liar streak
 
   if (msg.piece < 0 || msg.piece >= meta_.piece_count()) return;
   const bool corrupt = peer.tcp().last_message_corrupted();
@@ -923,6 +988,7 @@ void Client::periodic_maintenance() {
     // Request timeouts: blocks promised long ago go back to the pool. A peer
     // that let a request expire is snubbed until it delivers again.
     auto& out = peer->outstanding;
+    std::vector<int> timed_out;  // pieces with >= 1 expired request this pass
     for (auto it = out.begin(); it != out.end();) {
       if (it->requested_at >= cutoff) {
         ++it;
@@ -934,8 +1000,30 @@ void Client::periodic_maintenance() {
       }
       ++stats_.blocks_requeued;
       if (config_.snub_timeout > 0) peer->snubbed = true;
+      if (std::find(timed_out.begin(), timed_out.end(), it->piece) == timed_out.end()) {
+        timed_out.push_back(it->piece);
+      }
       requeued = true;
       it = out.erase(it);
+    }
+    // Liar evidence, scored per PIECE per pass (a deep pipeline expiring in
+    // one pass is one data point per piece, not thirty): a timeout against a
+    // peer that has never delivered a byte (it advertised pieces it will not
+    // serve), or a piece that has now timed out liar_repeat_passes times with
+    // no block of it delivered in between (a withholder serving everything
+    // else — handle_piece clears the streak on delivery, so an honest peer
+    // that is merely overloaded never accumulates one). Hand-off stalls look
+    // identical from here — the mobility grace keeps them out of the count.
+    if (config_.liar_strike_threshold > 0 && !timed_out.empty() &&
+        !in_mobility_grace(peer->remote_id)) {
+      const bool zero_payload = peer->downloaded_payload == 0;
+      for (int piece : timed_out) {
+        const int repeats = ++peer->piece_timeouts[piece];
+        if (zero_payload || repeats >= config_.liar_repeat_passes) {
+          ++stats_.liar_detections;
+          record_offense(*peer, Offense::kLiar);
+        }
+      }
     }
     if (!peer->app_established()) {
       // Handshake never completed (dead dial): let the idle timeout reap it.
@@ -953,6 +1041,21 @@ void Client::periodic_maintenance() {
     // (e.g. blackholed by a hand-off) before they leak slots forever.
     if (config_.idle_timeout > 0 && now - peer->last_received_at > config_.idle_timeout) {
       idle_victims.push_back(peer.get());
+    }
+    // Stall auditor: a peer continuously snubbed (it unchoked us, took our
+    // requests, delivered nothing) for stall_audit_ticks consecutive ticks is
+    // a slowloris suspect. Delivery clears snubbed, so an LIHD-throttled
+    // uploader resets the streak; a graced (moved) peer is never scored.
+    if (config_.stall_audit_ticks > 0) {
+      if (peer->snubbed && !in_mobility_grace(peer->remote_id)) {
+        if (++peer->stall_ticks >= config_.stall_audit_ticks) {
+          peer->stall_ticks = 0;
+          ++stats_.stall_audits;
+          record_offense(*peer, Offense::kStall);
+        }
+      } else {
+        peer->stall_ticks = 0;
+      }
     }
   }
   for (PeerConnection* victim : idle_victims) victim->tcp().abort();
@@ -1035,7 +1138,7 @@ void Client::handle_corrupt_piece(int piece) {
                        .with("piece", static_cast<double>(piece)));
 }
 
-void Client::strike_peer(PeerId id, int piece) {
+void Client::strike_peer(PeerId id, int piece, const char* cause) {
   // An already-banned peer is beyond striking: pieces it contributed to may
   // keep completing after the ban, and those strikes would overshoot the
   // threshold under perfectly correct behaviour.
@@ -1043,6 +1146,7 @@ void Client::strike_peer(PeerId id, int piece) {
   const int strikes = ++strikes_[id];
   ++stats_.peer_strikes;
   WP2P_TRACE(sim_, bt_event(trace::Kind::kBtPeerStrike, node_)
+                       .why(cause != nullptr ? cause : "")
                        .with("peer_id", static_cast<double>(id & 0xffffffffu))
                        .with("strikes", static_cast<double>(strikes))
                        .with("threshold", static_cast<double>(config_.ban_threshold))
@@ -1195,6 +1299,7 @@ void Client::set_choke(PeerConnection& peer, bool choke) {
     unchoked_peers_.push_back(&peer);
   } else {
     std::erase(unchoked_peers_, &peer);
+    peer.choked_requests_since_flip = 0;  // fresh in-flight allowance per flip
   }
   WP2P_TRACE(sim_, bt_event(choke ? trace::Kind::kBtChoke : trace::Kind::kBtUnchoke, node_)
                        .on(net::to_string(peer.tcp().remote()))
@@ -1314,10 +1419,130 @@ void Client::recover_from_disconnection() {
   if (config_.role_reversal) {
     for (const auto& [id, endpoint] : known_listen_endpoints_) {
       if (static_cast<int>(peers_.size()) >= config_.max_peers) break;
+      // A ban outlives the hand-off: the identity stays banned even though
+      // its remembered endpoint is still in the table (the mapping must
+      // survive so consider_reconnect can keep refusing it too).
+      if (is_banned(id)) continue;
       if (!connected_to(endpoint)) connect_to(endpoint);
     }
   }
   if (on_reinitiated) on_reinitiated();
+}
+
+// --- Protocol enforcement -------------------------------------------------------------
+
+void Client::record_offense(PeerConnection& peer, Offense offense) {
+  int threshold = 0;
+  int* count = nullptr;
+  int* charged = nullptr;
+  trace::Kind kind = trace::Kind::kBtFloodDetect;
+  const char* label = "";
+  switch (offense) {
+    case Offense::kFlood:
+      threshold = config_.flood_strike_threshold;
+      count = &peer.flood_count;
+      charged = &peer.flood_strikes;
+      kind = trace::Kind::kBtFloodDetect;
+      label = "enforce-flood";
+      break;
+    case Offense::kMalformed:
+      threshold = config_.malformed_budget;
+      count = &peer.malformed_count;
+      charged = &peer.malformed_strikes;
+      kind = trace::Kind::kBtMalformed;
+      label = "enforce-malformed";
+      break;
+    case Offense::kLiar:
+      threshold = config_.liar_strike_threshold;
+      count = &peer.liar_count;
+      charged = &peer.liar_strikes;
+      kind = trace::Kind::kBtLiarDetect;
+      label = "enforce-liar";
+      break;
+    case Offense::kStall:
+      threshold = 1;  // each audit already spans stall_audit_ticks ticks
+      count = &peer.stall_count;
+      charged = &peer.stall_strikes;
+      kind = trace::Kind::kBtStallAudit;
+      label = "enforce-stall";
+      break;
+    case Offense::kChurn:
+      threshold = config_.churn_flip_threshold;
+      count = &peer.churn_flips;
+      charged = &peer.churn_strikes;
+      kind = trace::Kind::kBtFloodDetect;
+      label = "enforce-churn";
+      break;
+    case Offense::kPexSpam:
+      threshold = config_.pex_spam_threshold;
+      count = &peer.pex_spam_count;
+      charged = &peer.pex_spam_strikes;
+      kind = trace::Kind::kBtPexSpam;
+      label = "enforce-pex";
+      break;
+  }
+  ++*count;
+  if (threshold <= 0) return;  // category disabled: evidence only
+  if (*count / threshold <= *charged) return;  // next crossing not reached yet
+  ++*charged;
+  // The limit an enforced run can never exceed: ban_threshold crossings ban
+  // the peer (ending the evidence stream), so counts stay within a couple of
+  // threshold-steps of that — "a couple" because strikes land one event after
+  // the crossing, so same-tick evidence bursts can overshoot by one step.
+  // The invariant rules check count against the limit carried in the event.
+  const int limit = threshold * (config_.ban_threshold + 2);
+  WP2P_TRACE(sim_, bt_event(kind, node_)
+                       .why(label)
+                       .with("peer_id", static_cast<double>(peer.remote_id & 0xffffffffu))
+                       .with("count", static_cast<double>(*count))
+                       .with("limit", static_cast<double>(limit)));
+  if (config_.unsafe_no_enforcement) return;  // detect + trace, never strike
+  if (peer.remote_id == 0) return;  // pre-handshake offender: no identity to strike
+  ++stats_.enforce_strikes;
+  // Strike from a fresh event, never this stack: a strike can escalate to a
+  // ban, which aborts the offender's connections and erases them from peers_
+  // — fatal while a message handler still holds this PeerConnection or
+  // periodic_maintenance is mid-iteration over peers_.
+  sim_.after(0, [this, alive = alive_, id = peer.remote_id, label] {
+    if (!*alive || !running_) return;
+    strike_peer(id, -1, label);
+  });
+}
+
+void Client::note_unchoke_churn(PeerConnection& peer) {
+  if (config_.churn_flip_threshold <= 0) return;
+  const sim::SimTime now = sim_.now();
+  if (peer.churn_window_start < 0 || now - peer.churn_window_start > config_.churn_window) {
+    peer.churn_window_start = now;
+    peer.churn_window_flips = 0;
+  }
+  // The first churn_flip_threshold unchokes per window are free (honest
+  // chokers flip a handful of times a minute); each one beyond is evidence.
+  if (++peer.churn_window_flips > config_.churn_flip_threshold) {
+    ++stats_.churn_detections;
+    record_offense(peer, Offense::kChurn);
+  }
+}
+
+bool Client::in_mobility_grace(PeerId id) const {
+  if (id == 0) return false;
+  auto it = grace_until_.find(id);
+  return it != grace_until_.end() && sim_.now() < it->second;
+}
+
+void Client::grant_mobility_grace(PeerId id, const char* cause) {
+  if (id == 0 || config_.mobility_grace <= 0) return;
+  const sim::SimTime until = sim_.now() + config_.mobility_grace;
+  auto [it, fresh] = grace_until_.try_emplace(id, until);
+  if (!fresh) {
+    if (it->second >= until) return;  // the current window already covers this
+    it->second = until;
+  }
+  ++stats_.grace_grants;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtGrace, node_)
+                       .why(cause)
+                       .with("peer_id", static_cast<double>(id & 0xffffffffu))
+                       .with("until_s", sim::to_seconds(until)));
 }
 
 }  // namespace wp2p::bt

@@ -62,6 +62,17 @@ struct ClientStats {
   std::uint64_t pex_peers_learned = 0;   // fresh endpoints learned via gossip
   std::uint64_t pex_banned_skipped = 0;  // gossiped entries with a banned id
   std::uint64_t bootstrap_dials = 0;     // cache re-dials while trackers dark
+
+  // Protocol enforcement (adversarial-peer defenses).
+  std::uint64_t malformed_msgs = 0;      // struct-malformed frames rejected
+  std::uint64_t flood_dropped = 0;       // requests dropped (excess choked / backlog)
+  std::uint64_t liar_detections = 0;     // zero-payload / repeat-piece timeouts
+  std::uint64_t stall_audits = 0;        // persistent-stall audit scores
+  std::uint64_t churn_detections = 0;    // unchoke flips beyond the window cap
+  std::uint64_t pex_spam_entries = 0;    // structurally invalid gossip entries
+  std::uint64_t pex_budget_dropped = 0;  // over-budget gossiped endpoints filtered
+  std::uint64_t enforce_strikes = 0;     // strikes charged by the enforcement layer
+  std::uint64_t grace_grants = 0;        // mobility grace windows granted
 };
 
 class Client {
@@ -180,6 +191,9 @@ class Client {
   void inject_peer_message(PeerConnection& peer, const WireMessage& msg) {
     on_peer_message(peer, msg);
   }
+  // Visible for tests: whether `id` currently holds a mobility grace window
+  // (its stall/liar evidence is suppressed).
+  bool mobility_grace_active(PeerId id) const { return in_mobility_grace(id); }
 
  private:
   struct BlockRef {
@@ -247,11 +261,22 @@ class Client {
   void set_peer_interested(PeerConnection& peer, bool interested);
   std::vector<PeerConnection*> snapshot_by_seq(const std::vector<PeerConnection*>& set) const;
 
-  // Integrity / banning.
+  // Integrity / banning. A strike from the enforcement layer carries a cause
+  // string (traced as the strike event's aux); corruption strikes pass none.
   void record_contributor(PeerConnection& peer, int piece, int block);
   void handle_corrupt_piece(int piece);
-  void strike_peer(PeerId id, int piece);
+  void strike_peer(PeerId id, int piece, const char* cause = nullptr);
   bool is_banned(PeerId id) const { return banned_.count(id) > 0; }
+
+  // Protocol enforcement. Each offense category accumulates per-peer evidence
+  // on the PeerConnection; record_offense bumps the category counter and, at
+  // every threshold crossing, traces a detection event and (unless
+  // unsafe_no_enforcement) charges one strike via strike_peer.
+  enum class Offense { kFlood, kMalformed, kLiar, kStall, kChurn, kPexSpam };
+  void record_offense(PeerConnection& peer, Offense offense);
+  void note_unchoke_churn(PeerConnection& peer);
+  bool in_mobility_grace(PeerId id) const;
+  void grant_mobility_grace(PeerId id, const char* cause);
 
   // Reconnect policy.
   void consider_reconnect(net::Endpoint remote, tcp::CloseReason reason);
@@ -291,6 +316,10 @@ class Client {
   std::map<int, std::vector<PeerId>> contributors_;
   std::unordered_map<PeerId, int> strikes_;
   std::unordered_set<PeerId> banned_;
+  // Mobility grace windows: identity -> expiry. Granted on evidence a peer
+  // moved (connection died by TCP timeout, or its id re-handshook from a new
+  // address); while active, stall/liar evidence against that id is held.
+  std::unordered_map<PeerId, sim::SimTime> grace_until_;
   std::unordered_map<PeerId, net::Endpoint> known_listen_endpoints_;
   CreditLedger credit_;
   util::TokenBucket upload_bucket_;

@@ -102,6 +102,53 @@ struct ClientConfig {
   int bootstrap_cache_size = 16;
   sim::SimTime bootstrap_min_interval = sim::seconds(30.0);
 
+  // --- Protocol enforcement -------------------------------------------------
+  // Defenses against actively misbehaving peers (floods, liars, slowloris,
+  // garbage frames, PEX spam). Detections are always counted and traced;
+  // every threshold crossing feeds one enforcement strike into the same
+  // strike/ban path as corruption (kBtPeerStrike with aux "enforce"), so a
+  // persistent attacker is banned after ban_threshold crossings.
+  //
+  // Per-peer request backlog cap: requests beyond this many outstanding
+  // uploads from one peer are dropped, and every flood_strike_threshold
+  // dropped-or-choked requests cost a strike.
+  int max_request_backlog = 128;
+  int flood_strike_threshold = 64;
+  // Struct-malformed frames (see bt::malformed_reason) tolerated per peer
+  // before each strike. Real stacks kill on the first, but counting in
+  // budget-sized steps keeps detection observable under --no-enforcement.
+  int malformed_budget = 4;
+  // Bitfield/have liar + withholder detection: request timeouts against a
+  // peer that has delivered zero payload, or repeat timeouts on the same
+  // advertised piece, are lie evidence; each liar_strike_threshold
+  // accumulated costs a strike. Evidence is scored once per piece per
+  // maintenance pass, and a piece only counts as a repeat offender after
+  // liar_repeat_passes passes with no block of it delivered in between.
+  int liar_strike_threshold = 8;
+  int liar_repeat_passes = 3;
+  // Stall auditor: a peer continuously snubbed (unchoked us, sent nothing)
+  // for this many consecutive maintenance ticks earns a strike. The mobility
+  // grace below keeps hand-off stalls out of this count.
+  int stall_audit_ticks = 6;
+  // Unchoke churner: more than churn_flip_threshold unchokes from one peer
+  // inside churn_window costs a strike.
+  int churn_flip_threshold = 16;
+  sim::SimTime churn_window = sim::seconds(60.0);
+  // PEX endpoint sanity: at most pex_endpoint_budget unique gossiped
+  // endpoints are accepted per peer; invalid or over-budget entries count as
+  // spam, and every pex_spam_threshold spam entries cost a strike.
+  int pex_endpoint_budget = 64;
+  int pex_spam_threshold = 32;
+  // Mobility grace: after evidence a peer moved (its connection died by TCP
+  // timeout, or its identity re-handshook from a new address), its stall and
+  // liar counters are held for this long — hand-off churn must never
+  // accumulate misbehavior score.
+  sim::SimTime mobility_grace = sim::seconds(120.0);
+  // Self-test switch (see TESTING.md): count and trace detections but never
+  // drop, cap, or strike. The enforcement invariant rules must flag runs
+  // with this set; never enable outside the harness.
+  bool unsafe_no_enforcement = false;
+
   // --- Mobility behaviour ---------------------------------------------------
   // Default clients regenerate their peer-id on task re-initiation; the wP2P
   // Incentive-Aware component retains it within the swarm (Section 4.2).

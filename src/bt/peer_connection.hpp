@@ -109,6 +109,31 @@ class PeerConnection {
   // against this to build added/dropped lists.
   std::map<net::Endpoint, PeerId> pex_sent;
 
+  // --- Enforcement evidence (Client::enforce_* reads and scores these) --------
+  int flood_count = 0;           // excess choked requests + over-backlog drops
+  int choked_requests_since_flip = 0;  // in-flight allowance after each choke
+  int malformed_count = 0;       // struct-malformed frames from this peer
+  int liar_count = 0;            // zero-payload or repeat-piece timeout evidence
+  int stall_ticks = 0;           // consecutive snubbed maintenance ticks
+  int stall_count = 0;           // stall audits scored (cumulative)
+  int churn_flips = 0;           // unchokes beyond the per-window cap (cumulative)
+  int churn_window_flips = 0;    // unchokes inside the current churn window
+  sim::SimTime churn_window_start = -1;
+  int pex_spam_count = 0;        // structurally invalid gossiped endpoints
+  std::map<net::Endpoint, PeerId> pex_learned;  // unique endpoints gossiped by them
+  // Consecutive maintenance passes each piece timed out with no block of it
+  // delivered in between (handle_piece erases the entry on delivery).
+  std::map<int, int> piece_timeouts;
+  // Enforcement strikes already charged per category, so each threshold
+  // crossing costs exactly one strike (count / threshold beats the charged
+  // tally by one → strike).
+  int flood_strikes = 0;
+  int malformed_strikes = 0;
+  int liar_strikes = 0;
+  int stall_strikes = 0;
+  int churn_strikes = 0;
+  int pex_spam_strikes = 0;
+
  private:
   sim::Simulator* sim_;
   std::shared_ptr<tcp::Connection> conn_;

@@ -131,6 +131,7 @@ std::optional<WireMessage> decode_pex(std::string_view body) {
   }
   const std::size_t added = get_u16(body, 1);
   const std::size_t dropped = get_u16(body, 3);
+  if (added + dropped > kMaxPexEntries) return std::nullopt;
   if (body.size() != 5 + 14 * added + 6 * dropped) return std::nullopt;
   WireMessage msg;
   msg.type = MsgType::kPex;
@@ -267,6 +268,9 @@ std::optional<WireMessage> decode(std::string_view bytes, int bitfield_bits) {
   }
   if (bytes.size() < 4) return std::nullopt;
   const std::uint32_t len = get_u32(bytes, 0);
+  // Cap the declared body before any size math or allocation: a hostile
+  // length prefix must not be able to drive a huge reserve downstream.
+  if (len > static_cast<std::uint32_t>(kMaxFrameBody)) return std::nullopt;
   if (bytes.size() != 4 + static_cast<std::size_t>(len)) return std::nullopt;
   if (len == 0) {
     WireMessage msg;
@@ -314,6 +318,47 @@ std::optional<WireMessage> decode(std::string_view bytes, int bitfield_bits) {
       return decode_pex(body);
   }
   return std::nullopt;
+}
+
+const char* malformed_reason(const WireMessage& msg, const Metainfo& meta) {
+  const bool piece_ok = msg.piece >= 0 && msg.piece < meta.piece_count();
+  switch (msg.type) {
+    case MsgType::kHandshake:
+    case MsgType::kKeepAlive:
+    case MsgType::kChoke:
+    case MsgType::kUnchoke:
+    case MsgType::kInterested:
+    case MsgType::kNotInterested:
+      return nullptr;
+    case MsgType::kHave:
+      return piece_ok ? nullptr : "have index out of range";
+    case MsgType::kBitfield:
+      return msg.bitfield.size() == meta.piece_count() ? nullptr
+                                                       : "bitfield sized for wrong torrent";
+    case MsgType::kRequest:
+    case MsgType::kCancel:
+      if (!piece_ok) return "request index out of range";
+      if (msg.length <= 0 || msg.length > kMaxRequestLength) {
+        return "request length outside (0, 128 KiB]";
+      }
+      if (msg.offset < 0 || msg.offset + msg.length > meta.piece_size(msg.piece)) {
+        return "request beyond piece end";
+      }
+      return nullptr;
+    case MsgType::kPiece:
+      if (!piece_ok) return "piece index out of range";
+      if (msg.length < 0 || msg.length > kMaxFrameBody) return "piece length over frame cap";
+      if (msg.offset < 0 || msg.offset + msg.length > meta.piece_size(msg.piece)) {
+        return "piece payload beyond piece end";
+      }
+      return nullptr;
+    case MsgType::kPex:
+      if (msg.pex_added.size() + msg.pex_dropped.size() > kMaxPexEntries) {
+        return "pex over entry cap";
+      }
+      return nullptr;
+  }
+  return nullptr;
 }
 
 }  // namespace wp2p::bt

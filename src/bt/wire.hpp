@@ -159,6 +159,22 @@ struct WireMessage {
   }
 };
 
+// Hostile-input hardening caps, shared by the byte decoder and the
+// struct-level validator. A declared frame body larger than kMaxFrameBody is
+// rejected before anything is allocated from it; request lengths above
+// kMaxRequestLength (the customary real-client cap) and PEX messages with
+// more than kMaxPexEntries combined entries are malformed.
+inline constexpr std::int64_t kMaxFrameBody = 1 << 20;
+inline constexpr std::int64_t kMaxRequestLength = 128 * 1024;
+inline constexpr std::size_t kMaxPexEntries = 4096;
+
+// Struct-level malformation check for messages travelling as structs through
+// the simulated stream (the hot path never byte-encodes). Returns a short
+// reason for a hostile frame — out-of-range indexes, lengths beyond the
+// piece or the caps above, a bitfield sized for a different torrent, a PEX
+// body over the entry cap — or nullptr when `msg` is well formed for `meta`.
+const char* malformed_reason(const WireMessage& msg, const Metainfo& meta);
+
 // BEP 3 byte encoding. The simulation moves WireMessage structs directly, but
 // the encoder/decoder keep the model honest: encode() emits the real framing
 // (big-endian u32 length prefix, one-byte message id, 68-byte handshake) and
@@ -171,8 +187,9 @@ std::string encode(const WireMessage& msg);
 // gives the piece count for kBitfield bodies (the wire format doesn't carry
 // it); pass <0 to default to 8 bits per body byte. Returns nullopt on any
 // malformed input: truncated buffers, trailing bytes, unknown ids, bad
-// handshake magic, bitfield spare bits set, or a length prefix that
-// disagrees with its body.
+// handshake magic, bitfield spare bits set, a length prefix that disagrees
+// with its body, a declared body over kMaxFrameBody, or a PEX body over
+// kMaxPexEntries.
 std::optional<WireMessage> decode(std::string_view bytes, int bitfield_bits = -1);
 
 }  // namespace wp2p::bt

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -60,6 +61,10 @@ struct FuzzLimits {
   // leeches may be assigned to (exp::three_tier_classes shapes, cycled).
   // Same gating discipline as max_cells: 0 (default) draws nothing extra.
   int max_classes = 0;
+  // Adversary slice: maximum scripted misbehaving peers (bt::AdversaryPeer)
+  // a generated scenario may add. Same gating discipline as max_cells:
+  // 0 (default) draws nothing extra, so legacy seeds reproduce byte-identically.
+  int max_adversaries = 0;
 };
 
 struct ScenarioPeer {
@@ -75,6 +80,10 @@ struct ScenarioPeer {
   // Bandwidth class of a wired leech (-1 = unclassed: default link, no upload
   // limit). Indexes into exp::three_tier_classes() cyclically.
   int bw_class = -1;
+  // Non-empty: this peer is a scripted bt::AdversaryPeer of the named kind
+  // ("slowloris", "liar", ...; see bt::adversary_kind_from) instead of an
+  // honest client. Adversaries ignore the role/wp2p/preload fields.
+  std::string adversary;
 
   bool operator==(const ScenarioPeer&) const = default;
 };
@@ -104,6 +113,10 @@ struct Scenario {
   // Harness self-test switch: disables corruption banning on every peer so
   // the peer-ban invariant rule has something to catch under corrupt faults.
   bool unsafe_no_ban = false;
+  // Harness self-test switch: disables the protocol-enforcement actions on
+  // every peer (detections still count and trace) so the enforce-* invariant
+  // rules have something to catch under adversary peers.
+  bool unsafe_no_enforcement = false;
 
   std::string serialize() const {
     char head[256];
@@ -115,6 +128,8 @@ struct Scenario {
                   unsafe_no_cwnd_floor ? 1 : 0, unsafe_no_ban ? 1 : 0, trackers,
                   tracker_peers, pex ? 1 : 0, bootstrap ? 1 : 0, failover ? 1 : 0);
     std::string out = head;
+    // Appended only when set, so legacy scenarios round-trip unchanged.
+    if (unsafe_no_enforcement) out += " noenf=1";
     if (cells > 0) {
       // Appended only when present, so legacy scenarios round-trip unchanged.
       char cell_buf[48];
@@ -138,6 +153,10 @@ struct Scenario {
         char class_buf[24];
         std::snprintf(class_buf, sizeof class_buf, " class=%d", p.bw_class);
         out += class_buf;
+      }
+      if (!p.adversary.empty()) {
+        out += " adv=";
+        out += p.adversary;
       }
       out += '\n';
     }
@@ -164,6 +183,10 @@ struct FuzzVerdict {
   std::int64_t wasted_bytes = 0;
   std::uint64_t corrupt_pieces = 0;
   std::uint64_t peers_banned = 0;
+  // Enforcement aggregates (all 0 on clean scenarios without adversaries).
+  std::uint64_t malformed_msgs = 0;   // struct-malformed frames dropped
+  std::uint64_t enforce_strikes = 0;  // strikes issued by the enforcement layer
+  std::uint64_t grace_grants = 0;     // mobility grace windows granted
   // Cellular aggregates (all 0 when the scenario has no cells).
   std::uint64_t roams = 0;               // hand-offs the topology executed
   std::uint64_t cell_outage_drops = 0;   // packets lost to cell outages
@@ -286,6 +309,21 @@ class ScenarioFuzzer {
             rng.below(static_cast<std::size_t>(limits_.max_classes)));
       }
     }
+    // Adversary slice: scripted misbehaving peers joining the honest swarm.
+    // Gated on max_adversaries exactly like the slices above — legacy limits
+    // draw nothing extra. Adversaries never enter the fault plan's target
+    // list: faults act on the honest swarm, adversaries attack it themselves.
+    if (limits_.max_adversaries > 0 && rng.bernoulli(0.5)) {
+      const int count = 1 + static_cast<int>(rng.below(
+                                static_cast<std::size_t>(limits_.max_adversaries)));
+      constexpr std::size_t kKinds = std::size(bt::kAllAdversaryKinds);
+      for (int a = 0; a < count; ++a) {
+        ScenarioPeer p;
+        p.name = "adv" + std::to_string(a);
+        p.adversary = bt::to_string(bt::kAllAdversaryKinds[rng.below(kKinds)]);
+        s.peers.push_back(std::move(p));
+      }
+    }
     s.faults = sim::FaultPlan::random(rng, names, wireless, s.duration_s, limits_.max_faults,
                                       /*t_min_s=*/5.0, s.trackers, s.cells, cellular);
     return s;
@@ -325,10 +363,20 @@ class ScenarioFuzzer {
     tcp::TcpParams tcp_params;
     tcp_params.unsafe_no_cwnd_floor = scenario.unsafe_no_cwnd_floor;
     std::vector<std::unique_ptr<core::AmFilter>> am_filters;
+    // Honest peers in swarm.members order (adversary entries create a
+    // bt::AdversaryPeer instead of a member, so the two lists diverge).
+    std::vector<const ScenarioPeer*> honest;
     for (const ScenarioPeer& p : scenario.peers) {
+      if (!p.adversary.empty()) {
+        const auto kind = bt::adversary_kind_from(p.adversary);
+        if (kind) swarm.add_adversary(p.name, *kind);
+        continue;
+      }
+      honest.push_back(&p);
       bt::ClientConfig config;
       config.announce_interval = sim::seconds(20.0);
       config.unsafe_no_peer_ban = scenario.unsafe_no_ban;
+      config.unsafe_no_enforcement = scenario.unsafe_no_enforcement;
       config.pex = scenario.pex;
       config.bootstrap_cache = scenario.bootstrap;
       config.tracker_failover = scenario.failover;
@@ -367,7 +415,7 @@ class ScenarioFuzzer {
 
     FuzzVerdict verdict;
     for (std::size_t i = 0; i < swarm.members.size(); ++i) {
-      if (scenario.peers[i].is_seed) continue;
+      if (honest[i]->is_seed) continue;
       bt::Client& client = *swarm.members[i].client;
       client.on_complete = [&verdict, &sim = swarm.world.sim] {
         verdict.leech_completion_s.push_back(sim::to_seconds(sim.now()));
@@ -397,15 +445,24 @@ class ScenarioFuzzer {
       verdict.wasted_bytes += client.store().wasted_bytes();
       verdict.corrupt_pieces += client.stats().corrupt_pieces;
       verdict.peers_banned += client.stats().peers_banned;
+      verdict.malformed_msgs += client.stats().malformed_msgs;
+      verdict.enforce_strikes += client.stats().enforce_strikes;
+      verdict.grace_grants += client.stats().grace_grants;
       if (client.store().bytes_completed() > meta.total_size) {
-        verdict.property_failures.push_back(scenario.peers[i].name +
+        verdict.property_failures.push_back(honest[i]->name +
                                             ": store exceeds file size");
       }
       if (client.complete() != client.store().bitfield().all()) {
-        verdict.property_failures.push_back(scenario.peers[i].name +
+        verdict.property_failures.push_back(honest[i]->name +
                                             ": completion flag disagrees with bitfield");
       }
-      if (!scenario.peers[i].is_seed && client.complete()) ++verdict.completed_leeches;
+      if (!honest[i]->is_seed && client.complete()) ++verdict.completed_leeches;
+    }
+    // Adversaries move real payload through the same conservation ledger:
+    // a garbage peer still serves honest requests, a flooder extracts blocks.
+    for (const auto& adversary : swarm.adversaries) {
+      uploaded += adversary.peer->stats().uploaded_payload;
+      downloaded += adversary.peer->stats().downloaded_payload;
     }
     if (downloaded > uploaded) {
       verdict.property_failures.push_back(
@@ -579,6 +636,8 @@ inline std::optional<Scenario> Scenario::parse(std::string_view text) {
           s.unsafe_no_cwnd_floor = value == "1";
         } else if (detail::parse_kv(tokens[i], "noban", value)) {
           s.unsafe_no_ban = value == "1";
+        } else if (detail::parse_kv(tokens[i], "noenf", value)) {
+          s.unsafe_no_enforcement = value == "1";
         } else if (detail::parse_kv(tokens[i], "trackers", value)) {
           s.trackers = std::atoi(value.c_str());
         } else if (detail::parse_kv(tokens[i], "trpeers", value)) {
@@ -616,6 +675,9 @@ inline std::optional<Scenario> Scenario::parse(std::string_view text) {
           p.cell = std::atoi(value.c_str());
         } else if (detail::parse_kv(tokens[i], "class", value)) {
           p.bw_class = std::atoi(value.c_str());
+        } else if (detail::parse_kv(tokens[i], "adv", value)) {
+          if (!bt::adversary_kind_from(value)) return std::nullopt;
+          p.adversary = value;
         } else {
           return std::nullopt;
         }

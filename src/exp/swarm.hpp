@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bt/adversary.hpp"
 #include "bt/client.hpp"
 #include "bt/tracker.hpp"
 #include "exp/clustering.hpp"
@@ -60,6 +61,29 @@ class Swarm {
     return add_member(host, is_seed, config);
   }
 
+  // A scripted misbehaving peer (see bt/adversary.hpp) on its own wired host.
+  // It announces to the same tracker and speaks the real wire protocol, so
+  // honest members discover and connect to it like any other peer. Started by
+  // start_all() after the honest members.
+  struct AdversaryMember {
+    World::Host* host = nullptr;
+    std::unique_ptr<bt::AdversaryPeer> peer;
+
+    bt::AdversaryPeer* operator->() const { return peer.get(); }
+  };
+
+  AdversaryMember& add_adversary(const std::string& name, bt::AdversaryKind kind,
+                                 bt::AdversaryConfig config = {},
+                                 net::WiredParams link = {},
+                                 tcp::TcpParams tcp_params = {}) {
+    config.kind = kind;
+    World::Host& host = world.add_wired_host(name, link, tcp_params);
+    adversaries.push_back(AdversaryMember{
+        &host, std::make_unique<bt::AdversaryPeer>(*host.node, *host.stack, tracker,
+                                                   meta, config)});
+    return adversaries.back();
+  }
+
   // Add a backup tracker at the given failover tier (BEP 12 style: clients
   // exhaust tier 0 before moving to tier 1, and so on). Registers the new
   // tracker with every existing member and every member added later; call
@@ -94,6 +118,7 @@ class Swarm {
 
   void start_all() {
     for (auto& member : members) member.client->start();
+    for (auto& adversary : adversaries) adversary.peer->start();
   }
 
   void run_for(double seconds) {
@@ -116,6 +141,7 @@ class Swarm {
   std::deque<bt::Tracker> backup_trackers;  // deque: Tracker& stays valid as tiers grow
   std::vector<int> backup_tiers;            // tier of each backup, in add order
   std::deque<Member> members;  // deque: Member& stays valid as members grow
+  std::deque<AdversaryMember> adversaries;
 
  private:
   Member& add_member(World::Host& host, bool is_seed, bt::ClientConfig config) {

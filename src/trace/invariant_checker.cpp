@@ -55,6 +55,11 @@ InvariantChecker::InvariantChecker() {
   add_rule({Kind::kCellDetach}, &InvariantChecker::rule_cell_detach, true);
   add_rule({Kind::kCellServe}, &InvariantChecker::rule_cell_serve, true);
   add_rule({Kind::kCellDeliver}, &InvariantChecker::rule_cell_deliver, true);
+  add_rule({Kind::kBtFloodDetect, Kind::kBtMalformed, Kind::kBtLiarDetect,
+            Kind::kBtStallAudit, Kind::kBtPexSpam},
+           &InvariantChecker::rule_enforce_detect, true);
+  add_rule({Kind::kBtGrace, Kind::kBtPeerStrike}, &InvariantChecker::rule_enforce_grace,
+           true);
 }
 
 void InvariantChecker::add_rule(std::initializer_list<Kind> kinds, MemberRule member,
@@ -93,6 +98,7 @@ void InvariantChecker::reset_scenario() {
   recovery_.clear();
   pex_.clear();
   cells_.clear();
+  enforce_.clear();
 }
 
 void InvariantChecker::check(const TraceEvent& ev) {
@@ -396,6 +402,46 @@ void InvariantChecker::rule_cell_deliver(const TraceEvent& ev) {
     violate(ev, "cell-no-detached-delivery",
             "cell " + num(cell) + " delivered to " + ev.node + " which is attached to cell " +
                 num(st.attached));
+  }
+}
+
+void InvariantChecker::rule_enforce_detect(const TraceEvent& ev) {
+  // Every enforcement detection event carries the evidence count and the
+  // limit an enforced run can never exceed (the ban ends the evidence stream
+  // within a couple of threshold-steps). A count past the limit means the
+  // strike-and-ban path is not acting on detections — the signature of
+  // unsafe_no_enforcement.
+  const double count = ev.field("count");
+  const double limit = ev.field("limit");
+  if (limit <= 0.0 || count <= limit + kEps) return;
+  const char* rule = ev.kind == Kind::kBtFloodDetect  ? "enforce-flood-cap"
+                     : ev.kind == Kind::kBtMalformed ? "enforce-malformed"
+                                                     : "enforce-liar";
+  violate(ev, rule,
+          ev.node + " " + ev.aux + " evidence against peer " + num(ev.field("peer_id")) +
+              " reached " + num(count) + ", past the enforcement limit of " + num(limit));
+}
+
+void InvariantChecker::rule_enforce_grace(const TraceEvent& ev) {
+  EnforceState& st = enforce_[ev.node];
+  const auto peer = static_cast<std::uint64_t>(ev.field("peer_id"));
+  if (ev.kind == Kind::kBtGrace) {
+    GraceWindow& window = st.grace[peer];
+    window.granted_at = ev.time;
+    window.until_s = ev.field("until_s");
+    return;
+  }
+  // A strike for the mobility-shaped offenses must not land inside a grace
+  // window granted strictly earlier (same-tick grant + deferred strike is a
+  // benign race: the client checked the grace before the grant existed).
+  if (ev.aux != "enforce-stall" && ev.aux != "enforce-liar") return;
+  auto it = st.grace.find(peer);
+  if (it == st.grace.end()) return;
+  const GraceWindow& window = it->second;
+  if (window.granted_at < ev.time && sim::to_seconds(ev.time) < window.until_s - kEps) {
+    violate(ev, "enforce-mobile-grace",
+            ev.node + " struck peer " + num(ev.field("peer_id")) + " for " + ev.aux +
+                " inside its mobility grace window (until " + num(window.until_s) + " s)");
   }
 }
 

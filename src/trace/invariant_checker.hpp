@@ -76,6 +76,21 @@
 //                       The downlink scheduler only picks stations with
 //                       backlog (the traced queue length at the pick is >= 1)
 //                       that are attached to the serving cell.
+//   enforce-flood-cap   A peer's flood/churn evidence count never exceeds the
+//                       limit the detection event itself advertises: with
+//                       enforcement on, the strike-and-ban path must cut the
+//                       offender off before the count runs away. (Catches
+//                       runs with unsafe_no_enforcement: counts keep
+//                       climbing past the limit.)
+//   enforce-malformed   Same cap for struct-malformed frame counts.
+//   enforce-liar        Same cap for liar, stall-audit, and PEX-spam
+//                       evidence counts.
+//   enforce-mobile-grace
+//                       An enforcement strike for the mobility-shaped
+//                       offenses (stall, liar) never lands on a peer whose
+//                       mobility grace window is active at the strike: the
+//                       grace guard exists precisely so hand-off stalls are
+//                       not punished.
 //
 // kScenario markers reset per-flow state, so one JSONL file may hold many
 // independently checked scenarios.
@@ -167,6 +182,13 @@ class InvariantChecker final : public Sink {
   struct CellState {
     int attached = -1;  // cell id the station is in; -1 = detached
   };
+  struct GraceWindow {
+    sim::SimTime granted_at = -1;
+    double until_s = -1.0;  // absolute expiry, as traced by kBtGrace
+  };
+  struct EnforceState {
+    std::unordered_map<std::uint64_t, GraceWindow> grace;  // peer_id -> window
+  };
 
   using MemberRule = void (InvariantChecker::*)(const TraceEvent&);
   struct Rule {
@@ -205,6 +227,8 @@ class InvariantChecker final : public Sink {
   void rule_cell_detach(const TraceEvent& ev);
   void rule_cell_serve(const TraceEvent& ev);
   void rule_cell_deliver(const TraceEvent& ev);
+  void rule_enforce_detect(const TraceEvent& ev);
+  void rule_enforce_grace(const TraceEvent& ev);
 
   std::unordered_map<std::string, FlowState> flows_;
   std::unordered_map<std::string, DetectState> detectors_;
@@ -212,6 +236,7 @@ class InvariantChecker final : public Sink {
   std::unordered_map<std::string, RecoveryState> recovery_;
   std::unordered_map<std::string, PexState> pex_;  // node|recipient endpoint
   std::unordered_map<std::string, CellState> cells_;  // station -> attachment
+  std::unordered_map<std::string, EnforceState> enforce_;  // node -> grace map
   std::vector<Rule> rules_;
   std::array<std::vector<std::uint16_t>, kNumKinds> index_;  // kind -> rule ids
   std::vector<Violation> violations_;

@@ -62,6 +62,12 @@ constexpr KindName kKinds[] = {
     {Kind::kCellServe, "cell.serve"},
     {Kind::kCellDeliver, "cell.deliver"},
     {Kind::kBtMatrixSample, "bt.matrix"},
+    {Kind::kBtFloodDetect, "bt.flood"},
+    {Kind::kBtMalformed, "bt.malformed"},
+    {Kind::kBtLiarDetect, "bt.liar"},
+    {Kind::kBtPexSpam, "bt.pex_spam"},
+    {Kind::kBtStallAudit, "bt.stall_audit"},
+    {Kind::kBtGrace, "bt.mobile_grace"},
 };
 
 }  // namespace

@@ -84,11 +84,18 @@ enum class Kind : std::uint8_t {
   kCellDeliver,  // downlink frame delivered through a cell to its station
 
   kBtMatrixSample,  // periodic transfer-matrix snapshot (clustering probe)
+
+  kBtFloodDetect,  // request-quota overflow detected; count/limit fields
+  kBtMalformed,    // malformed wire frame rejected; count/limit fields
+  kBtLiarDetect,   // bitfield/have liar evidence recorded; count/limit fields
+  kBtPexSpam,      // PEX endpoint-sanity budget exceeded; count/limit fields
+  kBtStallAudit,   // stall auditor scored a persistent stall; count/limit fields
+  kBtGrace,        // mobility grace window granted; aux = cause, until_s field
 };
 
 // Number of Kind values; sized for per-kind lookup tables (keep in sync with
 // the last enumerator above).
-inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kBtMatrixSample) + 1;
+inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kBtGrace) + 1;
 
 const char* to_string(Component c);
 const char* to_string(Kind k);

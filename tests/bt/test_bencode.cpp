@@ -80,6 +80,29 @@ INSTANTIATE_TEST_SUITE_P(
         BadInput{"unknown_token", "x"}),
     [](const auto& info) { return info.param.label; });
 
+TEST(Bencode, RejectsHostileNestingDepth) {
+  // Recursion-bomb guard: 100 nested lists blow the depth cap; a modest
+  // nesting parses fine.
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += 'l';
+  deep += "i1e";
+  for (int i = 0; i < 100; ++i) deep += 'e';
+  EXPECT_THROW(Bencode::decode(deep), BencodeError);
+
+  std::string shallow;
+  for (int i = 0; i < 10; ++i) shallow += 'l';
+  shallow += "i1e";
+  for (int i = 0; i < 10; ++i) shallow += 'e';
+  EXPECT_NO_THROW(Bencode::decode(shallow));
+}
+
+TEST(Bencode, RejectsHugeDeclaredStringLength) {
+  // Declared lengths far past the buffer must fail the remaining-bytes check
+  // (never an allocation), including lengths that overflow 64 bits.
+  EXPECT_THROW(Bencode::decode("4294967296:abc"), BencodeError);
+  EXPECT_THROW(Bencode::decode("99999999999999999999999:abc"), BencodeError);
+}
+
 TEST(Bencode, TypeAccessorsThrowOnMismatch) {
   Bencode b{42};
   EXPECT_THROW(b.as_string(), BencodeError);

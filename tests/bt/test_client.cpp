@@ -141,6 +141,92 @@ TEST(ClientSwarm, SequentialSelectorDownloadsInOrder) {
   EXPECT_EQ(leech->store().contiguous_bytes(), swarm.meta.total_size);
 }
 
+TEST(ClientSwarm, SnubDetectionFlagsStalledPeerAndDeliveryClearsIt) {
+  // A seed throttled to ~50 B/s takes minutes per block: the leech's requests
+  // expire, periodic_maintenance snubs the peer and requeues the blocks, and
+  // the continued stall accumulates stall-audit scores. Un-throttling the
+  // seed delivers a block, which clears the snub.
+  Swarm swarm{40, small_file()};
+  auto& seed = swarm.add_wired("seed", true, fast_config());
+  auto& leech = swarm.add_wired("leech", false, fast_config(6882));
+  seed->set_upload_limit(util::Rate::kBps(0.05));
+  swarm.start_all();
+
+  // The first optimistic unchoke lands on a maintenance tick, so give the
+  // leech a tick or two to get its pipeline out.
+  swarm.run_for(25.0);
+  PeerConnection* conn = leech->peer_by_id(seed->peer_id());
+  ASSERT_NE(conn, nullptr);
+  EXPECT_FALSE(conn->snubbed);
+  EXPECT_GT(conn->outstanding.size(), 0u);
+
+  // First requests expire after request_timeout (60 s); the next maintenance
+  // pass marks the peer snubbed and requeues the blocks.
+  swarm.run_for(75.0);
+  conn = leech->peer_by_id(seed->peer_id());
+  ASSERT_NE(conn, nullptr);
+  EXPECT_TRUE(conn->snubbed);
+  EXPECT_GT(leech->stats().blocks_requeued, 0u);
+
+  // Six more consecutive snubbed maintenance ticks score a stall audit.
+  swarm.run_for(80.0);
+  EXPECT_GE(leech->stats().stall_audits, 1u);
+  EXPECT_LT(leech->stats().peers_banned, 1u);  // audits alone never reach a ban here
+
+  // Delivery resets the snub: the first block through clears the flag.
+  seed->set_upload_limit(util::Rate::kBps(1000.0));
+  ASSERT_TRUE(swarm.run_until_complete(leech, 120.0));
+  conn = leech->peer_by_id(seed->peer_id());
+  if (conn != nullptr) {
+    EXPECT_FALSE(conn->snubbed);
+  }
+}
+
+TEST(ClientSwarm, EndgameDuplicatesStragglersToOtherPeers) {
+  // Two seeds, one nearly dead, and request timeouts pushed out of reach:
+  // the blocks pipelined to the dead seed can only be rescued by end-game
+  // duplication to the live seed.
+  Swarm swarm{41, small_file(4 * 1024 * 1024)};
+  auto& fast = swarm.add_wired("fast", true, fast_config());
+  fast->set_upload_limit(util::Rate::kBps(200.0));
+  auto& slow = swarm.add_wired("slow", true, fast_config(6882));
+  slow->set_upload_limit(util::Rate::kBps(0.05));
+  auto cfg = fast_config(6883);
+  cfg.request_timeout = sim::minutes(60.0);
+  auto& leech = swarm.add_wired("leech", false, cfg);
+  swarm.start_all();
+
+  ASSERT_TRUE(swarm.run_until_complete(leech, 180.0));
+  // Every duplicate pinned at the dead seed was cancelled as the live copy
+  // landed — nothing is left outstanding there.
+  PeerConnection* conn = leech->peer_by_id(slow->peer_id());
+  if (conn != nullptr) {
+    EXPECT_TRUE(conn->outstanding.empty());
+  }
+}
+
+TEST(ClientSwarm, WithoutEndgameStragglersStayPinned) {
+  // The control for the test above: same dead seed, endgame disabled. The
+  // blocks pipelined to it are never duplicated and the download cannot
+  // finish inside the window.
+  Swarm swarm{41, small_file(4 * 1024 * 1024)};
+  auto& fast = swarm.add_wired("fast", true, fast_config());
+  fast->set_upload_limit(util::Rate::kBps(200.0));
+  auto& slow = swarm.add_wired("slow", true, fast_config(6882));
+  slow->set_upload_limit(util::Rate::kBps(0.05));
+  auto cfg = fast_config(6883);
+  cfg.request_timeout = sim::minutes(60.0);
+  cfg.endgame_block_threshold = 0;
+  auto& leech = swarm.add_wired("leech", false, cfg);
+  swarm.start_all();
+
+  swarm.run_for(180.0);
+  EXPECT_FALSE(leech->complete());
+  PeerConnection* conn = leech->peer_by_id(slow->peer_id());
+  ASSERT_NE(conn, nullptr);
+  EXPECT_GT(conn->outstanding.size(), 0u);
+}
+
 TEST(ClientSwarm, AddressChangeReinitiatesTask) {
   Swarm swarm{8, small_file(8 * 1024 * 1024)};
   auto& seed = swarm.add_wired("seed", true, fast_config());

@@ -272,6 +272,40 @@ TEST(Discovery, GossipFromBannedSenderIsDiscardedWhole) {
   EXPECT_EQ(leech->stats().pex_peers_learned, learned_before);
 }
 
+TEST(Discovery, BanOutlivesHandoffAndRoleReversalSkipsBannedEndpoints) {
+  // The ban/identity-retention interplay: a wP2P mover bans a corrupter, then
+  // hands off. Role reversal re-dials every remembered listen endpoint — the
+  // banned identity's endpoint is still remembered (consider_reconnect needs
+  // the mapping to keep refusing it), so the re-dial loop must skip it while
+  // still re-dialing the clean peer.
+  Swarm swarm{307, small_file(2 * 1024 * 1024)};
+  auto& clean = swarm.add_wired("clean", true, quiet_config());
+  auto& venom = swarm.add_wired("venom", true, quiet_config(6882));
+  auto config_m = quiet_config(6883);
+  config_m.retain_peer_id = true;
+  config_m.role_reversal = true;
+  auto& m = swarm.add_wireless("m", false, config_m);
+  const PeerId venom_id = ban_venom(swarm, venom, m);
+  ASSERT_EQ(m->peer_by_id(venom_id), nullptr);
+
+  const auto reinit_before = m->stats().task_reinitiations;
+  m.host->node->change_address();
+  swarm.run_for(20.0);
+  EXPECT_GT(m->stats().task_reinitiations, reinit_before);
+  EXPECT_NE(m->peer_by_id(clean->peer_id()), nullptr);
+  EXPECT_EQ(m->peer_by_id(venom_id), nullptr);
+
+  // The ban itself survived the hand-off: gossip re-advertising the banned
+  // identity at a fresh endpoint is still skipped.
+  PeerConnection* conn = m->peer_by_id(clean->peer_id());
+  ASSERT_NE(conn, nullptr);
+  const auto skipped_before = m->stats().pex_banned_skipped;
+  m->inject_peer_message(
+      *conn,
+      *WireMessage::pex({PexPeer{net::Endpoint{net::IpAddr{901}, 7200}, venom_id}}, {}));
+  EXPECT_EQ(m->stats().pex_banned_skipped, skipped_before + 1);
+}
+
 TEST(BootstrapCache, TouchDedupsByIdentityEvictsOldestAndRemoveScrubs) {
   BootstrapCache cache{3};
   const net::Endpoint e1{net::IpAddr{1}, 1000};

@@ -176,6 +176,66 @@ TEST(Wire, DecodeRejectsMalformedInput) {
   EXPECT_FALSE(bt::decode(piece));
 }
 
+TEST(Wire, DecodeRejectsOversizedDeclaredBody) {
+  // A length prefix declaring a body over kMaxFrameBody is hostile no matter
+  // what follows: with the body absent (a would-be allocation bomb) and with
+  // the full body present (id 5 = bitfield, which has no intrinsic size cap
+  // of its own, so only the frame cap can reject it).
+  const auto declared = static_cast<std::uint32_t>(bt::kMaxFrameBody) + 1;
+  std::string frame;
+  frame.push_back(static_cast<char>(declared >> 24));
+  frame.push_back(static_cast<char>(declared >> 16));
+  frame.push_back(static_cast<char>(declared >> 8));
+  frame.push_back(static_cast<char>(declared));
+  EXPECT_FALSE(bt::decode(frame));
+  std::string with_body = frame;
+  with_body.push_back(5);  // bitfield id
+  with_body.append(static_cast<std::size_t>(declared) - 1, '\0');
+  EXPECT_FALSE(bt::decode(with_body));
+}
+
+TEST(Wire, DecodeRejectsPexOverEntryCap) {
+  std::vector<bt::PexPeer> added;
+  for (std::size_t i = 0; i < bt::kMaxPexEntries + 1; ++i) {
+    added.push_back({net::Endpoint{net::IpAddr{static_cast<std::uint32_t>(i + 1)},
+                                   static_cast<std::uint16_t>(1024 + i % 60000)},
+                     i + 1});
+  }
+  EXPECT_FALSE(bt::decode(bt::encode(*WireMessage::pex(added, {}))));
+  // At the cap exactly the message is still legal.
+  added.pop_back();
+  EXPECT_TRUE(bt::decode(bt::encode(*WireMessage::pex(added, {}))));
+}
+
+TEST(Wire, MalformedReasonFlagsStructViolations) {
+  const auto meta = bt::Metainfo::create("t", 1 << 20, 256 * 1024, "tr", 1);
+  ASSERT_EQ(meta.piece_count(), 4);
+
+  EXPECT_EQ(bt::malformed_reason(*WireMessage::have(0), meta), nullptr);
+  EXPECT_NE(bt::malformed_reason(*WireMessage::have(4), meta), nullptr);
+  EXPECT_NE(bt::malformed_reason(*WireMessage::have(-1), meta), nullptr);
+
+  bt::Bitfield right{4};
+  bt::Bitfield wrong{5};
+  EXPECT_EQ(bt::malformed_reason(*WireMessage::bitfield_msg(right), meta), nullptr);
+  EXPECT_NE(bt::malformed_reason(*WireMessage::bitfield_msg(wrong), meta), nullptr);
+
+  EXPECT_EQ(bt::malformed_reason(*WireMessage::request(0, 0, 16384), meta), nullptr);
+  EXPECT_NE(bt::malformed_reason(*WireMessage::request(0, 0, 0), meta), nullptr);
+  EXPECT_NE(bt::malformed_reason(
+                *WireMessage::request(0, 0,
+                                      static_cast<int>(bt::kMaxRequestLength) + 1),
+                meta),
+            nullptr);
+  EXPECT_NE(bt::malformed_reason(*WireMessage::request(0, 255 * 1024, 16384), meta),
+            nullptr);
+  EXPECT_NE(bt::malformed_reason(*WireMessage::request(7, 0, 16384), meta), nullptr);
+
+  EXPECT_EQ(bt::malformed_reason(*WireMessage::piece_msg(0, 0, 16384), meta), nullptr);
+  EXPECT_NE(bt::malformed_reason(*WireMessage::piece_msg(0, 0, 2 << 20), meta), nullptr);
+  EXPECT_NE(bt::malformed_reason(*WireMessage::piece_msg(9, 0, 16384), meta), nullptr);
+}
+
 TEST(Wire, DecodeRejectsBadBitfields) {
   bt::Bitfield bf{10};
   bf.set(3);

@@ -94,6 +94,32 @@ TEST(Corpus, CorruptEntriesStillBiteWithBanDisabled) {
   EXPECT_GE(checked, 1) << "no corrupt-*.scenario entries in the corpus";
 }
 
+// And the adversary entries: with the enforcement actions disabled the same
+// scenarios must trip an enforce-* invariant rule — the adversary really is
+// attacking, and only the enforcement layer makes the clean replay above
+// possible (detections still count and trace under unsafe_no_enforcement,
+// so the evidence counts run past the limit the events advertise).
+TEST(Corpus, AdversaryEntriesStillBiteWithEnforcementDisabled) {
+  exp::ScenarioFuzzer fuzzer;
+  int checked = 0;
+  for (const auto& entry : fs::directory_iterator(corpus_dir())) {
+    if (entry.path().extension() != ".scenario") continue;
+    if (entry.path().filename().string().rfind("adv-", 0) != 0) continue;
+    auto scenario = exp::Scenario::parse(slurp(entry.path()));
+    ASSERT_TRUE(scenario.has_value()) << entry.path();
+    scenario->unsafe_no_enforcement = true;
+    const exp::FuzzVerdict verdict = fuzzer.run(*scenario);
+    EXPECT_FALSE(verdict.passed) << entry.path().filename();
+    bool enforce_rule = false;
+    for (const auto& v : verdict.violations) {
+      enforce_rule |= v.rule.rfind("enforce-", 0) == 0;
+    }
+    EXPECT_TRUE(enforce_rule) << entry.path().filename();
+    ++checked;
+  }
+  EXPECT_GE(checked, 2) << "no adv-*.scenario entries in the corpus";
+}
+
 // --- Golden trace -------------------------------------------------------------
 
 class LineSink final : public trace::Sink {

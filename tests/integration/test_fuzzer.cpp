@@ -434,6 +434,78 @@ TEST(ScenarioFuzzer, GeneratesCellularScenariosThatRunDeterministically) {
   EXPECT_EQ(v1.roams, heap.roams);
 }
 
+TEST(ScenarioFuzzer, AdversaryKeysGateAndRoundTrip) {
+  // Gated off (the default): no seed may emit an adversary peer or the noenf
+  // switch, so legacy seeds keep their exact serialization.
+  ScenarioFuzzer legacy{quick_limits()};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const std::string spec = legacy.generate(seed).serialize();
+    EXPECT_EQ(spec.find("adv="), std::string::npos) << "seed " << seed;
+    EXPECT_EQ(spec.find("noenf="), std::string::npos) << "seed " << seed;
+  }
+
+  // Gated on: some seed draws adversaries, every drawn kind is a real one,
+  // and the spec round-trips through parse().
+  exp::FuzzLimits limits = quick_limits();
+  limits.max_adversaries = 3;
+  ScenarioFuzzer fuzzer{limits};
+  bool saw_adversary = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !saw_adversary; ++seed) {
+    const Scenario s = fuzzer.generate(seed);
+    for (const auto& p : s.peers) {
+      if (p.adversary.empty()) continue;
+      saw_adversary = true;
+      EXPECT_TRUE(bt::adversary_kind_from(p.adversary)) << p.adversary;
+    }
+    if (!saw_adversary) continue;
+    const auto parsed = Scenario::parse(s.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->serialize(), s.serialize());
+    for (std::size_t i = 0; i < s.peers.size(); ++i) {
+      EXPECT_EQ(parsed->peers[i].adversary, s.peers[i].adversary);
+    }
+  }
+  EXPECT_TRUE(saw_adversary) << "no seed drew an adversary";
+
+  // An unknown adversary kind is a parse error, not a silent honest peer.
+  EXPECT_FALSE(Scenario::parse(
+      "scenario seed=1 duration=60 file=524288 piece=262144\n"
+      "peer name=s0 link=wired role=seed wp2p=0 preload=1\n"
+      "peer name=adv0 link=wired role=leech wp2p=0 preload=0 adv=santa\n"));
+}
+
+TEST(ScenarioFuzzer, AdversaryRunDetectsAttackAndNoEnforcementTripsRules) {
+  // A handwritten flooder spec (noenf survives the round-trip too): with the
+  // enforcement layer on the flood is struck and invariants hold; with it
+  // off the flood runs free and the enforce-flood-cap rule fires.
+  const auto parsed = Scenario::parse(
+      "scenario seed=77 duration=90 file=524288 piece=262144\n"
+      "peer name=s0 link=wired role=seed wp2p=0 preload=1\n"
+      "peer name=l0 link=wired role=leech wp2p=0 preload=0\n"
+      "peer name=adv0 link=wired role=leech wp2p=0 preload=0 adv=flooder\n");
+  ASSERT_TRUE(parsed.has_value());
+
+  ScenarioFuzzer fuzzer{quick_limits()};
+  const exp::FuzzVerdict defended = fuzzer.run(*parsed);
+  EXPECT_TRUE(defended.passed) << defended.summary();
+  EXPECT_GT(defended.enforce_strikes, 0u);
+  EXPECT_GE(defended.peers_banned, 1u);
+
+  Scenario exposed_spec = *parsed;
+  exposed_spec.unsafe_no_enforcement = true;
+  const auto reparsed = Scenario::parse(exposed_spec.serialize());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_TRUE(reparsed->unsafe_no_enforcement);
+  const exp::FuzzVerdict exposed = fuzzer.run(*reparsed);
+  EXPECT_FALSE(exposed.passed);
+  EXPECT_EQ(exposed.peers_banned, 0u);
+  bool flood_rule = false;
+  for (const auto& v : exposed.violations) {
+    flood_rule |= v.rule == "enforce-flood-cap";
+  }
+  EXPECT_TRUE(flood_rule) << exposed.summary();
+}
+
 TEST(ScenarioFuzzer, ShrinkKeepsPassingScenarioIntact) {
   // shrink() on a passing scenario has nothing to chase: every candidate
   // passes, so the "minimized" result is the input itself.
