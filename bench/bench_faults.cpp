@@ -25,6 +25,12 @@
 //                       (adv= scenario key; kinds from bt/adversary.hpp).
 //                       Default 0 keeps the legacy scenario space
 //                       byte-identical.
+//   --max-suspends N    enable the fuzzer's suspend/resume slice: generated
+//                       scenarios may suspend apps mid-run (susp=/store=
+//                       scenario keys; every honest peer journals resume
+//                       snapshots through fault-injected stable storage —
+//                       torn writes, stale drops, commit stalls). Default 0
+//                       keeps the legacy scenario space byte-identical.
 //   --replay FILE       parse a scenario spec (see TESTING.md) and run it
 //                       once; exit 1 if it fails.
 //   --break-cwnd-floor  disable TCP's 1-MSS cwnd floor in fuzzed/replayed
@@ -68,6 +74,7 @@ struct FaultBenchOptions {
   int max_cells = 0;
   int max_classes = 0;
   int max_adversaries = 0;
+  int max_suspends = 0;
   std::string replay_path;
   bool break_cwnd_floor = false;
   bool no_ban = false;
@@ -483,12 +490,14 @@ int fuzz_mode() {
   limits.max_cells = fopts.max_cells;
   limits.max_classes = fopts.max_classes;
   limits.max_adversaries = fopts.max_adversaries;
+  limits.max_suspends = fopts.max_suspends;
   exp::ScenarioFuzzer fuzzer{limits};
-  std::printf("fuzzing %d scenarios from seed %llu%s%s%s%s...\n", fopts.fuzz,
+  std::printf("fuzzing %d scenarios from seed %llu%s%s%s%s%s...\n", fopts.fuzz,
               static_cast<unsigned long long>(fopts.fuzz_seed),
               fopts.max_cells > 1 ? " (cellular slice enabled)" : "",
               fopts.max_classes > 1 ? " (bandwidth-class slice enabled)" : "",
               fopts.max_adversaries > 0 ? " (adversary slice enabled)" : "",
+              fopts.max_suspends > 0 ? " (suspend/resume slice enabled)" : "",
               fopts.break_cwnd_floor ? " (cwnd floor DISABLED — failures expected)" : "");
 
   auto scenario_for = [&](std::uint64_t seed) {
@@ -608,6 +617,12 @@ int main(int argc, char** argv) {
       fopts.max_adversaries = std::atoi(value());
       if (fopts.max_adversaries < 0) {
         std::fprintf(stderr, "--max-adversaries: bad count\n");
+        return 2;
+      }
+    } else if (arg == "--max-suspends") {
+      fopts.max_suspends = std::atoi(value());
+      if (fopts.max_suspends < 0) {
+        std::fprintf(stderr, "--max-suspends: bad count\n");
         return 2;
       }
     } else if (arg == "--replay") {

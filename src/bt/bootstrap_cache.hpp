@@ -52,6 +52,27 @@ class BootstrapCache {
                    entries_.end());
   }
 
+  // Drops entries whose last proof of life is older than `ttl` at `now`
+  // (ttl <= 0 disables aging). A resume after a long suspend prunes before
+  // dialing, so a stale cell's addresses are never re-dialed. Returns the
+  // number of entries dropped.
+  std::size_t prune(sim::SimTime now, sim::SimTime ttl) {
+    if (ttl <= 0) return 0;
+    const std::size_t before = entries_.size();
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [&](const Entry& e) { return now - e.last_good > ttl; }),
+                   entries_.end());
+    return before - entries_.size();
+  }
+
+  // Resume-restore path: reinsert a snapshotted entry with its original
+  // timestamp (touch() would stamp `now` and defeat TTL aging on load).
+  void restore(const Entry& entry) {
+    if (capacity_ == 0 || !entry.endpoint.addr.valid() || entry.peer_id == 0) return;
+    if (entries_.size() >= capacity_) entries_.erase(entries_.begin());
+    entries_.push_back(entry);
+  }
+
   const std::vector<Entry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
 

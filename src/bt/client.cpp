@@ -55,6 +55,8 @@ Client::Client(net::Node& node, tcp::Stack& stack, Tracker& tracker, const Metai
       upload_pump_task_{sim_, config.upload_pump_interval, [this] { pump_uploads(); }},
       pex_task_{sim_, config.pex_interval, [this] { send_pex_round(); }},
       probe_task_{sim_, config.tracker_probe_interval, [this] { probe_primary(); }},
+      checkpoint_task_{sim_, std::max<sim::SimTime>(1, config.resume_checkpoint_interval),
+                       [this] { write_checkpoint(); }},
       bootstrap_{static_cast<std::size_t>(std::max(0, config.bootstrap_cache_size))},
       down_rate_{config.rate_window},
       up_rate_{config.rate_window} {
@@ -109,8 +111,23 @@ void Client::add_tracker(Tracker& tracker, int tier) {
 
 void Client::start() {
   WP2P_ASSERT(!running_);
+  // A restart fault landing on a suspended app is a wake-up, not a cold boot:
+  // the process never died, so the suspend path's counterpart must run (and
+  // emit its lifecycle events) or the suspend bracket would dangle.
+  if (lifecycle_ == Lifecycle::kSuspended || lifecycle_ == Lifecycle::kSuspending) {
+    resume();
+    return;
+  }
   running_ = true;
+  lifecycle_ = Lifecycle::kRunning;
   last_disconnect_ = sim_.now();
+  // A fresh incarnation restores from the resume journal before anything else
+  // observes its state; the same object restarting (crash/restart keeps member
+  // data alive) never re-applies a snapshot over live state.
+  if (resume_store_ != nullptr && !resume_attempted_) {
+    resume_attempted_ = true;
+    restore_from_snapshot();
+  }
   stack_.listen(config_.listen_port, [this, alive = alive_](auto conn) {
     if (*alive) accept_connection(std::move(conn));
   });
@@ -125,6 +142,11 @@ void Client::start() {
       if (*alive && !connected) last_disconnect_ = sim_.now();
     });
   }
+  start_tasks();
+  initiate_task(AnnounceEvent::kStarted);
+}
+
+void Client::start_tasks() {
   choke_task_.start();
   optimistic_task_.start();
   // Random announce phase: real clients join at arbitrary times, so their
@@ -140,18 +162,19 @@ void Client::start() {
     pex_task_.start_after(static_cast<sim::SimTime>(
         (0.25 + 0.75 * frac) * static_cast<double>(config_.pex_interval)));
   }
-  initiate_task(AnnounceEvent::kStarted);
+  if (resume_store_ != nullptr && config_.resume_checkpoint_interval > 0) {
+    checkpoint_task_.start();
+  }
 }
 
-void Client::stop() {
-  if (!running_) return;
-  running_ = false;
+void Client::halt_tasks() {
   choke_task_.stop();
   optimistic_task_.stop();
   announce_task_.stop();
   timeout_task_.stop();
   upload_pump_task_.stop();
   pex_task_.stop();
+  checkpoint_task_.stop();
   stop_probe();
   // Cancel the pending retry but keep the chain's base/attempt: a crash during
   // an outage must not shrink the backoff on restart (the outage is still on,
@@ -161,8 +184,23 @@ void Client::stop() {
     sim_.cancel(announce_retry_event_);
     announce_retry_event_ = sim::kInvalidEventId;
   }
+  // A pending hand-off reinitiation must die with the incarnation: left
+  // armed, it fires into the NEXT incarnation after a quick restart and
+  // re-announces (regenerating the peer-id) for a hand-off that happened to a
+  // process that no longer exists.
+  if (reinit_event_ != sim::kInvalidEventId) {
+    sim_.cancel(reinit_event_);
+    reinit_event_ = sim::kInvalidEventId;
+  }
   cancel_reconnects();
   stack_.stop_listening(config_.listen_port);
+}
+
+void Client::stop() {
+  if (!running_) return;
+  running_ = false;
+  lifecycle_ = Lifecycle::kStopped;
+  halt_tasks();
   if (node_.connected()) {
     trackers_.current().announce(AnnounceRequest{meta_.info_hash,
                                                  {node_.address(), config_.listen_port},
@@ -179,6 +217,186 @@ void Client::stop() {
     for (auto& peer : doomed) peer->tcp().abort();
     peers_.clear();
   });
+}
+
+// --- Suspend / resume ---------------------------------------------------------------
+
+void Client::suspend() {
+  if (!running_) return;
+  ++stats_.suspends;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtSuspend, node_)
+                       .why("begin")
+                       .with("peer_id", static_cast<double>(peer_id_ & 0xffffffffu))
+                       .with("pieces", static_cast<double>(store_.bitfield().count())));
+  running_ = false;
+  lifecycle_ = Lifecycle::kSuspending;
+  halt_tasks();
+  // Unlike stop(): no kStopped announce and no peer teardown. A suspended app
+  // just goes silent — the tracker keeps listing it, remote peers keep their
+  // connections until their own snub/idle/reconnect machinery gives up, which
+  // is exactly the composition the remote-side timers are built for.
+  if (resume_store_ != nullptr) {
+    const std::uint64_t seq =
+        resume_store_->save(make_snapshot(), [this, alive = alive_](std::uint64_t s) {
+          if (!*alive) return;
+          ++stats_.snapshots_written;
+          // A resume (or kill) may have raced the device ack; only a client
+          // still draining its suspend transition completes it.
+          if (lifecycle_ != Lifecycle::kSuspending) return;
+          lifecycle_ = Lifecycle::kSuspended;
+          WP2P_TRACE(sim_, bt_event(trace::Kind::kBtSuspend, node_)
+                               .why("suspended")
+                               .with("peer_id", static_cast<double>(peer_id_ & 0xffffffffu))
+                               .with("seq", static_cast<double>(s)));
+        });
+    (void)seq;
+  } else {
+    lifecycle_ = Lifecycle::kSuspended;
+    WP2P_TRACE(sim_, bt_event(trace::Kind::kBtSuspend, node_)
+                         .why("suspended")
+                         .with("peer_id", static_cast<double>(peer_id_ & 0xffffffffu))
+                         .with("seq", -1.0));
+  }
+}
+
+void Client::resume() {
+  if (running_) return;
+  if (lifecycle_ != Lifecycle::kSuspended && lifecycle_ != Lifecycle::kSuspending) {
+    return;  // resume only pairs with suspend; a stopped client needs start()
+  }
+  ++stats_.resumes;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtResume, node_)
+                       .why("begin")
+                       .with("peer_id", static_cast<double>(peer_id_ & 0xffffffffu)));
+  running_ = true;
+  lifecycle_ = Lifecycle::kResuming;
+  last_disconnect_ = sim_.now();
+  stack_.listen(config_.listen_port, [this, alive = alive_](auto conn) {
+    if (*alive) accept_connection(std::move(conn));
+  });
+  start_tasks();
+  lifecycle_ = Lifecycle::kRunning;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtResume, node_)
+                       .why("resumed")
+                       .with("peer_id", static_cast<double>(peer_id_ & 0xffffffffu))
+                       .with("pieces", static_cast<double>(store_.bitfield().count())));
+  // Drain the control frames the OS buffered during the nap (after the
+  // resumed event: any traffic they trigger belongs outside the suspend
+  // bracket). Re-look the peer up by admission seq before every frame —
+  // handling one (e.g. a churn offense crossing the ban threshold) may
+  // disconnect and destroy the connection mid-drain.
+  std::vector<std::uint64_t> frozen;
+  for (const auto& peer : peers_) {
+    if (!peer->frozen_inbox.empty()) frozen.push_back(peer->seq);
+  }
+  for (const std::uint64_t seq : frozen) {
+    for (;;) {
+      const auto it = std::find_if(peers_.begin(), peers_.end(),
+                                   [seq](const auto& p) { return p->seq == seq; });
+      if (it == peers_.end() || (*it)->frozen_inbox.empty()) break;
+      const WireMessage msg = std::move((*it)->frozen_inbox.front());
+      (*it)->frozen_inbox.pop_front();
+      on_peer_message(**it, msg);
+    }
+  }
+  initiate_task(AnnounceEvent::kStarted);
+}
+
+ResumeSnapshot Client::make_snapshot() const {
+  ResumeSnapshot snap;
+  snap.info_hash = meta_.info_hash;
+  snap.peer_id = peer_id_;
+  snap.taken_at = sim_.now();
+  snap.piece_count = meta_.piece_count();
+  for (int p = 0; p < meta_.piece_count(); ++p) {
+    if (store_.has_piece(p)) snap.have.push_back(p);
+  }
+  snap.partials = store_.export_partials();
+  snap.credit = credit_.exported();
+  for (const auto& [peer, count] : strikes_) snap.strikes.emplace_back(peer, count);
+  std::sort(snap.strikes.begin(), snap.strikes.end());
+  snap.banned.assign(banned_.begin(), banned_.end());
+  std::sort(snap.banned.begin(), snap.banned.end());
+  snap.bootstrap = bootstrap_.entries();
+  return snap;
+}
+
+void Client::write_checkpoint() {
+  if (resume_store_ == nullptr || !running_) return;
+  resume_store_->save(make_snapshot(), [this, alive = alive_](std::uint64_t) {
+    if (*alive) ++stats_.snapshots_written;
+  });
+}
+
+void Client::restore_from_snapshot() {
+  auto loaded = resume_store_->load();
+  if (!loaded || loaded->snapshot.piece_count != meta_.piece_count()) {
+    // Journal empty, every record torn/corrupt, or a snapshot of some other
+    // content shape: degrade to a cold restart.
+    ++stats_.cold_restarts;
+    WP2P_TRACE(sim_, bt_event(trace::Kind::kBtResume, node_)
+                         .why("cold")
+                         .with("peer_id", static_cast<double>(peer_id_ & 0xffffffffu))
+                         .with("discarded",
+                               loaded ? static_cast<double>(loaded->discarded) : 0.0));
+    return;
+  }
+  const ResumeSnapshot& snap = loaded->snapshot;
+  // Identity retention: the snapshot's peer-id (and the credit standing fixed
+  // peers hold against it) is the most valuable thing the snapshot carries.
+  peer_id_ = snap.peer_id;
+  for (const CreditLedger::Exported& c : snap.credit) credit_.restore(c);
+  for (const auto& [peer, count] : snap.strikes) strikes_[peer] = count;
+  for (PeerId id : snap.banned) banned_.insert(id);
+  for (const BootstrapCache::Entry& e : snap.bootstrap) bootstrap_.restore(e);
+  // Entries that went stale across the suspend (an old cell's addresses) are
+  // dropped before anything can dial them.
+  bootstrap_.prune(sim_.now(), config_.bootstrap_entry_ttl);
+  for (const PieceStore::PartialState& p : snap.partials) store_.restore_partial(p);
+  // Trust-but-verify: sample restored pieces against the medium before
+  // claiming them. Any rot escalates to a full scan of the snapshot bitfield,
+  // so a decayed store degrades to a partial restore, never a false HAVE.
+  sim::StableStorage& medium = resume_store_->storage();
+  bool rot_found = false;
+  if (config_.resume_verify_samples > 0 && !snap.have.empty()) {
+    const int samples =
+        std::min<int>(config_.resume_verify_samples, static_cast<int>(snap.have.size()));
+    for (int i = 0; i < samples; ++i) {
+      const int piece =
+          snap.have[static_cast<std::size_t>(rng_.below(snap.have.size()))];
+      const bool ok = medium.piece_intact(piece);
+      if (!ok) rot_found = true;
+      WP2P_TRACE(sim_, bt_event(trace::Kind::kBtResumeVerify, node_)
+                           .why("sample")
+                           .with("piece", static_cast<double>(piece))
+                           .with("ok", ok ? 1.0 : 0.0));
+    }
+  }
+  std::uint64_t restored = 0, dropped = 0;
+  for (int piece : snap.have) {
+    if (rot_found && !medium.piece_intact(piece)) {
+      ++dropped;  // never entered the bitfield; the selector re-fetches it
+      continue;
+    }
+    store_.mark_piece(piece);
+    ++restored;
+  }
+  if (rot_found) {
+    WP2P_TRACE(sim_, bt_event(trace::Kind::kBtResumeVerify, node_)
+                         .why("full-scan")
+                         .with("dropped", static_cast<double>(dropped))
+                         .with("kept", static_cast<double>(restored)));
+  }
+  stats_.resume_restored_pieces += restored;
+  stats_.resume_dropped_pieces += dropped;
+  WP2P_TRACE(sim_, bt_event(trace::Kind::kBtResume, node_)
+                       .why("restored")
+                       .with("peer_id", static_cast<double>(peer_id_ & 0xffffffffu))
+                       .with("snapshot", static_cast<double>(snap.have.size()))
+                       .with("restored", static_cast<double>(restored))
+                       .with("dropped", static_cast<double>(dropped))
+                       .with("seq", static_cast<double>(loaded->seq))
+                       .with("discarded", static_cast<double>(loaded->discarded)));
 }
 
 void Client::initiate_task(AnnounceEvent event) { do_announce(event); }
@@ -459,6 +677,11 @@ void Client::maybe_bootstrap() {
     return;
   }
   last_bootstrap_at_ = sim_.now();
+  // Age out entries whose proof of life predates the TTL — after a long
+  // suspend these are a stale cell's addresses, not live peers. Existing
+  // scenarios run far shorter than the default TTL, so this only bites when
+  // real time has actually passed.
+  bootstrap_.prune(sim_.now(), config_.bootstrap_entry_ttl);
   const net::Endpoint self{node_.address(), config_.listen_port};
   int dialed = 0;
   const auto& entries = bootstrap_.entries();
@@ -617,6 +840,31 @@ std::vector<PeerConnection*> Client::snapshot_by_seq(
 // --- Message handling -------------------------------------------------------------
 
 void Client::on_peer_message(PeerConnection& peer, const WireMessage& msg) {
+  // A suspended app answers nothing: the remote side experiences pure silence
+  // and its snub / idle-timeout / reconnect machinery takes over. But the OS
+  // keeps the socket alive, so small state-bearing control frames sit in the
+  // receive buffer and are processed on wake — dropping them would
+  // permanently desynchronize choke/interest state with a remote whose own
+  // copy never changes again (transitions are only ever sent once). Bulk
+  // frames (pieces, requests, gossip) fall on the floor as a full receive
+  // window would force anyway. last_received_at stays put either way, so
+  // resume sees honest idle times.
+  if (lifecycle_ == Lifecycle::kSuspending || lifecycle_ == Lifecycle::kSuspended) {
+    constexpr std::size_t kFrozenInboxCap = 64;
+    switch (msg.type) {
+      case MsgType::kChoke:
+      case MsgType::kUnchoke:
+      case MsgType::kInterested:
+      case MsgType::kNotInterested:
+      case MsgType::kHave:
+      case MsgType::kBitfield:
+        if (peer.frozen_inbox.size() < kFrozenInboxCap) peer.frozen_inbox.push_back(msg);
+        break;
+      default:
+        break;
+    }
+    return;
+  }
   peer.last_received_at = sim_.now();
   if (msg.type == MsgType::kHandshake) {
     handle_handshake(peer, msg);

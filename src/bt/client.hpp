@@ -28,6 +28,7 @@
 #include "bt/metainfo.hpp"
 #include "bt/peer_connection.hpp"
 #include "bt/piece_store.hpp"
+#include "bt/resume_store.hpp"
 #include "bt/selector.hpp"
 #include "bt/tracker.hpp"
 #include "bt/tracker_list.hpp"
@@ -73,6 +74,14 @@ struct ClientStats {
   std::uint64_t pex_budget_dropped = 0;  // over-budget gossiped endpoints filtered
   std::uint64_t enforce_strikes = 0;     // strikes charged by the enforcement layer
   std::uint64_t grace_grants = 0;        // mobility grace windows granted
+
+  // Session persistence (suspend/resume lifecycle + ResumeStore).
+  std::uint64_t suspends = 0;            // lifecycle entered suspend
+  std::uint64_t resumes = 0;             // lifecycle resumed from suspend
+  std::uint64_t cold_restarts = 0;       // restore attempted, no usable snapshot
+  std::uint64_t snapshots_written = 0;   // storage acks (not a durability promise)
+  std::uint64_t resume_restored_pieces = 0;  // pieces accepted from a snapshot
+  std::uint64_t resume_dropped_pieces = 0;   // trust-but-verify rot drops
 };
 
 class Client {
@@ -85,9 +94,34 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   // --- Lifecycle -------------------------------------------------------------
+  // Beyond start/stop, a mobile host's app is routinely suspended (backgrounded,
+  // battery-killed) and later resumed. While suspended the client answers
+  // NOTHING — tasks halted, listener down, incoming wire messages dropped — so
+  // remote peers see exactly the silence their snub/idle/reconnect machinery
+  // is built for. suspend() journals a final snapshot through the attached
+  // ResumeStore; a fresh incarnation's start() restores from the newest
+  // checksum-valid one (trust-but-verify) instead of cold-starting.
+  enum class Lifecycle : std::uint8_t {
+    kStopped,
+    kRunning,
+    kSuspending,  // halted, final snapshot write in flight
+    kSuspended,
+    kResuming,
+  };
   void start();
   void stop();
+  void suspend();
+  void resume();
   bool running() const { return running_; }
+  Lifecycle lifecycle() const { return lifecycle_; }
+
+  // Attach the persistence layer. Call before start(); the client then
+  // checkpoints periodically (resume_checkpoint_interval), writes a final
+  // snapshot on suspend, and restores on its first start(). Non-owning.
+  void attach_resume(ResumeStore& store) { resume_store_ = &store; }
+  ResumeStore* resume_store() { return resume_store_; }
+  // Visible for tests: the snapshot the client would journal right now.
+  ResumeSnapshot make_snapshot() const;
 
   // Pre-populate the store with a random `fraction` of pieces (a peer that
   // joined the swarm earlier). Call before start().
@@ -287,6 +321,12 @@ class Client {
   void handle_address_change();
   void reinitiate();
 
+  // Session persistence.
+  void start_tasks();  // periodic machinery shared by start() and resume()
+  void halt_tasks();   // inverse, shared by stop() and suspend()
+  void write_checkpoint();
+  void restore_from_snapshot();
+
   net::Node& node_;
   tcp::Stack& stack_;
   TrackerList trackers_;
@@ -301,6 +341,9 @@ class Client {
   bool running_ = false;
   bool completed_notified_ = false;
   bool node_hooks_installed_ = false;
+  Lifecycle lifecycle_ = Lifecycle::kStopped;
+  ResumeStore* resume_store_ = nullptr;
+  bool resume_attempted_ = false;  // restore runs once, on the first start()
 
   std::vector<std::shared_ptr<PeerConnection>> peers_;
   std::uint64_t next_peer_seq_ = 0;  // admission counter backing PeerConnection::seq
@@ -333,6 +376,7 @@ class Client {
   sim::PeriodicTask upload_pump_task_;
   sim::PeriodicTask pex_task_;
   sim::PeriodicTask probe_task_;
+  sim::PeriodicTask checkpoint_task_;
   bool probe_active_ = false;
   sim::EventId reinit_event_ = sim::kInvalidEventId;
 

@@ -149,6 +149,22 @@ struct ClientConfig {
   // with this set; never enable outside the harness.
   bool unsafe_no_enforcement = false;
 
+  // --- Session persistence --------------------------------------------------
+  // With a ResumeStore attached (Client::attach_resume), a snapshot of the
+  // session (bitfield, partial pieces, identity, credit/strike carry-over,
+  // bootstrap cache) is journaled every checkpoint interval and at suspend;
+  // start() restores from the newest checksum-valid snapshot instead of
+  // cold-starting. 0 disables periodic checkpoints (suspend still writes one).
+  sim::SimTime resume_checkpoint_interval = sim::seconds(30.0);
+  // Trust-but-verify: on restore, re-verify this many sampled pieces against
+  // the storage medium; any rot found drops the piece and escalates to a full
+  // scan of the restored bitfield. 0 trusts the snapshot blindly.
+  int resume_verify_samples = 4;
+  // Bootstrap-cache entries older than this are dropped on restore (and on
+  // every bootstrap dial), so a resume after a long suspend doesn't re-dial
+  // a stale cell's addresses. <= 0 disables aging.
+  sim::SimTime bootstrap_entry_ttl = sim::minutes(30.0);
+
   // --- Mobility behaviour ---------------------------------------------------
   // Default clients regenerate their peer-id on task re-initiation; the wP2P
   // Incentive-Aware component retains it within the swarm (Section 4.2).

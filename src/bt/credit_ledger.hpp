@@ -6,9 +6,11 @@
 // (Section 3.4), and keeps under wP2P identity retention (Section 4.2).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "bt/metainfo.hpp"
 #include "sim/time.hpp"
@@ -34,6 +36,28 @@ class CreditLedger {
 
   std::size_t size() const { return entries_.size(); }
   void clear() { entries_.clear(); }
+
+  // Snapshot/restore surface for the resume layer: credit is the one asset a
+  // mobile host carries across a suspend (the paper's identity-value point),
+  // so it rides in the resume snapshot alongside the bitfield.
+  struct Exported {
+    PeerId peer = 0;
+    double value = 0.0;
+    sim::SimTime updated = 0;
+  };
+  std::vector<Exported> exported() const {
+    std::vector<Exported> out;
+    out.reserve(entries_.size());
+    for (const auto& [peer, e] : entries_) out.push_back({peer, e.value, e.updated});
+    std::sort(out.begin(), out.end(),
+              [](const Exported& a, const Exported& b) { return a.peer < b.peer; });
+    return out;
+  }
+  void restore(const Exported& item) {
+    Entry& e = entries_[item.peer];
+    e.value = item.value;
+    e.updated = item.updated;
+  }
 
  private:
   struct Entry {

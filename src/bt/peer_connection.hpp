@@ -94,6 +94,13 @@ class PeerConnection {
   std::vector<Outstanding> outstanding;      // our requests to them
   std::deque<PendingUpload> upload_queue;    // their requests awaiting service
 
+  // Small control frames (choke/unchoke/have/bitfield/interest) that arrived
+  // while the app was suspended. The OS keeps the socket alive and buffers
+  // what fits, so state transitions the remote sent during the nap are not
+  // lost — Client::resume() drains this before anything else runs. Bounded
+  // (the socket-buffer analogy); bulk frames are never deferred.
+  std::deque<WireMessage> frozen_inbox;
+
   std::int64_t downloaded_payload = 0;  // piece bytes received from this peer
   std::int64_t uploaded_payload = 0;    // piece bytes sent to this peer
   sim::SimTime last_unchoked_at = -1;   // for the seed's rotation policy

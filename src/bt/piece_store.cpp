@@ -1,5 +1,7 @@
 #include "bt/piece_store.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace wp2p::bt {
@@ -93,6 +95,50 @@ void PieceStore::mark_piece(int piece) {
 
 void PieceStore::mark_all() {
   for (int i = 0; i < piece_count(); ++i) mark_piece(i);
+}
+
+std::vector<PieceStore::PartialState> PieceStore::export_partials() const {
+  std::vector<PartialState> out;
+  out.reserve(partial_.size());
+  for (const auto& [piece, p] : partial_) {
+    out.push_back(PartialState{piece, p.blocks, p.corrupt});
+  }
+  // Map order is unspecified; sort so a snapshot is a deterministic function
+  // of the store's state.
+  std::sort(out.begin(), out.end(),
+            [](const PartialState& a, const PartialState& b) { return a.piece < b.piece; });
+  return out;
+}
+
+void PieceStore::restore_partial(const PartialState& state) {
+  WP2P_ASSERT(state.piece >= 0 && state.piece < piece_count());
+  if (have_.test(state.piece)) return;
+  const auto n = static_cast<std::size_t>(blocks_in_piece(state.piece));
+  if (state.blocks.size() != n || state.corrupt.size() != n) return;  // stale shape
+  auto [it, inserted] = partial_.try_emplace(state.piece);
+  Partial& p = it->second;
+  if (!inserted) {
+    // Restoring over live state would double-count bytes; resume happens
+    // into a fresh store, so just keep what is already there.
+    return;
+  }
+  p.blocks = state.blocks;
+  p.corrupt = state.corrupt;
+  // Rebuild the digest the in-flight accumulation would have produced: the
+  // expected hash perturbed once per damaged block. A corrupt partial
+  // restored this way still fails verification when it completes.
+  p.digest = meta_->piece_hash(state.piece);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (p.corrupt[b]) p.digest ^= meta_->block_tag(state.piece, static_cast<int>(b));
+    if (p.blocks[b]) bytes_completed_ += block_size(state.piece, static_cast<int>(b));
+  }
+}
+
+void PieceStore::drop_piece(int piece) {
+  WP2P_ASSERT(piece >= 0 && piece < piece_count());
+  if (!have_.test(piece)) return;
+  have_.reset(piece);
+  bytes_completed_ -= meta_->piece_size(piece);
 }
 
 std::int64_t PieceStore::contiguous_bytes() const {

@@ -53,6 +53,22 @@ class PieceStore {
   void mark_piece(int piece);
   void mark_all();
 
+  // Snapshot/restore surface for the resume layer. A PartialState captures an
+  // in-progress piece exactly: which blocks landed and which of those were
+  // damaged in flight, so a restored partial re-enters the corrupt-reset path
+  // rather than passing verification.
+  struct PartialState {
+    int piece = -1;
+    std::vector<bool> blocks;
+    std::vector<bool> corrupt;
+  };
+  std::vector<PartialState> export_partials() const;
+  void restore_partial(const PartialState& state);
+
+  // Forget a verified piece (trust-but-verify found it rotted at rest): it
+  // leaves the bitfield and re-enters the selector as missing.
+  void drop_piece(int piece);
+
   std::int64_t bytes_completed() const { return bytes_completed_; }
   double completed_fraction() const {
     return meta_->total_size == 0

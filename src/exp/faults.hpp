@@ -47,6 +47,23 @@ inline std::unique_ptr<net::FaultInjector> bind_faults(Swarm& swarm, sim::FaultP
       member.client->stop();
     }
   };
+  injector->on_peer_suspend = [by_node, sim = &swarm.world.sim](net::Node& node,
+                                                                bool suspend) {
+    const auto it = by_node->find(&node);
+    if (it == by_node->end()) {
+      WP2P_TRACE(*sim, trace::event(trace::Component::kFault, trace::Kind::kFaultSkipped)
+                           .at(node.name())
+                           .why("no-client")
+                           .with("up", suspend ? 0 : 1));
+      return;
+    }
+    Swarm::Member& member = *it->second;
+    if (suspend) {
+      member.client->suspend();
+    } else {
+      member.client->resume();
+    }
+  };
   return injector;
 }
 

@@ -32,12 +32,14 @@
 #include <vector>
 
 #include "bt/metainfo.hpp"
+#include "bt/resume_store.hpp"
 #include "core/am_filter.hpp"
 #include "exp/clustering.hpp"
 #include "exp/faults.hpp"
 #include "exp/parallel_runner.hpp"
 #include "exp/swarm.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/stable_storage.hpp"
 #include "trace/invariant_checker.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/recorder.hpp"
@@ -65,7 +67,35 @@ struct FuzzLimits {
   // a generated scenario may add. Same gating discipline as max_cells:
   // 0 (default) draws nothing extra, so legacy seeds reproduce byte-identically.
   int max_adversaries = 0;
+  // Suspend/resume slice: allow app-suspend fault actions in generated plans
+  // and wire every honest peer to a journaled ResumeStore over fault-injected
+  // StableStorage. Same gating discipline as max_cells: 0 (default) draws
+  // nothing extra, so legacy seeds reproduce byte-identically.
+  int max_suspends = 0;
 };
+
+// Storage fault profiles the fuzzer (and the resume bench) draw from. The
+// names appear in serialized scenarios as `store=<profile>`.
+inline constexpr const char* kStorageProfiles[] = {"clean", "torn", "stall", "stale"};
+
+inline bool valid_storage_profile(std::string_view profile) {
+  for (const char* name : kStorageProfiles) {
+    if (profile == name) return true;
+  }
+  return false;
+}
+
+inline sim::StorageParams storage_profile_params(std::string_view profile) {
+  sim::StorageParams params;
+  if (profile == "torn") {
+    params.torn_write_prob = 0.3;
+  } else if (profile == "stall") {
+    params.stall_prob = 0.5;
+  } else if (profile == "stale") {
+    params.stale_drop_prob = 0.3;
+  }
+  return params;
+}
 
 struct ScenarioPeer {
   std::string name;
@@ -105,6 +135,11 @@ struct Scenario {
   // the downlink discipline every cell runs.
   int cells = 0;
   net::SchedulerKind cell_sched = net::SchedulerKind::kFifo;
+  // Suspend/resume lifecycle: when set, every honest peer writes journaled
+  // resume snapshots through a per-peer StableStorage whose fault profile is
+  // named by storage_profile ("clean"/"torn"/"stall"/"stale").
+  bool suspend_lifecycle = false;
+  std::string storage_profile;
   std::vector<ScenarioPeer> peers;
   sim::FaultPlan faults;
   // Harness self-test switch: propagated to every peer's TcpParams so a
@@ -136,6 +171,12 @@ struct Scenario {
       std::snprintf(cell_buf, sizeof cell_buf, " cells=%d sched=%s", cells,
                     net::to_string(cell_sched));
       out += cell_buf;
+    }
+    // Same append-only-when-set discipline for the resume subsystem keys.
+    if (suspend_lifecycle) out += " susp=1";
+    if (!storage_profile.empty()) {
+      out += " store=";
+      out += storage_profile;
     }
     out += '\n';
     for (const ScenarioPeer& p : peers) {
@@ -191,6 +232,14 @@ struct FuzzVerdict {
   std::uint64_t roams = 0;               // hand-offs the topology executed
   std::uint64_t cell_outage_drops = 0;   // packets lost to cell outages
   std::uint64_t cell_handoff_drops = 0;  // frames that died mid-hand-off
+  // Resume-subsystem aggregates (all 0 when the scenario has no lifecycle).
+  std::uint64_t suspends = 0;             // app-suspend brackets entered
+  std::uint64_t resumes = 0;              // suspend brackets closed by a resume
+  std::uint64_t snapshots_written = 0;    // resume snapshots acked by storage
+  std::uint64_t torn_writes = 0;          // journal records truncated mid-write
+  std::uint64_t stale_drops = 0;          // acked writes that never journaled
+  std::uint64_t snapshots_discarded = 0;  // checksum-invalid records skipped on load
+  std::uint64_t cold_restarts = 0;        // restores that degraded to a cold start
   // Survivability: when each leech finished (seconds, in peer order; only
   // leeches that completed inside the run appear). -1 means no leech finished.
   std::vector<double> leech_completion_s;
@@ -324,8 +373,18 @@ class ScenarioFuzzer {
         s.peers.push_back(std::move(p));
       }
     }
+    // Suspend/resume slice: the lifecycle is armed together with its fault
+    // vocabulary. Gated on max_suspends exactly like the slices above — legacy
+    // limits draw nothing extra and reproduce byte-identically.
+    bool suspends = false;
+    if (limits_.max_suspends > 0 && rng.bernoulli(0.5)) {
+      suspends = true;
+      s.suspend_lifecycle = true;
+      s.storage_profile = kStorageProfiles[rng.below(std::size(kStorageProfiles))];
+    }
     s.faults = sim::FaultPlan::random(rng, names, wireless, s.duration_s, limits_.max_faults,
-                                      /*t_min_s=*/5.0, s.trackers, s.cells, cellular);
+                                      /*t_min_s=*/5.0, s.trackers, s.cells, cellular,
+                                      suspends);
     return s;
   }
 
@@ -413,6 +472,21 @@ class ScenarioFuzzer {
       if (!p.is_seed && p.preload > 0.0) member.client->preload(p.preload);
     }
 
+    // Resume subsystem: one journaled store per honest peer, over storage
+    // carrying the scenario's fault profile. Deques keep references pinned;
+    // clients hold raw ResumeStore pointers for their whole lifetime.
+    std::deque<sim::StableStorage> storages;
+    std::deque<bt::ResumeStore> resume_stores;
+    if (scenario.suspend_lifecycle) {
+      const sim::StorageParams storage_params =
+          storage_profile_params(scenario.storage_profile);
+      for (std::size_t i = 0; i < swarm.members.size(); ++i) {
+        storages.emplace_back(swarm.world.sim, storage_params, honest[i]->name);
+        resume_stores.emplace_back(storages.back(), meta.info_hash);
+        swarm.members[i].client->attach_resume(resume_stores.back());
+      }
+    }
+
     FuzzVerdict verdict;
     for (std::size_t i = 0; i < swarm.members.size(); ++i) {
       if (honest[i]->is_seed) continue;
@@ -448,6 +522,10 @@ class ScenarioFuzzer {
       verdict.malformed_msgs += client.stats().malformed_msgs;
       verdict.enforce_strikes += client.stats().enforce_strikes;
       verdict.grace_grants += client.stats().grace_grants;
+      verdict.suspends += client.stats().suspends;
+      verdict.resumes += client.stats().resumes;
+      verdict.snapshots_written += client.stats().snapshots_written;
+      verdict.cold_restarts += client.stats().cold_restarts;
       if (client.store().bytes_completed() > meta.total_size) {
         verdict.property_failures.push_back(honest[i]->name +
                                             ": store exceeds file size");
@@ -468,6 +546,11 @@ class ScenarioFuzzer {
       verdict.property_failures.push_back(
           "conservation: downloaded " + std::to_string(downloaded) + " > uploaded " +
           std::to_string(uploaded));
+    }
+    for (const sim::StableStorage& storage : storages) {
+      verdict.torn_writes += storage.stats().torn_writes;
+      verdict.stale_drops += storage.stats().stale_drops;
+      verdict.snapshots_discarded += storage.stats().records_discarded;
     }
     if (!verdict.leech_completion_s.empty()) {
       double sum = 0.0;
@@ -654,6 +737,11 @@ inline std::optional<Scenario> Scenario::parse(std::string_view text) {
           const auto kind = net::scheduler_kind_from(value);
           if (!kind) return std::nullopt;
           s.cell_sched = *kind;
+        } else if (detail::parse_kv(tokens[i], "susp", value)) {
+          s.suspend_lifecycle = value == "1";
+        } else if (detail::parse_kv(tokens[i], "store", value)) {
+          if (!valid_storage_profile(value)) return std::nullopt;
+          s.storage_profile = value;
         } else {
           return std::nullopt;
         }

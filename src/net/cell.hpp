@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -253,6 +254,22 @@ class RoamingModel {
   void commute(const std::vector<std::string>& nodes, double interval_s, double horizon_s,
                std::uint64_t seed);
 
+  // Power/app-kill schedule. A suspend step freezes the app on `node` at
+  // `at_s` and a matching resume step thaws it `duration_s` later; steps are
+  // delivered through on_power (wired by the experiment to
+  // Client::suspend/resume), so the model stays ignorant of bt::. Unset
+  // on_power means power steps fire into the void (counted, not executed).
+  void add_suspend(double at_s, std::string node, double duration_s);
+
+  // Battery pattern: every listed node suspends for `duration_s` roughly
+  // every `interval_s` seconds (same jitter/phase discipline as commute()).
+  // Mirrors a commuter pocketing the phone between cells.
+  void battery(const std::vector<std::string>& nodes, double interval_s, double duration_s,
+               double horizon_s, std::uint64_t seed);
+
+  // node name, suspend=true to freeze / false to thaw.
+  std::function<void(const std::string& node, bool suspend)> on_power;
+
   // Schedule every step on the simulator. Call once, after all add/commute.
   void start();
 
@@ -260,10 +277,12 @@ class RoamingModel {
   std::uint64_t executed() const { return executed_; }
 
  private:
+  enum class StepKind : std::uint8_t { kRoam, kSuspend, kResume };
   struct Step {
     sim::SimTime at = 0;
     std::string node;
     std::size_t to_cell = kNextCell;
+    StepKind kind = StepKind::kRoam;
   };
 
   void fire(const Step& step);

@@ -142,6 +142,25 @@ void FaultInjector::apply_start(const sim::FaultAction& action) {
       bracket_end(action.duration);
       break;
 
+    case sim::FaultKind::kSuspend:
+      // Unlike a crash the NETWORK stays up — only the app freezes, which is
+      // what makes the remote-side silence-detection timers interesting.
+      if (!on_peer_suspend) {
+        ++stats_.skipped;
+        return;
+      }
+      on_peer_suspend(*target, true);
+      bracket_end(action.duration);
+      break;
+
+    case sim::FaultKind::kResume:
+      if (!on_peer_suspend) {
+        ++stats_.skipped;
+        return;
+      }
+      on_peer_suspend(*target, false);
+      break;  // instantaneous: bracket closed below, like kHandoff
+
     case sim::FaultKind::kCellOutage: {
       Cell* cell = cell_target(action);
       if (cell == nullptr) {
@@ -198,7 +217,8 @@ void FaultInjector::apply_start(const sim::FaultAction& action) {
   ++stats_.applied;
   ++active_;
   trace_fault(action, /*start=*/true);
-  if (action.kind == sim::FaultKind::kHandoff) {
+  if (action.kind == sim::FaultKind::kHandoff ||
+      action.kind == sim::FaultKind::kResume) {
     // Close the bracket in the same instant so start/end counts stay paired.
     --active_;
     trace_fault(action, /*start=*/false);
@@ -267,9 +287,14 @@ void FaultInjector::apply_end(const sim::FaultAction& action) {
       break;
     }
 
+    case sim::FaultKind::kSuspend:
+      if (target != nullptr && on_peer_suspend) on_peer_suspend(*target, false);
+      break;
+
     case sim::FaultKind::kHandoff:
     case sim::FaultKind::kHandoffStorm:
     case sim::FaultKind::kRoamStorm:
+    case sim::FaultKind::kResume:
       break;  // nothing to restore
   }
 

@@ -57,6 +57,10 @@ class FaultInjector {
   // the P2P process on `node`, `(node, true)` restarts it.
   std::function<void(const std::string& target, bool down)> on_tracker_outage;
   std::function<void(Node& node, bool up)> on_peer_process;
+  // `peer_suspend(node, true)` suspends the P2P app on `node` (the process is
+  // frozen, not crashed: the network stays up and nothing is torn down),
+  // `(node, false)` resumes it. Unset, suspend/resume actions count skipped.
+  std::function<void(Node& node, bool suspend)> on_peer_suspend;
 
   // Opt into cell-targeted faults (cell-outage, cell-ber, roam-storm).
   // Without a bound topology those kinds count as skipped.

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -39,6 +40,8 @@ enum class FaultKind : std::uint8_t {
   kCellOutage,       // access point "cellK" goes dark for `duration`
   kCellBer,          // cell "cellK"'s BER raised to `magnitude` for `duration`
   kRoamStorm,        // target station roams `magnitude` times over `duration`
+  kSuspend,          // target's app suspends at `at`, resumes after `duration`
+  kResume,           // target resumes at `at` (duration ignored)
 };
 
 inline const char* to_string(FaultKind kind) {
@@ -56,6 +59,8 @@ inline const char* to_string(FaultKind kind) {
     case FaultKind::kCellOutage: return "cell-outage";
     case FaultKind::kCellBer: return "cell-ber";
     case FaultKind::kRoamStorm: return "roam-storm";
+    case FaultKind::kSuspend: return "suspend";
+    case FaultKind::kResume: return "resume";
   }
   return "?";
 }
@@ -66,7 +71,7 @@ inline std::optional<FaultKind> fault_kind_from(std::string_view name) {
         FaultKind::kHandoffStorm, FaultKind::kTrackerOutage, FaultKind::kDuplicate,
         FaultKind::kReorder, FaultKind::kPeerCrash, FaultKind::kCorrupt,
         FaultKind::kTrackerBlackout, FaultKind::kCellOutage, FaultKind::kCellBer,
-        FaultKind::kRoamStorm}) {
+        FaultKind::kRoamStorm, FaultKind::kSuspend, FaultKind::kResume}) {
     if (name == to_string(k)) return k;
   }
   return std::nullopt;
@@ -143,17 +148,20 @@ struct FaultPlan {
   // via the magnitude roll and total blackouts enter the kind mix. With
   // `cells` > 0 the cell-targeted kinds (outage / BER episode / roam storm)
   // enter the mix; `cellular` lists the stations roam storms may move (every
-  // entry must also appear in `targets`). With cells == 0 the draw stream is
-  // bit-identical to the pre-cellular generator, so legacy seeds replay
-  // unchanged.
+  // entry must also appear in `targets`). With `suspends` the app
+  // suspend/resume kind enters the mix as one extra slot past the base kinds.
+  // With cells == 0 and suspends off the draw stream is bit-identical to the
+  // pre-cellular generator, so legacy seeds replay unchanged.
   static FaultPlan random(Rng& rng, const std::vector<std::string>& targets,
                           const std::vector<std::string>& wireless, double horizon_s,
                           int max_actions, double t_min_s = 5.0, int trackers = 1,
-                          int cells = 0, const std::vector<std::string>& cellular = {}) {
+                          int cells = 0, const std::vector<std::string>& cellular = {},
+                          bool suspends = false) {
     FaultPlan plan;
     if (targets.empty() || max_actions <= 0 || horizon_s <= t_min_s) return plan;
     const auto n = static_cast<int>(rng.range(1, max_actions));
-    const int kinds = cells > 0 ? 13 : 10;
+    const int base_kinds = cells > 0 ? 13 : 10;
+    const int kinds = base_kinds + (suspends ? 1 : 0);
     for (int i = 0; i < n; ++i) {
       FaultAction a;
       // Drawing the full tuple keeps the stream layout fixed per action, so
@@ -169,6 +177,14 @@ struct FaultPlan {
       a.at = seconds(at_s);
       a.duration = seconds(dur_s);
       a.target = target;
+      // The suspend slot sits past the base kinds, so the switch below sees
+      // exactly the same kind_roll values it always has.
+      if (suspends && kind_roll == static_cast<std::size_t>(base_kinds)) {
+        a.kind = FaultKind::kSuspend;
+        a.duration = seconds(std::min(dur_s, 45.0));  // naps the run can outlive
+        plan.actions.push_back(std::move(a));
+        continue;
+      }
       switch (kind_roll) {
         case 0:
           a.kind = FaultKind::kLinkFlap;
@@ -283,9 +299,13 @@ inline std::optional<FaultAction> FaultAction::parse(std::string_view line) {
     const double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0') return std::nullopt;
     if (key == "at") {
-      action.at = seconds(v);
+      // Round, don't truncate: serialize() prints whole microseconds as
+      // %.6f, but strtod lands a hair below the decimal value, and
+      // seconds()'s cast would drop a microsecond — breaking the
+      // serialize/parse fixpoint the fuzzer round-trip tests rely on.
+      action.at = static_cast<SimTime>(std::llround(v * 1e6));
     } else if (key == "dur") {
-      action.duration = seconds(v);
+      action.duration = static_cast<SimTime>(std::llround(v * 1e6));
     } else if (key == "mag") {
       action.magnitude = v;
     } else {

@@ -60,6 +60,15 @@ InvariantChecker::InvariantChecker() {
            &InvariantChecker::rule_enforce_detect, true);
   add_rule({Kind::kBtGrace, Kind::kBtPeerStrike}, &InvariantChecker::rule_enforce_grace,
            true);
+  add_rule({Kind::kBtSuspend}, &InvariantChecker::rule_suspend, true);
+  add_rule({Kind::kBtResume}, &InvariantChecker::rule_resume, true);
+  // Bookkeeping for snapshot-checksum-valid: remembers which journal record
+  // the load validated so the restore can be matched against it.
+  add_rule({Kind::kStoreLoad}, &InvariantChecker::rule_store_load, false);
+  add_rule({Kind::kBtAnnounce, Kind::kBtAnnounceRetry, Kind::kBtRequest, Kind::kBtPexSend,
+            Kind::kBtReconnect, Kind::kBtBootstrap, Kind::kBtPieceComplete, Kind::kBtChoke,
+            Kind::kBtUnchoke},
+           &InvariantChecker::rule_suspended_silence, false);
 }
 
 void InvariantChecker::add_rule(std::initializer_list<Kind> kinds, MemberRule member,
@@ -99,6 +108,7 @@ void InvariantChecker::reset_scenario() {
   pex_.clear();
   cells_.clear();
   enforce_.clear();
+  lifecycle_.clear();
 }
 
 void InvariantChecker::check(const TraceEvent& ev) {
@@ -443,6 +453,68 @@ void InvariantChecker::rule_enforce_grace(const TraceEvent& ev) {
             ev.node + " struck peer " + num(ev.field("peer_id")) + " for " + ev.aux +
                 " inside its mobility grace window (until " + num(window.until_s) + " s)");
   }
+}
+
+void InvariantChecker::rule_suspend(const TraceEvent& ev) {
+  LifecycleState& st = lifecycle_[ev.node];
+  if (ev.aux == "begin") {
+    st.suspended = true;
+    st.suspend_peer_id = ev.field("peer_id", -1.0);
+  }
+  // aux == "suspended" (the snapshot ack) changes nothing: the bracket opened
+  // at "begin" and the node was already required to be silent.
+}
+
+void InvariantChecker::rule_resume(const TraceEvent& ev) {
+  LifecycleState& st = lifecycle_[ev.node];
+  if (ev.aux == "begin") return;  // still inside the bracket until resumed
+  if (ev.aux == "cold") {
+    // A cold restart legitimately mints a fresh identity; drop expectations.
+    st.suspended = false;
+    st.suspend_peer_id = -1.0;
+    return;
+  }
+  if (ev.aux == "restored") {
+    const double snapshot = ev.field("snapshot");
+    const double restored = ev.field("restored");
+    const double dropped = ev.field("dropped");
+    if (restored > snapshot + kEps || std::abs(restored - (snapshot - dropped)) > kEps) {
+      violate(ev, "resume-bitfield-subset",
+              ev.node + " restored " + num(restored) + " pieces from a snapshot of " +
+                  num(snapshot) + " with " + num(dropped) + " dropped");
+    }
+    const double seq = ev.field("seq", -1.0);
+    if (st.last_load_seq > -1.5 && st.last_load_seq < -0.5) {
+      violate(ev, "snapshot-checksum-valid",
+              ev.node + " restored a snapshot although the journal load found no "
+                        "checksum-valid record");
+    } else if (st.last_load_seq > -1.5 && std::abs(seq - st.last_load_seq) > kEps) {
+      violate(ev, "snapshot-checksum-valid",
+              ev.node + " restored journal record seq " + num(seq) +
+                  " but the journal walk validated seq " + num(st.last_load_seq));
+    }
+  }
+  // "resumed" and "restored" both close the bracket and must carry the
+  // suspended identity forward.
+  const double peer = ev.field("peer_id", -1.0);
+  if (st.suspended && st.suspend_peer_id >= 0.0 &&
+      std::abs(peer - st.suspend_peer_id) > kEps) {
+    violate(ev, "identity-retained-across-resume",
+            ev.node + " resumed as peer " + num(peer) + " but suspended as peer " +
+                num(st.suspend_peer_id));
+  }
+  st.suspended = false;
+}
+
+void InvariantChecker::rule_store_load(const TraceEvent& ev) {
+  lifecycle_[ev.node].last_load_seq = ev.field("seq", -1.0);
+}
+
+void InvariantChecker::rule_suspended_silence(const TraceEvent& ev) {
+  const auto it = lifecycle_.find(ev.node);
+  if (it == lifecycle_.end() || !it->second.suspended) return;
+  violate(ev, "no-serve-while-suspended",
+          ev.node + " emitted " + to_string(ev.kind) + " while suspended");
 }
 
 }  // namespace wp2p::trace

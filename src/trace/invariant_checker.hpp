@@ -91,6 +91,29 @@
 //                       mobility grace window is active at the strike: the
 //                       grace guard exists precisely so hand-off stalls are
 //                       not punished.
+//   no-serve-while-suspended
+//                       Between a suspend (kBtSuspend "begin") and the
+//                       matching resume, a client answers nothing: no
+//                       announces, requests, PEX, reconnect dials, bootstrap
+//                       dials, choke decisions, or piece completions may be
+//                       traced for the suspended node.
+//   resume-bitfield-subset
+//                       A restored bitfield is a subset of the snapshot it
+//                       came from: restored == snapshot - dropped, and a
+//                       resume never claims more pieces than the snapshot
+//                       recorded (torn or rotted state degrades, never
+//                       inflates).
+//   snapshot-checksum-valid
+//                       A restore consumes exactly the snapshot the journal
+//                       walk validated: the kBtResume "restored" seq matches
+//                       the preceding kStoreLoad's winning seq, and a load
+//                       that found no valid record ("empty") is only ever
+//                       followed by a cold restart, never a restore.
+//   identity-retained-across-resume
+//                       The peer-id traced at a suspend reappears unchanged
+//                       at the matching resume or snapshot restore (a cold
+//                       restart legitimately mints a fresh identity and
+//                       clears the expectation).
 //
 // kScenario markers reset per-flow state, so one JSONL file may hold many
 // independently checked scenarios.
@@ -189,6 +212,12 @@ class InvariantChecker final : public Sink {
   struct EnforceState {
     std::unordered_map<std::uint64_t, GraceWindow> grace;  // peer_id -> window
   };
+  struct LifecycleState {
+    bool suspended = false;         // inside a suspend bracket
+    double suspend_peer_id = -1.0;  // peer_id traced at the suspend begin
+    double last_load_seq = -2.0;    // winning seq of the last journal load
+                                    // (-1 = load found nothing, -2 = no load)
+  };
 
   using MemberRule = void (InvariantChecker::*)(const TraceEvent&);
   struct Rule {
@@ -229,6 +258,10 @@ class InvariantChecker final : public Sink {
   void rule_cell_deliver(const TraceEvent& ev);
   void rule_enforce_detect(const TraceEvent& ev);
   void rule_enforce_grace(const TraceEvent& ev);
+  void rule_suspend(const TraceEvent& ev);
+  void rule_resume(const TraceEvent& ev);
+  void rule_store_load(const TraceEvent& ev);
+  void rule_suspended_silence(const TraceEvent& ev);
 
   std::unordered_map<std::string, FlowState> flows_;
   std::unordered_map<std::string, DetectState> detectors_;
@@ -237,6 +270,7 @@ class InvariantChecker final : public Sink {
   std::unordered_map<std::string, PexState> pex_;  // node|recipient endpoint
   std::unordered_map<std::string, CellState> cells_;  // station -> attachment
   std::unordered_map<std::string, EnforceState> enforce_;  // node -> grace map
+  std::unordered_map<std::string, LifecycleState> lifecycle_;  // node -> state
   std::vector<Rule> rules_;
   std::array<std::vector<std::uint16_t>, kNumKinds> index_;  // kind -> rule ids
   std::vector<Violation> violations_;

@@ -12,7 +12,7 @@ constexpr ComponentName kComponents[] = {
     {Component::kSim, "sim"}, {Component::kTcp, "tcp"},  {Component::kAm, "am"},
     {Component::kLihd, "lihd"}, {Component::kBt, "bt"},  {Component::kMob, "mob"},
     {Component::kChan, "chan"}, {Component::kFault, "fault"},
-    {Component::kCell, "cell"},
+    {Component::kCell, "cell"}, {Component::kStore, "store"},
 };
 
 struct KindName {
@@ -68,6 +68,11 @@ constexpr KindName kKinds[] = {
     {Kind::kBtPexSpam, "bt.pex_spam"},
     {Kind::kBtStallAudit, "bt.stall_audit"},
     {Kind::kBtGrace, "bt.mobile_grace"},
+    {Kind::kBtSuspend, "bt.suspend"},
+    {Kind::kBtResume, "bt.resume"},
+    {Kind::kBtResumeVerify, "bt.resume_verify"},
+    {Kind::kStoreWrite, "store.write"},
+    {Kind::kStoreLoad, "store.load"},
 };
 
 }  // namespace

@@ -28,7 +28,9 @@
 
 namespace wp2p::trace {
 
-enum class Component : std::uint8_t { kSim, kTcp, kAm, kLihd, kBt, kMob, kChan, kFault, kCell };
+enum class Component : std::uint8_t {
+  kSim, kTcp, kAm, kLihd, kBt, kMob, kChan, kFault, kCell, kStore
+};
 
 enum class Kind : std::uint8_t {
   kScenario,  // sim: start of a traced scenario; node carries the label
@@ -91,11 +93,17 @@ enum class Kind : std::uint8_t {
   kBtPexSpam,      // PEX endpoint-sanity budget exceeded; count/limit fields
   kBtStallAudit,   // stall auditor scored a persistent stall; count/limit fields
   kBtGrace,        // mobility grace window granted; aux = cause, until_s field
+
+  kBtSuspend,       // lifecycle entered suspend; aux = begin/suspended
+  kBtResume,        // lifecycle resume; aux = begin/resumed/restored/cold
+  kBtResumeVerify,  // trust-but-verify sampled-piece check; ok field = 1/0
+  kStoreWrite,      // stable-storage append completed; aux = ok/torn/stale
+  kStoreLoad,       // stable-storage load walked the journal; discarded field
 };
 
 // Number of Kind values; sized for per-kind lookup tables (keep in sync with
 // the last enumerator above).
-inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kBtGrace) + 1;
+inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kStoreLoad) + 1;
 
 const char* to_string(Component c);
 const char* to_string(Kind k);

@@ -506,6 +506,83 @@ TEST(ScenarioFuzzer, AdversaryRunDetectsAttackAndNoEnforcementTripsRules) {
   EXPECT_TRUE(flood_rule) << exposed.summary();
 }
 
+TEST(ScenarioFuzzer, SuspendKeysGateAndRoundTrip) {
+  // Gated off (the default): no seed may emit the susp/store keys, so legacy
+  // seeds keep their exact serialization and replay byte-identically.
+  ScenarioFuzzer legacy{quick_limits()};
+  for (std::uint64_t seed = 700; seed < 740; ++seed) {
+    const std::string spec = legacy.generate(seed).serialize();
+    EXPECT_EQ(spec.find("susp="), std::string::npos) << "seed " << seed;
+    EXPECT_EQ(spec.find("store="), std::string::npos) << "seed " << seed;
+  }
+
+  // Gated on: some seed draws the suspend slice with a real storage profile,
+  // the plan's vocabulary includes app-suspend faults, and the spec
+  // round-trips through parse().
+  exp::FuzzLimits limits = quick_limits();
+  limits.max_suspends = 2;
+  ScenarioFuzzer fuzzer{limits};
+  bool saw_suspend_scenario = false;
+  bool saw_suspend_fault = false;
+  for (std::uint64_t seed = 700; seed < 780; ++seed) {
+    const Scenario s = fuzzer.generate(seed);
+    if (!s.suspend_lifecycle) continue;
+    saw_suspend_scenario = true;
+    EXPECT_TRUE(exp::valid_storage_profile(s.storage_profile)) << s.storage_profile;
+    for (const auto& a : s.faults.actions) {
+      saw_suspend_fault |= a.kind == sim::FaultKind::kSuspend;
+    }
+    const auto parsed = Scenario::parse(s.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->serialize(), s.serialize());
+    EXPECT_TRUE(parsed->suspend_lifecycle);
+    EXPECT_EQ(parsed->storage_profile, s.storage_profile);
+    if (saw_suspend_fault) break;
+  }
+  EXPECT_TRUE(saw_suspend_scenario) << "no seed drew the suspend slice";
+  EXPECT_TRUE(saw_suspend_fault) << "no suspend-slice plan carried a kSuspend fault";
+
+  // An unknown storage profile is a parse error, not a silent clean disk.
+  EXPECT_FALSE(Scenario::parse(
+      "scenario seed=1 duration=60 file=524288 piece=262144 store=ssd\n"
+      "peer name=s0 link=wired role=seed wp2p=0 preload=1\n"
+      "peer name=l0 link=wired role=leech wp2p=0 preload=0\n"));
+}
+
+TEST(ScenarioFuzzer, SuspendSpecRunsDeterministicallyAndFillsVerdict) {
+  // A handwritten suspend-under-torn-writes spec: the mobile leech naps for
+  // 15 s over journaled storage that tears writes. The run must hold every
+  // lifecycle invariant and reproduce bit-for-bit.
+  const auto parsed = Scenario::parse(
+      "scenario seed=88 duration=90 file=524288 piece=262144 susp=1 store=torn\n"
+      "peer name=s0 link=wired role=seed wp2p=0 preload=1\n"
+      "peer name=mob0 link=wireless role=leech wp2p=0 preload=0\n"
+      "fault suspend at=20.000000 dur=15.000000 mag=0 target=mob0\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->suspend_lifecycle);
+  EXPECT_EQ(parsed->storage_profile, "torn");
+
+  ScenarioFuzzer fuzzer{quick_limits()};
+  const exp::FuzzVerdict v1 = fuzzer.run(*parsed);
+  const exp::FuzzVerdict v2 = fuzzer.run(*parsed);
+  EXPECT_TRUE(v1.passed) << v1.summary();
+  EXPECT_EQ(v1.trace_hash, v2.trace_hash);
+  EXPECT_EQ(v1.suspends, 1u);
+  EXPECT_EQ(v1.resumes, 1u);
+  EXPECT_GE(v1.snapshots_written, 1u);  // the suspend journals a snapshot
+  EXPECT_EQ(v1.suspends, v2.suspends);
+  EXPECT_EQ(v1.snapshots_written, v2.snapshots_written);
+  EXPECT_EQ(v1.torn_writes, v2.torn_writes);
+
+  // The same nap over a clean disk: identical lifecycle, no torn writes.
+  Scenario clean = *parsed;
+  clean.storage_profile.clear();
+  const exp::FuzzVerdict vc = fuzzer.run(clean);
+  EXPECT_TRUE(vc.passed) << vc.summary();
+  EXPECT_EQ(vc.suspends, 1u);
+  EXPECT_EQ(vc.torn_writes, 0u);
+}
+
 TEST(ScenarioFuzzer, ShrinkKeepsPassingScenarioIntact) {
   // shrink() on a passing scenario has nothing to chase: every candidate
   // passes, so the "minimized" result is the input itself.

@@ -1,0 +1,143 @@
+// End-to-end acceptance for session persistence: a commuting cellular leech
+// lives the full mobile-app lifecycle — background nap (suspend/resume via the
+// roaming model's power schedule), then an outright app kill and a restart
+// that restores from the journaled snapshot — with the lifecycle invariant
+// rules (no-serve-while-suspended, resume-bitfield-subset,
+// snapshot-checksum-valid, identity-retained-across-resume) auditing the full
+// trace. A second pass runs the same life on storage that tears most commits:
+// the restore must degrade (older snapshot or cold start) and never claim an
+// unverified piece.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bt/resume_store.hpp"
+#include "exp/swarm.hpp"
+#include "net/cell.hpp"
+#include "sim/stable_storage.hpp"
+#include "trace/invariant_checker.hpp"
+#include "trace/recorder.hpp"
+
+namespace wp2p {
+namespace {
+
+using exp::Swarm;
+
+std::string violation_digest(const trace::InvariantChecker& checker) {
+  std::string out;
+  for (const auto& v : checker.violations()) out += to_string(v) + "\n";
+  return out;
+}
+
+struct LifeOutcome {
+  bool completed = false;
+  bool subset_ok = true;          // post-restart bitfield ⊆ pre-kill verified
+  std::uint64_t restored = 0;
+  std::uint64_t cold_restarts = 0;
+  std::uint64_t suspends = 0;
+  std::uint64_t torn_writes = 0;
+  std::string violations;
+};
+
+// One wired seed, one commuting cellular leech over two cells. The leech naps
+// at t=25 for 10 s, is killed at t=60, restarts at t=70, and then has until
+// t=300 to finish the 4 MB download.
+LifeOutcome live_one_life(double torn_write_prob) {
+  auto meta = bt::Metainfo::create("e2e-resume", 4 * 1024 * 1024, 256 * 1024, "tr", 92);
+  Swarm swarm{92, meta};
+  trace::Recorder recorder{/*ring_capacity=*/4};
+  trace::InvariantChecker checker;
+  recorder.add_sink(&checker);
+  swarm.world.sim.set_tracer(&recorder);
+
+  net::CellularTopology& cells = swarm.world.enable_cells();
+  cells.add_cell();
+  cells.add_cell();
+
+  swarm.add_wired("seed0", /*is_seed=*/true);
+
+  bt::ClientConfig mc;
+  mc.listen_port = 6882;
+  mc.retain_peer_id = true;
+  mc.role_reversal = true;
+  mc.resume_checkpoint_interval = sim::seconds(5.0);
+  auto& mob = swarm.add_cellular("mob", /*is_seed=*/false, mc, /*cell_id=*/0);
+
+  net::RoamingModel roaming{cells};
+  roaming.commute({"mob"}, /*interval_s=*/35.0, /*horizon_s=*/300.0, /*seed=*/92);
+  roaming.add_suspend(/*at_s=*/25.0, "mob", /*duration_s=*/10.0);
+  roaming.on_power = [&mob](const std::string& node, bool suspend) {
+    if (node != "mob" || mob.client == nullptr) return;
+    if (suspend) {
+      mob.client->suspend();
+    } else {
+      mob.client->resume();
+    }
+  };
+
+  sim::StorageParams params;
+  params.torn_write_prob = torn_write_prob;
+  sim::StableStorage storage{swarm.world.sim, params, "mob"};
+  bt::ResumeStore store{storage, meta.info_hash};
+  mob->attach_resume(store);
+
+  roaming.start();
+  swarm.start_all();
+  swarm.run_for(60.0);
+
+  std::vector<bool> verified(static_cast<std::size_t>(meta.piece_count()));
+  for (int p = 0; p < meta.piece_count(); ++p) {
+    verified[static_cast<std::size_t>(p)] = mob->store().has_piece(p);
+  }
+  LifeOutcome out;
+  out.suspends = mob->stats().suspends;  // the nap belongs to this incarnation
+  mob->stop();
+  mob.client.reset();
+  swarm.run_for(10.0);
+  mob.client = std::make_unique<bt::Client>(*mob.host->node, *mob.host->stack,
+                                            swarm.tracker, swarm.meta, mc,
+                                            /*is_seed=*/false);
+  mob->attach_resume(store);
+  mob->start();
+
+  for (int p = 0; p < meta.piece_count(); ++p) {
+    if (mob->store().has_piece(p) && !verified[static_cast<std::size_t>(p)]) {
+      out.subset_ok = false;
+    }
+  }
+  swarm.run_for(230.0);
+  swarm.world.sim.set_tracer(nullptr);
+
+  out.completed = mob->complete();
+  out.restored = mob->stats().resume_restored_pieces;
+  out.cold_restarts = mob->stats().cold_restarts;
+  out.torn_writes = storage.stats().torn_writes;
+  out.violations = violation_digest(checker);
+  return out;
+}
+
+TEST(ResumeE2E, JournaledLifeRestoresAndCompletesWithInvariantsClean) {
+  const LifeOutcome life = live_one_life(/*torn_write_prob=*/0.0);
+  EXPECT_TRUE(life.violations.empty()) << life.violations;
+  EXPECT_GE(life.suspends, 1u);          // the nap actually happened
+  EXPECT_GT(life.restored, 0u);          // the restart came back warm
+  EXPECT_EQ(life.cold_restarts, 0u);
+  EXPECT_TRUE(life.subset_ok);
+  EXPECT_TRUE(life.completed);
+}
+
+TEST(ResumeE2E, TornWriteLifeDegradesButNeverInventsPieces) {
+  const LifeOutcome life = live_one_life(/*torn_write_prob=*/0.85);
+  EXPECT_TRUE(life.violations.empty()) << life.violations;
+  EXPECT_GE(life.suspends, 1u);
+  EXPECT_GT(life.torn_writes, 0u);       // the storage really did tear commits
+  // A torn journal may still yield an older intact snapshot or degrade to a
+  // cold start — both are legal. What is never legal is resurrecting a piece
+  // the first incarnation did not verify.
+  EXPECT_TRUE(life.subset_ok);
+  EXPECT_TRUE(life.completed);
+}
+
+}  // namespace
+}  // namespace wp2p

@@ -468,5 +468,105 @@ TEST(Invariants, RegisteredExternalRuleFiresOnItsKind) {
   EXPECT_EQ(checker.events_matched(), 2u);
 }
 
+// --- Suspend/resume lifecycle rules -----------------------------------------------
+
+TraceEvent suspend_begin(double peer_id) {
+  return event(Component::kBt, Kind::kBtSuspend)
+      .at("mob")
+      .why("begin")
+      .with("peer_id", peer_id)
+      .with("pieces", 3.0);
+}
+
+TraceEvent resumed(double peer_id) {
+  return event(Component::kBt, Kind::kBtResume)
+      .at("mob")
+      .why("resumed")
+      .with("peer_id", peer_id)
+      .with("pieces", 3.0);
+}
+
+TraceEvent restored(double snapshot, double rest, double dropped, double seq) {
+  return event(Component::kBt, Kind::kBtResume)
+      .at("mob")
+      .why("restored")
+      .with("peer_id", 10.0)
+      .with("snapshot", snapshot)
+      .with("restored", rest)
+      .with("dropped", dropped)
+      .with("seq", seq)
+      .with("discarded", 0.0);
+}
+
+TraceEvent store_load(double seq, double discarded) {
+  return event(Component::kStore, Kind::kStoreLoad)
+      .at("mob")
+      .why(seq < 0 ? "empty" : "ok")
+      .with("seq", seq)
+      .with("discarded", discarded)
+      .with("journal", 4.0);
+}
+
+TEST(Invariants, SuspendedNodeMustStaySilent) {
+  const TraceEvent announce = event(Component::kBt, Kind::kBtAnnounce).at("mob");
+  // Clean: the announce lands outside the suspend bracket.
+  EXPECT_TRUE(run({suspend_begin(10), resumed(10), announce}).empty());
+  // Another node's traffic during the bracket is fine too.
+  EXPECT_TRUE(run({suspend_begin(10),
+                   event(Component::kBt, Kind::kBtAnnounce).at("seed0")})
+                  .empty());
+  // The suspended node itself serving anything is the violation.
+  auto v = run({suspend_begin(10), announce});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "no-serve-while-suspended");
+  auto piece = run({suspend_begin(10),
+                    event(Component::kBt, Kind::kBtPieceComplete).at("mob")});
+  ASSERT_EQ(piece.size(), 1u);
+  EXPECT_EQ(piece[0].rule, "no-serve-while-suspended");
+}
+
+TEST(Invariants, ResumeBitfieldMustBeASnapshotSubset) {
+  // Clean: restored + dropped == snapshot, restored <= snapshot.
+  EXPECT_TRUE(run({store_load(3, 0), restored(5, 3, 2, 3)}).empty());
+  // More pieces than the snapshot carried: invented data.
+  auto inflated = run({store_load(3, 0), restored(5, 6, 0, 3)});
+  ASSERT_EQ(inflated.size(), 1u);
+  EXPECT_EQ(inflated[0].rule, "resume-bitfield-subset");
+  // Drop accounting must balance.
+  auto leaky = run({store_load(3, 0), restored(5, 3, 1, 3)});
+  ASSERT_EQ(leaky.size(), 1u);
+  EXPECT_EQ(leaky[0].rule, "resume-bitfield-subset");
+}
+
+TEST(Invariants, RestoreMustMatchTheChecksumValidatedRecord) {
+  // Clean: the restore consumed exactly the record the journal walk validated.
+  EXPECT_TRUE(run({store_load(7, 2), restored(5, 5, 0, 7)}).empty());
+  // The journal found nothing checksum-valid, yet a snapshot was restored.
+  auto phantom = run({store_load(-1, 3), restored(5, 5, 0, 7)});
+  ASSERT_EQ(phantom.size(), 1u);
+  EXPECT_EQ(phantom[0].rule, "snapshot-checksum-valid");
+  // The restore consumed a different record than the walk validated.
+  auto swapped = run({store_load(7, 2), restored(5, 5, 0, 6)});
+  ASSERT_EQ(swapped.size(), 1u);
+  EXPECT_EQ(swapped[0].rule, "snapshot-checksum-valid");
+}
+
+TEST(Invariants, ResumeMustCarryTheSuspendedIdentityForward) {
+  EXPECT_TRUE(run({suspend_begin(10), resumed(10)}).empty());
+  auto v = run({suspend_begin(10), resumed(11)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "identity-retained-across-resume");
+  // A cold restart legitimately mints a fresh identity: the bracket closes
+  // without an identity expectation, so a later fresh suspend/resume is clean.
+  EXPECT_TRUE(run({suspend_begin(10),
+                   event(Component::kBt, Kind::kBtResume)
+                       .at("mob")
+                       .why("cold")
+                       .with("peer_id", 99.0)
+                       .with("discarded", 2.0),
+                   suspend_begin(99), resumed(99)})
+                  .empty());
+}
+
 }  // namespace
 }  // namespace wp2p::trace
